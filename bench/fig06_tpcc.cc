@@ -1,0 +1,128 @@
+// Figure 6 (§5.4.3): the TPC-C transaction mix (Table 4) across Shenango
+// (c-FCFS), Shinjuku (multi-queue, 10 µs interrupts — "TPC-C is most
+// favorable to Shinjuku... preempting every 10 µs") and Perséphone/DARC.
+// Columns: overall p99.9 slowdown + per-transaction p99.9 latency.
+//
+// Paper shape: DARC groups {Payment,OrderStatus} {NewOrder}
+// {Delivery,StockLevel} → 2/6/6 cores; at 85% load it improves Payment /
+// OrderStatus / NewOrder p99.9 latency by ≈9.2× / 7× / 3.6× over c-FCFS,
+// cuts overall slowdown up to 4.6× (3.1× vs Shinjuku), costs ~5% throughput
+// to StockLevel; sustains 1.2×/1.05× more load at a 10× slowdown target.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace psp {
+namespace bench {
+namespace {
+
+constexpr uint32_t kWorkers = 14;
+
+void Main() {
+  const WorkloadSpec workload = TpccMix();
+  const double peak = workload.PeakLoadRps(kWorkers);
+  std::printf("Figure 6: TPC-C across Shenango, Shinjuku and Persephone "
+              "(peak %.0f kRPS)\n\n",
+              peak / 1e3);
+
+  struct System {
+    const char* name;
+    std::function<std::unique_ptr<SchedulingPolicy>()> make;
+  };
+  const std::vector<System> systems = {
+      {"shenango-c-FCFS", [] { return MakeShenangoCFcfs(); }},
+      {"shinjuku-mq(10us)",
+       [] { return MakeShinjuku(10 * kMicrosecond, /*multi_queue=*/true); }},
+      {"persephone-DARC", [] { return MakeDarc(); }},
+  };
+
+  Table table({"load", "system", "p999_slowdown", "Payment_us",
+               "OrderStatus_us", "NewOrder_us", "Delivery_us",
+               "StockLevel_us"});
+  const auto loads = DefaultLoads();
+  std::vector<std::vector<double>> slowdowns(systems.size());
+  // Per-system latencies at the 85%-load point, for headline ratios.
+  std::vector<std::vector<double>> lat_at_85(systems.size());
+  std::vector<double> slow_at_85(systems.size());
+
+  for (const double load : loads) {
+    for (size_t s = 0; s < systems.size(); ++s) {
+      ClusterEngine engine(workload, TestbedConfig(kWorkers, load * peak),
+                           systems[s].make());
+      engine.Run();
+      const Metrics& m = engine.metrics();
+      slowdowns[s].push_back(m.OverallSlowdown(99.9));
+      std::vector<std::string> row = {Fmt(load, 2), systems[s].name,
+                                      Fmt(m.OverallSlowdown(99.9), 1)};
+      std::vector<double> lats;
+      for (TypeId t = 1; t <= 5; ++t) {
+        row.push_back(FmtMicros(m.TypeLatency(t, 99.9)));
+        lats.push_back(ToMicros(m.TypeLatency(t, 99.9)));
+      }
+      table.AddRow(std::move(row));
+      if (load == 0.85) {
+        lat_at_85[s] = lats;
+        slow_at_85[s] = m.OverallSlowdown(99.9);
+      }
+    }
+  }
+  table.Print();
+
+  // DARC grouping sanity (the paper's §5.4.3 allocation).
+  {
+    ClusterEngine engine(workload, TestbedConfig(kWorkers, 0.5 * peak),
+                         MakeDarc());
+    engine.Run();
+    const auto& darc = static_cast<PersephonePolicy&>(engine.policy());
+    const Reservation& r = darc.scheduler().reservation();
+    std::printf("\nDARC reservation (paper: A={Payment,OrderStatus}:2, "
+                "B={NewOrder}:6, C={Delivery,StockLevel}:6):\n");
+    for (const auto& g : r.groups) {
+      std::printf("  group [");
+      for (size_t i = 0; i < g.members.size(); ++i) {
+        std::printf("%s%s", i > 0 ? "," : "",
+                    darc.scheduler().type_name(g.members[i]).c_str());
+      }
+      std::printf("] reserved=%u stealable=%u%s\n", g.reserved_count,
+                  g.stealable.Count(), g.uses_spillway ? " (spillway)" : "");
+    }
+    std::printf("  CPU waste: %.2f cores (paper: 0)\n", r.cpu_waste);
+  }
+
+  if (!lat_at_85[0].empty() && !lat_at_85[2].empty()) {
+    std::printf("\nAt 85%% load, DARC vs Shenango c-FCFS p99.9 latency "
+                "(paper: 9.2x / 7x / 3.6x):\n");
+    const char* names[3] = {"Payment", "OrderStatus", "NewOrder"};
+    for (int i = 0; i < 3; ++i) {
+      std::printf("  %-12s %.1fx better\n", names[i],
+                  lat_at_85[0][i] / std::max(1e-9, lat_at_85[2][i]));
+    }
+    std::printf("Overall slowdown reduction at 85%%: %.1fx vs Shenango "
+                "(paper: up to 4.6x), %.1fx vs Shinjuku (paper: up to 3.1x)\n",
+                slow_at_85[0] / std::max(1e-9, slow_at_85[2]),
+                slow_at_85[1] / std::max(1e-9, slow_at_85[2]));
+  }
+
+  std::printf("\nSustained load @ 10x overall slowdown "
+              "(paper: DARC 1.2x Shenango, 1.05x Shinjuku):\n");
+  std::vector<double> sustained(systems.size());
+  for (size_t s = 0; s < systems.size(); ++s) {
+    sustained[s] = MaxLoadUnderSlo(loads, slowdowns[s], 10.0);
+    std::printf("  %-20s %.0f%% of peak\n", systems[s].name,
+                sustained[s] * 100);
+  }
+  if (sustained[0] > 0 && sustained[1] > 0) {
+    std::printf("  DARC ratios: %.2fx vs Shenango, %.2fx vs Shinjuku\n",
+                sustained[2] / sustained[0], sustained[2] / sustained[1]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace psp
+
+int main() {
+  psp::bench::Main();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 9 (§5.6): DARC configured with a broken classifier that assigns each
+// request a uniformly random type, on High Bimodal over an 8-worker setup
+// (the paper's two-node Silver 4114 testbed). Expected shape: DARC-random's
+// behaviour converges to c-FCFS, far from properly-classified DARC.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace psp {
+namespace bench {
+namespace {
+
+constexpr uint32_t kWorkers = 8;
+
+void Main() {
+  const WorkloadSpec workload = HighBimodal();
+  const double peak = workload.PeakLoadRps(kWorkers);
+  std::printf("Figure 9: DARC with a random classifier "
+              "(High Bimodal, %u workers, peak %.0f kRPS)\n\n",
+              kWorkers, peak / 1e3);
+
+  struct System {
+    const char* name;
+    std::function<std::unique_ptr<SchedulingPolicy>()> make;
+  };
+  const std::vector<System> systems = {
+      {"c-FCFS", [] { return MakePspCFcfs(); }},
+      {"DARC-random",
+       [] {
+         PersephoneOptions o;
+         o.scheduler.mode = PolicyMode::kDarc;
+         o.random_classifier = true;
+         return std::make_unique<PersephonePolicy>(o);
+       }},
+      {"DARC", [] { return MakeDarc(); }},
+  };
+
+  Table table({"load", "system", "p999_slowdown", "p999_short_us",
+               "p999_long_us"});
+  const auto loads = DefaultLoads();
+  std::vector<double> random_line;
+  std::vector<double> cfcfs_line;
+  for (const double load : loads) {
+    for (size_t s = 0; s < systems.size(); ++s) {
+      ClusterEngine engine(workload, TestbedConfig(kWorkers, load * peak),
+                           systems[s].make());
+      engine.Run();
+      const Metrics& m = engine.metrics();
+      if (s == 0) {
+        cfcfs_line.push_back(m.OverallSlowdown(99.9));
+      }
+      if (s == 1) {
+        random_line.push_back(m.OverallSlowdown(99.9));
+      }
+      table.AddRow({Fmt(load, 2), systems[s].name,
+                    Fmt(m.OverallSlowdown(99.9), 1),
+                    FmtMicros(m.TypeLatency(1, 99.9)),
+                    FmtMicros(m.TypeLatency(2, 99.9))});
+    }
+  }
+  table.Print();
+
+  // Convergence check: mean |log-ratio| between DARC-random and c-FCFS.
+  double acc = 0;
+  int n = 0;
+  for (size_t i = 0; i < random_line.size(); ++i) {
+    if (random_line[i] > 0 && cfcfs_line[i] > 0) {
+      acc += std::abs(std::log(random_line[i] / cfcfs_line[i]));
+      ++n;
+    }
+  }
+  std::printf("\nMean |log slowdown-ratio| DARC-random vs c-FCFS: %.2f "
+              "(0 = identical; paper: 'similar behaviors')\n",
+              n > 0 ? acc / n : 0.0);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace psp
+
+int main() {
+  psp::bench::Main();
+  return 0;
+}

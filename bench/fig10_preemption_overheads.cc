@@ -1,0 +1,96 @@
+// Figure 10 (§6): single-queue preemptive systems with varying preemption
+// costs against DARC, on the §2 idealised simulator (Extreme Bimodal, 16
+// workers). "TS 4µs" takes 2 µs to propagate the preemption event (the
+// victim keeps running) plus 2 µs of pure overhead; "TS 2µs"/"TS 1µs" scale
+// both down; "TS 0µs" is ideal instant preemption.
+//
+// Paper shape: TS 0µs performs similarly or better than DARC; at 1 µs of
+// total preemption cost a TS system already sustains ~30% less load than
+// ideal for a 10× short-request slowdown target; DARC needs no interrupts.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace psp {
+namespace bench {
+namespace {
+
+constexpr uint32_t kWorkers = 16;
+constexpr double kSlo = 10.0;
+
+std::unique_ptr<SchedulingPolicy> MakeTriggeredTs(Nanos delay,
+                                                  Nanos overhead) {
+  TimeSharingOptions o;
+  // §6 model: "a preemption event can be triggered as soon as a short
+  // request is blocked" — no minimum quantum between preemptions.
+  o.quantum = 0;
+  o.preempt_delay = delay;
+  o.preempt_overhead = overhead;
+  o.trigger_on_block = true;
+  return std::make_unique<TimeSharingPolicy>(o);
+}
+
+void Main() {
+  const WorkloadSpec workload = ExtremeBimodal();
+  const double peak = workload.PeakLoadRps(kWorkers);
+  std::printf("Figure 10: preemption overheads vs DARC "
+              "(Extreme Bimodal, %u workers, ideal network, peak %.2f "
+              "Mrps)\n\n",
+              kWorkers, peak / 1e6);
+
+  struct System {
+    const char* name;
+    std::function<std::unique_ptr<SchedulingPolicy>()> make;
+  };
+  const std::vector<System> systems = {
+      {"TS 0us", [] { return MakeTriggeredTs(0, 0); }},
+      {"TS 1us", [] { return MakeTriggeredTs(FromMicros(0.5), FromMicros(0.5)); }},
+      {"TS 2us", [] { return MakeTriggeredTs(kMicrosecond, kMicrosecond); }},
+      {"TS 4us",
+       [] { return MakeTriggeredTs(2 * kMicrosecond, 2 * kMicrosecond); }},
+      {"DARC", [] { return MakeDarc(); }},
+  };
+
+  Table table({"load", "system", "p999_slow_short", "p999_slow_long",
+               "preemptions"});
+  const auto loads = DefaultLoads();
+  std::vector<std::vector<double>> short_slow(systems.size());
+  for (const double load : loads) {
+    for (size_t s = 0; s < systems.size(); ++s) {
+      ClusterEngine engine(workload, IdealConfig(kWorkers, load * peak),
+                           systems[s].make());
+      engine.Run();
+      const Metrics& m = engine.metrics();
+      short_slow[s].push_back(m.TypeSlowdown(1, 99.9));
+      table.AddRow({Fmt(load, 2), systems[s].name,
+                    Fmt(m.TypeSlowdown(1, 99.9), 2),
+                    Fmt(m.TypeSlowdown(2, 99.9), 2),
+                    std::to_string(engine.policy().preemptions())});
+    }
+  }
+  table.Print();
+
+  std::printf("\nSustained load @ %.0fx short-request p99.9 slowdown:\n",
+              kSlo);
+  std::vector<double> sustained(systems.size());
+  for (size_t s = 0; s < systems.size(); ++s) {
+    sustained[s] = MaxLoadUnderSlo(loads, short_slow[s], kSlo);
+    std::printf("  %-8s %.0f%% of peak (%.2f Mrps)\n", systems[s].name,
+                sustained[s] * 100, sustained[s] * peak / 1e6);
+  }
+  if (sustained[0] > 0) {
+    std::printf("  TS 1us sustains %.0f%% less than ideal TS 0us "
+                "(paper: ~30%% less)\n",
+                100.0 * (1.0 - sustained[1] / sustained[0]));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace psp
+
+int main() {
+  psp::bench::Main();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Microbenchmarks for the dispatcher's per-request costs (§4.3.3): the paper
+// reports ≈75 cycles to update a request's profile, ≈300 cycles to check
+// whether a reservation update is required, ≈1000 cycles to perform one, and
+// ≈100 ns for a header-field classifier.
+#include <benchmark/benchmark.h>
+
+#include "src/core/classifier.h"
+#include "src/core/profiler.h"
+#include "src/core/reservation.h"
+#include "src/core/scheduler.h"
+#include "src/net/packet.h"
+
+namespace psp {
+namespace {
+
+ProfilerConfig BenchProfiler() {
+  ProfilerConfig c;
+  c.min_window_samples = UINT64_MAX;  // never transition during the loop
+  return c;
+}
+
+void BM_ProfileUpdate(benchmark::State& state) {
+  Profiler profiler(BenchProfiler());
+  profiler.ResizeTypes(8);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    profiler.RecordCompletion(static_cast<TypeIndex>(i & 7),
+                              static_cast<Nanos>(1000 + (i & 1023)));
+    ++i;
+  }
+  benchmark::DoNotOptimize(profiler.window_samples());
+}
+BENCHMARK(BM_ProfileUpdate);
+
+void BM_UpdateCheck(benchmark::State& state) {
+  Profiler profiler(BenchProfiler());
+  profiler.ResizeTypes(4);
+  for (int i = 0; i < 1000; ++i) {
+    profiler.RecordCompletion(static_cast<TypeIndex>(i & 3), 1000 + i);
+  }
+  for (auto _ : state) {
+    auto update = profiler.CheckUpdate();
+    benchmark::DoNotOptimize(update);
+  }
+}
+BENCHMARK(BM_UpdateCheck);
+
+void BM_ReservationUpdate(benchmark::State& state) {
+  const std::vector<TypeDemand> demands = {
+      {0, 5700, 0.44}, {1, 6000, 0.04}, {2, 20000, 0.44},
+      {3, 88000, 0.04}, {4, 100000, 0.04}};
+  const ReservationConfig config{14, 2.0, 1};
+  for (auto _ : state) {
+    const Reservation r = ComputeReservation(demands, config);
+    benchmark::DoNotOptimize(r.cpu_waste);
+  }
+}
+BENCHMARK(BM_ReservationUpdate);
+
+void BM_HeaderClassifier(benchmark::State& state) {
+  std::byte frame[256];
+  RequestFrame f;
+  f.flow = FlowTuple{1, 2, 3, 4};
+  f.request_type = 3;
+  const uint32_t len = BuildRequestPacket(f, frame, sizeof(frame));
+  HeaderFieldClassifier classifier;
+  for (auto _ : state) {
+    const TypeId t = classifier.Classify(frame + kRequestOffset,
+                                         len - kRequestOffset);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_HeaderClassifier);
+
+void BM_PacketParse(benchmark::State& state) {
+  std::byte frame[256];
+  RequestFrame f;
+  f.flow = FlowTuple{1, 2, 3, 4};
+  const uint32_t len = BuildRequestPacket(f, frame, sizeof(frame));
+  for (auto _ : state) {
+    auto parsed = ParseRequestPacket(frame, len);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_PacketParse);
+
+// One full dispatch decision: enqueue + Algorithm 1 + completion, on a
+// seeded High Bimodal scheduler. This is the per-request scheduler cost the
+// 7 Mpps dispatcher budget must cover.
+void BM_DispatchDecision(benchmark::State& state) {
+  SchedulerConfig config;
+  config.num_workers = 14;
+  config.profiler.min_window_samples = UINT64_MAX;
+  DarcScheduler scheduler(config);
+  const TypeIndex short_t = scheduler.RegisterType(1, "S", 1000, 0.5);
+  scheduler.RegisterType(2, "L", 100000, 0.5);
+  scheduler.ActivateSeededReservation();
+
+  uint64_t id = 0;
+  for (auto _ : state) {
+    Request r;
+    r.id = id;
+    r.type = short_t;
+    r.arrival = static_cast<Nanos>(id);
+    scheduler.Enqueue(r, r.arrival);
+    auto a = scheduler.NextAssignment(r.arrival);
+    benchmark::DoNotOptimize(a);
+    scheduler.OnCompletion(a->worker, short_t, 1000,
+                           static_cast<Nanos>(id + 1));
+    ++id;
+  }
+}
+BENCHMARK(BM_DispatchDecision);
+
+void BM_DispatchDecisionFiveTypes(benchmark::State& state) {
+  SchedulerConfig config;
+  config.num_workers = 14;
+  config.profiler.min_window_samples = UINT64_MAX;
+  DarcScheduler scheduler(config);
+  const double us = 1000;
+  const TypeIndex types[5] = {
+      scheduler.RegisterType(1, "Payment", static_cast<Nanos>(5.7 * us), 0.44),
+      scheduler.RegisterType(2, "OrderStatus", static_cast<Nanos>(6 * us), 0.04),
+      scheduler.RegisterType(3, "NewOrder", static_cast<Nanos>(20 * us), 0.44),
+      scheduler.RegisterType(4, "Delivery", static_cast<Nanos>(88 * us), 0.04),
+      scheduler.RegisterType(5, "StockLevel", static_cast<Nanos>(100 * us), 0.04)};
+  scheduler.ActivateSeededReservation();
+
+  uint64_t id = 0;
+  for (auto _ : state) {
+    Request r;
+    r.id = id;
+    r.type = types[id % 5];
+    r.arrival = static_cast<Nanos>(id);
+    scheduler.Enqueue(r, r.arrival);
+    auto a = scheduler.NextAssignment(r.arrival);
+    benchmark::DoNotOptimize(a);
+    if (a) {
+      scheduler.OnCompletion(a->worker, a->request.type, 1000,
+                             static_cast<Nanos>(id + 1));
+    }
+    ++id;
+  }
+}
+BENCHMARK(BM_DispatchDecisionFiveTypes);
+
+}  // namespace
+}  // namespace psp
+
+BENCHMARK_MAIN();

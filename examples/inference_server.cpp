@@ -1,0 +1,103 @@
+// An ML inference service on Perséphone (§4.1's "fast inference engines"):
+// two GBDT models behind one endpoint — a light ranker (64 trees) answering
+// in microseconds and a heavy ensemble (4096 trees) taking ~100× longer.
+// DARC keeps the light model's tail latency protected from heavy requests.
+//
+//   $ ./examples/inference_server [num_workers] [requests] [heavy_pct]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/apps/inference.h"
+#include "src/runtime/loadgen.h"
+#include "src/runtime/persephone.h"
+
+namespace {
+
+constexpr psp::TypeId kLightType = 1;
+constexpr psp::TypeId kHeavyType = 2;
+constexpr uint32_t kFeatures = 32;
+
+psp::RequestHandler MakeModelHandler(std::shared_ptr<psp::GbdtModel> model) {
+  return [model](const std::byte* payload, uint32_t length,
+                 std::byte* response, uint32_t capacity) -> uint32_t {
+    const auto request = psp::DecodeInferenceRequest(payload, length);
+    if (!request.has_value()) {
+      return 0;
+    }
+    return psp::ExecuteInference(*model, *request, response, capacity);
+  };
+}
+
+psp::ClientRequestSpec MakeQuerySpec(psp::TypeId wire_id, const char* name,
+                                     double ratio) {
+  psp::ClientRequestSpec spec;
+  spec.wire_id = wire_id;
+  spec.name = name;
+  spec.ratio = ratio;
+  spec.build_payload = [](std::byte* payload, uint32_t capacity,
+                          psp::Rng& rng) -> uint32_t {
+    float features[kFeatures];
+    for (auto& f : features) {
+      f = static_cast<float>(rng.NextDouble());
+    }
+    return psp::EncodeInferenceRequest(features, kFeatures, payload, capacity);
+  };
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t num_workers =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 2;
+  const uint64_t requests =
+      argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1200;
+  const double heavy_pct = argc > 3 ? std::atof(argv[3]) : 5.0;
+
+  auto light = std::make_shared<psp::GbdtModel>(64, 6, kFeatures, 1);
+  auto heavy = std::make_shared<psp::GbdtModel>(4096, 8, kFeatures, 2);
+
+  psp::RuntimeConfig config;
+  config.num_workers = num_workers;
+  config.scheduler.mode = psp::PolicyMode::kDarc;
+  psp::Persephone server(config);
+  server.RegisterType(kLightType, "LIGHT", MakeModelHandler(light),
+                      psp::FromMicros(3), 1.0 - heavy_pct / 100.0);
+  server.RegisterType(kHeavyType, "HEAVY", MakeModelHandler(heavy),
+                      psp::FromMicros(300), heavy_pct / 100.0);
+  server.Start();
+
+  std::printf("inference service: light=%u trees, heavy=%u trees, %u "
+              "workers, %.1f%% heavy queries\n",
+              light->num_trees(), heavy->num_trees(), num_workers, heavy_pct);
+  std::printf("DARC: LIGHT guaranteed %u core(s)\n",
+              server.scheduler().reserved_workers_of(
+                  server.scheduler().ResolveType(kLightType)));
+
+  psp::LoadGenConfig lg;
+  lg.rate_rps = 4000;
+  lg.total_requests = requests;
+  psp::LoadGenerator client(
+      &server,
+      {MakeQuerySpec(kLightType, "LIGHT", 1.0 - heavy_pct / 100.0),
+       MakeQuerySpec(kHeavyType, "HEAVY", heavy_pct / 100.0)},
+      lg);
+  const psp::LoadGenReport report = client.Run();
+  server.Stop();
+
+  std::printf("\nsent %llu, received %llu\n",
+              static_cast<unsigned long long>(report.sent),
+              static_cast<unsigned long long>(report.received));
+  for (const auto& [wire_id, hist] : report.latency) {
+    if (hist.Count() == 0) {
+      continue;
+    }
+    std::printf("  %-6s p50 %8.1f us   p99 %8.1f us   p99.9 %8.1f us\n",
+                wire_id == kLightType ? "LIGHT" : "HEAVY",
+                psp::ToMicros(hist.Percentile(50)),
+                psp::ToMicros(hist.Percentile(99)),
+                psp::ToMicros(hist.Percentile(99.9)));
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Trace utility: synthesise workload traces in the CSV format understood by
+// the replay engine (src/sim/trace.h) and by `policy_explorer --trace`.
+//
+//   $ ./examples/trace_tool high-bimodal 100000 500 42 > capture.csv
+//   $ ./examples/policy_explorer 14 - --trace capture.csv
+//
+// args: workload (high-bimodal | extreme-bimodal | tpcc | rocksdb),
+//       rate_rps, duration_ms, seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "src/sim/trace.h"
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "high-bimodal";
+  const double rate = argc > 2 ? std::atof(argv[2]) : 100000.0;
+  const long duration_ms = argc > 3 ? std::atol(argv[3]) : 500;
+  const uint64_t seed = argc > 4 ? static_cast<uint64_t>(std::atoll(argv[4])) : 42;
+
+  psp::WorkloadSpec workload;
+  if (std::strcmp(name, "high-bimodal") == 0) {
+    workload = psp::HighBimodal();
+  } else if (std::strcmp(name, "extreme-bimodal") == 0) {
+    workload = psp::ExtremeBimodal();
+  } else if (std::strcmp(name, "tpcc") == 0) {
+    workload = psp::TpccMix();
+  } else if (std::strcmp(name, "rocksdb") == 0) {
+    workload = psp::RocksDbMix();
+  } else {
+    std::fprintf(stderr,
+                 "unknown workload '%s' (try high-bimodal, extreme-bimodal, "
+                 "tpcc, rocksdb)\n",
+                 name);
+    return 1;
+  }
+
+  const auto trace = psp::SynthesizeTrace(
+      workload, rate, duration_ms * psp::kMillisecond, seed);
+  std::fprintf(stderr, "synthesised %zu requests (%s @ %.0f rps, %ld ms)\n",
+               trace.size(), name, rate, duration_ms);
+  psp::WriteTraceCsv(trace, std::cout);
+  return 0;
+}

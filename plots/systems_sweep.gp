@@ -1,0 +1,15 @@
+# Fig-5-style plot: load fraction on X, overall p99.9 slowdown (log) on Y,
+# one line per system. Expects CSV columns:
+# load,system,p999_slowdown,...
+if (!exists("datafile")) datafile = 'fig05.csv'
+set datafile separator ','
+set terminal pngcairo size 900,600 font ',11'
+set output datafile.'.png'
+set key top left
+set xlabel 'load (fraction of peak)'
+set ylabel 'overall p99.9 slowdown (log scale)'
+set logscale y
+set grid ytics
+plot for [p in "shenango-d-FCFS shenango-c-FCFS shinjuku-mq(5us) shinjuku-sq(5us) persephone-DARC"] \
+  datafile using (strcol(2) eq p ? column(1) : NaN):3 \
+  with linespoints lw 2 title p

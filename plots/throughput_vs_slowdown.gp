@@ -1,0 +1,17 @@
+# Fig-1-style plot: offered load (Mrps) on X, p99.9 slowdown (log) on Y,
+# one line per policy. Expects the fig01 CSV columns:
+# load,offered_Mrps,policy,p999_slow_short,p999_slow_long,...
+if (!exists("datafile")) datafile = 'fig01.csv'
+set datafile separator ','
+set terminal pngcairo size 900,600 font ',11'
+set output datafile.'.png'
+set key top left
+set xlabel 'offered load (Mrps)'
+set ylabel 'p99.9 slowdown (max of types, log scale)'
+set logscale y
+set grid ytics
+# 10x SLO reference line (the paper's target)
+set arrow from graph 0, first 10 to graph 1, first 10 nohead dt 2 lc rgb 'gray40'
+plot for [p in "d-FCFS c-FCFS TS(5us,1us) DARC"] \
+  datafile using (strcol(3) eq p ? column(2) : NaN):(column(4) > column(5) ? column(4) : column(5)) \
+  with linespoints lw 2 title p

@@ -1,0 +1,327 @@
+#include "src/apps/kvstore.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace psp {
+
+void KvStore::Put(uint64_t key, std::string value) {
+  memtable_[key] = std::move(value);
+  if (memtable_.size() >= memtable_limit_) {
+    FreezeMemtable();
+  }
+}
+
+void KvStore::Delete(uint64_t key) {
+  memtable_[key] = std::nullopt;
+  if (memtable_.size() >= memtable_limit_) {
+    FreezeMemtable();
+  }
+}
+
+KvStore::Run KvStore::SealRun(std::vector<Entry> entries) {
+  Run run;
+  run.bloom = BloomFilter(entries.size());
+  for (const auto& e : entries) {
+    run.bloom.Add(e.key);
+  }
+  run.entries = std::move(entries);
+  return run;
+}
+
+void KvStore::FreezeMemtable() {
+  std::vector<Entry> entries;
+  entries.reserve(memtable_.size());
+  for (auto& [key, value] : memtable_) {
+    entries.push_back(
+        Entry{key, value.value_or(std::string()), !value.has_value()});
+  }
+  runs_.push_back(SealRun(std::move(entries)));
+  memtable_.clear();
+  MaybeCompactTier();
+}
+
+void KvStore::MaybeCompactTier() {
+  // Tiered compaction: when the run count exceeds the bound, merge the
+  // *oldest half* of the runs (a contiguous age prefix) into one. Merging a
+  // contiguous prefix is always version-safe: every surviving run is newer
+  // than the merged one, so newest-run-wins lookups stay correct, and within
+  // the merge the higher-indexed (newer) run's version of a key wins.
+  // Tombstones survive the merge — a newer deletion must keep shadowing any
+  // older value that might still live in the memtable path of future merges.
+  if (runs_.size() <= max_runs_) {
+    return;
+  }
+  const size_t merge_count = std::max<size_t>(2, runs_.size() / 2);
+  std::map<uint64_t, Entry> merged;  // key -> newest version among victims
+  for (size_t i = merge_count; i-- > 0;) {
+    // Newest victim first: emplace keeps the first (newest) version.
+    for (const auto& e : runs_[i].entries) {
+      merged.emplace(e.key, e);
+    }
+  }
+  std::vector<Entry> entries;
+  entries.reserve(merged.size());
+  for (auto& [key, e] : merged) {
+    entries.push_back(std::move(e));
+  }
+  runs_.erase(runs_.begin(), runs_.begin() + static_cast<long>(merge_count));
+  runs_.insert(runs_.begin(), SealRun(std::move(entries)));
+}
+
+const KvStore::Entry* KvStore::FindInRun(const Run& run, uint64_t key) {
+  const auto it = std::lower_bound(
+      run.entries.begin(), run.entries.end(), key,
+      [](const Entry& e, uint64_t k) { return e.key < k; });
+  if (it != run.entries.end() && it->key == key) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> KvStore::Get(uint64_t key) const {
+  const auto mem = memtable_.find(key);
+  if (mem != memtable_.end()) {
+    return mem->second;  // nullopt encodes a tombstone
+  }
+  // Newest run wins; Bloom filters skip runs that cannot hold the key.
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+    if (!it->bloom.MayContain(key)) {
+      ++bloom_skips_;
+      continue;
+    }
+    if (const Entry* e = FindInRun(*it, key)) {
+      if (e->tombstone) {
+        return std::nullopt;
+      }
+      return e->value;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t KvStore::Scan(uint64_t start_key, size_t count,
+                     std::vector<std::pair<uint64_t, std::string>>* out) const {
+  // K-way merge across memtable + runs with newest-version-wins semantics.
+  struct Cursor {
+    size_t run;  // runs_.size() = memtable
+    size_t pos;
+  };
+  std::vector<std::vector<Entry>::const_iterator> run_pos(runs_.size());
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    run_pos[i] = std::lower_bound(
+        runs_[i].entries.begin(), runs_[i].entries.end(), start_key,
+        [](const Entry& e, uint64_t k) { return e.key < k; });
+  }
+  auto mem_pos = memtable_.lower_bound(start_key);
+
+  size_t visited = 0;
+  while (visited < count) {
+    // Find the smallest candidate key across all sources.
+    uint64_t best_key = UINT64_MAX;
+    bool any = false;
+    if (mem_pos != memtable_.end()) {
+      best_key = mem_pos->first;
+      any = true;
+    }
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (run_pos[i] != runs_[i].entries.end() && run_pos[i]->key < best_key) {
+        best_key = run_pos[i]->key;
+        any = true;
+      }
+    }
+    if (!any) {
+      break;
+    }
+    // Resolve the newest version of best_key, advancing every source past it.
+    bool resolved = false;
+    bool tombstone = false;
+    const std::string* value = nullptr;
+    if (mem_pos != memtable_.end() && mem_pos->first == best_key) {
+      resolved = true;
+      tombstone = !mem_pos->second.has_value();
+      if (!tombstone) {
+        value = &*mem_pos->second;
+      }
+      ++mem_pos;
+    }
+    for (size_t i = runs_.size(); i-- > 0;) {
+      if (run_pos[i] != runs_[i].entries.end() && run_pos[i]->key == best_key) {
+        if (!resolved) {
+          resolved = true;
+          tombstone = run_pos[i]->tombstone;
+          if (!tombstone) {
+            value = &run_pos[i]->value;
+          }
+        }
+        ++run_pos[i];
+      }
+    }
+    if (!tombstone && value != nullptr) {
+      if (out != nullptr) {
+        out->emplace_back(best_key, *value);
+      }
+      ++visited;
+    }
+  }
+  return visited;
+}
+
+size_t KvStore::ApproxEntries() const {
+  size_t n = memtable_.size();
+  for (const auto& run : runs_) {
+    n += run.entries.size();
+  }
+  return n;
+}
+
+void KvStore::Compact() {
+  if (!memtable_.empty()) {
+    FreezeMemtable();
+  }
+  // Walk the full key space via Scan semantics, then replace all runs.
+  std::vector<std::pair<uint64_t, std::string>> live;
+  Scan(0, SIZE_MAX, &live);
+  std::vector<Entry> merged;
+  merged.reserve(live.size());
+  for (auto& [key, value] : live) {
+    merged.push_back(Entry{key, std::move(value), false});
+  }
+  runs_.clear();
+  runs_.push_back(SealRun(std::move(merged)));
+}
+
+// --- Wire protocol -----------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void WriteScalar(std::byte* buf, uint32_t* offset, T value) {
+  std::memcpy(buf + *offset, &value, sizeof(T));
+  *offset += sizeof(T);
+}
+
+template <typename T>
+bool ReadScalar(const std::byte* buf, uint32_t length, uint32_t* offset,
+                T* value) {
+  if (*offset + sizeof(T) > length) {
+    return false;
+  }
+  std::memcpy(value, buf + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+uint32_t EncodeKvRequest(const KvRequest& request, std::byte* buf,
+                         uint32_t capacity) {
+  const uint32_t needed =
+      1 + 8 +
+      (request.op == KvOp::kPut ? 4 + request.value_length
+       : request.op == KvOp::kScan ? 4
+                                   : 0);
+  if (needed > capacity) {
+    return 0;
+  }
+  uint32_t offset = 0;
+  WriteScalar(buf, &offset, static_cast<uint8_t>(request.op));
+  WriteScalar(buf, &offset, request.key);
+  if (request.op == KvOp::kPut) {
+    WriteScalar(buf, &offset, request.value_length);
+    if (request.value_length > 0) {
+      std::memcpy(buf + offset, request.value, request.value_length);
+      offset += request.value_length;
+    }
+  } else if (request.op == KvOp::kScan) {
+    WriteScalar(buf, &offset, request.count);
+  }
+  return offset;
+}
+
+std::optional<KvRequest> DecodeKvRequest(const std::byte* buf,
+                                         uint32_t length) {
+  KvRequest request;
+  uint32_t offset = 0;
+  uint8_t op;
+  if (!ReadScalar(buf, length, &offset, &op) ||
+      !ReadScalar(buf, length, &offset, &request.key)) {
+    return std::nullopt;
+  }
+  if (op < 1 || op > 3) {
+    return std::nullopt;
+  }
+  request.op = static_cast<KvOp>(op);
+  if (request.op == KvOp::kPut) {
+    if (!ReadScalar(buf, length, &offset, &request.value_length) ||
+        offset + request.value_length > length) {
+      return std::nullopt;
+    }
+    request.value = buf + offset;
+  } else if (request.op == KvOp::kScan) {
+    if (!ReadScalar(buf, length, &offset, &request.count)) {
+      return std::nullopt;
+    }
+  }
+  return request;
+}
+
+uint32_t ExecuteKvRequest(KvStore& store, const KvRequest& request,
+                          std::byte* response, uint32_t capacity) {
+  uint32_t offset = 0;
+  switch (request.op) {
+    case KvOp::kGet: {
+      const auto value = store.Get(request.key);
+      if (capacity < 5) {
+        return 0;
+      }
+      WriteScalar(response, &offset, static_cast<uint8_t>(value ? 1 : 0));
+      const uint32_t len =
+          value ? std::min<uint32_t>(static_cast<uint32_t>(value->size()),
+                                     capacity - 5)
+                : 0;
+      WriteScalar(response, &offset, len);
+      if (len > 0) {
+        std::memcpy(response + offset, value->data(), len);
+        offset += len;
+      }
+      return offset;
+    }
+    case KvOp::kPut: {
+      store.Put(request.key,
+                std::string(reinterpret_cast<const char*>(request.value),
+                            request.value_length));
+      if (capacity < 1) {
+        return 0;
+      }
+      WriteScalar(response, &offset, static_cast<uint8_t>(1));
+      return offset;
+    }
+    case KvOp::kScan: {
+      std::vector<std::pair<uint64_t, std::string>> out;
+      const size_t visited = store.Scan(request.key, request.count, &out);
+      uint64_t bytes = 0;
+      for (const auto& [key, value] : out) {
+        bytes += value.size();
+      }
+      if (capacity < 12) {
+        return 0;
+      }
+      WriteScalar(response, &offset, static_cast<uint32_t>(visited));
+      WriteScalar(response, &offset, bytes);
+      return offset;
+    }
+  }
+  return 0;
+}
+
+void LoadKvDataset(KvStore& store, uint64_t keys, size_t value_size) {
+  const std::string value(value_size, 'v');
+  for (uint64_t k = 0; k < keys; ++k) {
+    store.Put(k, value);
+  }
+  store.Compact();
+}
+
+}  // namespace psp

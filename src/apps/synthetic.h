@@ -1,0 +1,53 @@
+// Synthetic spin workload for the threaded runtime: the client encodes the
+// requested service time in the payload; the handler spins for that long.
+// This is how the paper runs the High/Extreme Bimodal and TPC-C synthetic
+// experiments on its testbed (§5.1).
+#ifndef PSP_SRC_APPS_SYNTHETIC_H_
+#define PSP_SRC_APPS_SYNTHETIC_H_
+
+#include <cstring>
+
+#include "src/runtime/loadgen.h"
+#include "src/runtime/persephone.h"
+#include "src/runtime/spin_work.h"
+
+namespace psp {
+
+// Server-side handler: spins for the duration carried in the payload.
+inline RequestHandler MakeSpinHandler() {
+  return [](const std::byte* payload, uint32_t length, std::byte* response,
+            uint32_t capacity) -> uint32_t {
+    Nanos duration = 0;
+    if (length >= sizeof(Nanos)) {
+      std::memcpy(&duration, payload, sizeof(Nanos));
+    }
+    SpinFor(duration);
+    if (capacity >= sizeof(Nanos)) {
+      std::memcpy(response, &duration, sizeof(Nanos));
+      return sizeof(Nanos);
+    }
+    return 0;
+  };
+}
+
+// Client-side payload builder for a fixed service time.
+inline ClientRequestSpec MakeSpinSpec(TypeId wire_id, std::string name,
+                                      double ratio, Nanos service_time) {
+  ClientRequestSpec spec;
+  spec.wire_id = wire_id;
+  spec.name = std::move(name);
+  spec.ratio = ratio;
+  spec.build_payload = [service_time](std::byte* payload, uint32_t capacity,
+                                      Rng&) -> uint32_t {
+    if (capacity < sizeof(Nanos)) {
+      return 0;
+    }
+    std::memcpy(payload, &service_time, sizeof(Nanos));
+    return sizeof(Nanos);
+  };
+  return spec;
+}
+
+}  // namespace psp
+
+#endif  // PSP_SRC_APPS_SYNTHETIC_H_

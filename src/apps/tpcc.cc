@@ -1,0 +1,393 @@
+#include "src/apps/tpcc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+
+namespace psp {
+
+TpccDb::TpccDb(const TpccScale& scale, uint64_t seed) : scale_(scale) {
+  Rng rng(seed);
+  item_price_.reserve(scale_.items);
+  for (uint32_t i = 0; i < scale_.items; ++i) {
+    item_price_.push_back(1.0 + static_cast<double>(rng.NextBounded(9900)) / 100.0);
+  }
+  warehouses_.reserve(scale_.warehouses);
+  for (uint32_t w = 0; w < scale_.warehouses; ++w) {
+    auto wh = std::make_unique<Warehouse>();
+    wh->districts.resize(scale_.districts_per_warehouse);
+    wh->customers.resize(scale_.districts_per_warehouse *
+                         scale_.customers_per_district);
+    wh->stock_quantity.resize(scale_.items);
+    wh->stock_ytd.resize(scale_.items, 0);
+    for (auto& q : wh->stock_quantity) {
+      q = 10 + static_cast<uint32_t>(rng.NextBounded(90));
+    }
+    warehouses_.push_back(std::move(wh));
+  }
+}
+
+bool TpccDb::ValidIds(uint32_t warehouse, uint32_t district,
+                      uint32_t customer) const {
+  return warehouse < scale_.warehouses &&
+         district < scale_.districts_per_warehouse &&
+         customer < scale_.customers_per_district;
+}
+
+bool TpccDb::Payment(const PaymentParams& params) {
+  if (!ValidIds(params.warehouse, params.district, params.customer)) {
+    return false;
+  }
+  const uint32_t customer_wh =
+      params.customer_warehouse < 0
+          ? params.warehouse
+          : static_cast<uint32_t>(params.customer_warehouse);
+  if (customer_wh >= scale_.warehouses) {
+    return false;
+  }
+  // Paying warehouse/district take the revenue; the customer's record lives
+  // in their home warehouse (remote payments touch two warehouses, locked in
+  // id order to avoid deadlock).
+  Warehouse& pay_wh = *warehouses_[params.warehouse];
+  Warehouse& home_wh = *warehouses_[customer_wh];
+  std::unique_lock<std::mutex> first_lock;
+  std::unique_lock<std::mutex> second_lock;
+  if (&pay_wh == &home_wh) {
+    first_lock = std::unique_lock<std::mutex>(pay_wh.mutex);
+  } else if (params.warehouse < customer_wh) {
+    first_lock = std::unique_lock<std::mutex>(pay_wh.mutex);
+    second_lock = std::unique_lock<std::mutex>(home_wh.mutex);
+  } else {
+    first_lock = std::unique_lock<std::mutex>(home_wh.mutex);
+    second_lock = std::unique_lock<std::mutex>(pay_wh.mutex);
+  }
+  pay_wh.ytd += params.amount;
+  pay_wh.districts[params.district].ytd += params.amount;
+  Customer& c = CustomerAt(home_wh, params.district, params.customer);
+  c.balance -= params.amount;
+  c.ytd_payment += params.amount;
+  ++c.payment_count;
+  pay_wh.history.push_back(
+      HistoryRecord{params.district, params.customer, params.amount});
+  return true;
+}
+
+std::string TpccDb::LastNameFor(uint32_t number) {
+  static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI", "PRES",
+                                     "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+  std::string name;
+  name += kSyllables[(number / 100) % 10];
+  name += kSyllables[(number / 10) % 10];
+  name += kSyllables[number % 10];
+  return name;
+}
+
+bool TpccDb::PaymentByLastName(uint32_t warehouse, uint32_t district,
+                               const std::string& last_name, double amount) {
+  if (warehouse >= scale_.warehouses ||
+      district >= scale_.districts_per_warehouse) {
+    return false;
+  }
+  // Customers are named by the syllable rule over (customer_id % 1000);
+  // collect matches and pick the median, per the spec.
+  std::vector<uint32_t> matches;
+  for (uint32_t c = 0; c < scale_.customers_per_district; ++c) {
+    if (LastNameFor(c % 1000) == last_name) {
+      matches.push_back(c);
+    }
+  }
+  if (matches.empty()) {
+    return false;
+  }
+  const uint32_t customer = matches[matches.size() / 2];
+  return Payment(PaymentParams{warehouse, district, customer, amount});
+}
+
+size_t TpccDb::HistorySize(uint32_t warehouse) {
+  if (warehouse >= scale_.warehouses) {
+    return 0;
+  }
+  Warehouse& w = *warehouses_[warehouse];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  return w.history.size();
+}
+
+std::optional<TpccDb::OrderStatusResult> TpccDb::OrderStatus(
+    uint32_t warehouse, uint32_t district, uint32_t customer) {
+  if (!ValidIds(warehouse, district, customer)) {
+    return std::nullopt;
+  }
+  Warehouse& w = *warehouses_[warehouse];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  const Customer& c = CustomerAt(w, district, customer);
+  OrderStatusResult result;
+  if (c.last_order == 0) {
+    return result;  // customer has no orders yet
+  }
+  const District& d = w.districts[district];
+  // Scan recent orders newest-first for this customer's last order.
+  for (auto it = d.orders.rbegin(); it != d.orders.rend(); ++it) {
+    if (it->id == c.last_order) {
+      result.order_id = it->id;
+      result.line_count = static_cast<uint32_t>(it->lines.size());
+      result.total_amount = it->total;
+      break;
+    }
+  }
+  return result;
+}
+
+std::optional<TpccDb::NewOrderResult> TpccDb::NewOrder(
+    uint32_t warehouse, uint32_t district, uint32_t customer,
+    const std::vector<NewOrderLine>& lines) {
+  if (!ValidIds(warehouse, district, customer) || lines.empty() ||
+      lines.size() > scale_.max_lines_per_order) {
+    return std::nullopt;
+  }
+  for (const auto& line : lines) {
+    if (line.item >= scale_.items || line.quantity == 0) {
+      return std::nullopt;
+    }
+  }
+  Warehouse& w = *warehouses_[warehouse];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  District& d = w.districts[district];
+
+  Order order;
+  order.id = d.next_order_id++;
+  order.customer = customer;
+  order.lines = lines;
+  order.amounts.reserve(lines.size());
+  for (const auto& line : lines) {
+    // Stock update: decrement with the standard TPC-C wraparound.
+    uint32_t& quantity = w.stock_quantity[line.item];
+    if (quantity >= line.quantity + 10) {
+      quantity -= line.quantity;
+    } else {
+      quantity = quantity + 91 - line.quantity;
+    }
+    w.stock_ytd[line.item] += line.quantity;
+    const double amount = item_price_[line.item] * line.quantity;
+    order.amounts.push_back(amount);
+    order.total += amount;
+  }
+  CustomerAt(w, district, customer).last_order = order.id;
+  d.new_orders.push_back(order.id);
+  d.orders.push_back(std::move(order));
+  // Retain a bounded window of recent orders (enough for StockLevel's 20).
+  while (d.orders.size() > 64) {
+    if (!d.new_orders.empty() && d.new_orders.front() == d.orders.front().id) {
+      break;  // never evict undelivered orders
+    }
+    d.orders.pop_front();
+  }
+  return NewOrderResult{d.orders.back().id, d.orders.back().total};
+}
+
+uint32_t TpccDb::Delivery(uint32_t warehouse, uint32_t carrier) {
+  if (warehouse >= scale_.warehouses) {
+    return 0;
+  }
+  Warehouse& w = *warehouses_[warehouse];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  uint32_t delivered = 0;
+  for (uint32_t di = 0; di < scale_.districts_per_warehouse; ++di) {
+    District& d = w.districts[di];
+    if (d.new_orders.empty()) {
+      continue;
+    }
+    const uint64_t order_id = d.new_orders.front();
+    d.new_orders.pop_front();
+    for (auto& order : d.orders) {
+      if (order.id == order_id) {
+        order.carrier = static_cast<int32_t>(carrier);
+        CustomerAt(w, di, order.customer).balance += order.total;
+        ++delivered;
+        break;
+      }
+    }
+  }
+  return delivered;
+}
+
+std::optional<uint32_t> TpccDb::StockLevel(uint32_t warehouse,
+                                           uint32_t district,
+                                           uint32_t threshold) {
+  if (warehouse >= scale_.warehouses ||
+      district >= scale_.districts_per_warehouse) {
+    return std::nullopt;
+  }
+  Warehouse& w = *warehouses_[warehouse];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  const District& d = w.districts[district];
+  std::set<uint32_t> low;
+  size_t seen_orders = 0;
+  for (auto it = d.orders.rbegin(); it != d.orders.rend() && seen_orders < 20;
+       ++it, ++seen_orders) {
+    for (const auto& line : it->lines) {
+      if (w.stock_quantity[line.item] < threshold) {
+        low.insert(line.item);
+      }
+    }
+  }
+  return static_cast<uint32_t>(low.size());
+}
+
+bool TpccDb::CheckYtdConsistency(uint32_t warehouse) {
+  if (warehouse >= scale_.warehouses) {
+    return false;
+  }
+  Warehouse& w = *warehouses_[warehouse];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  double district_sum = 0;
+  for (const auto& d : w.districts) {
+    district_sum += d.ytd;
+  }
+  return std::abs(district_sum - w.ytd) < 1e-6 * std::max(1.0, w.ytd);
+}
+
+// --- Wire protocol -------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void WriteScalar(std::byte* buf, uint32_t* offset, T value) {
+  std::memcpy(buf + *offset, &value, sizeof(T));
+  *offset += sizeof(T);
+}
+
+template <typename T>
+bool ReadScalar(const std::byte* buf, uint32_t length, uint32_t* offset,
+                T* value) {
+  if (*offset + sizeof(T) > length) {
+    return false;
+  }
+  std::memcpy(value, buf + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+uint32_t EncodeTpccRequest(const TpccRequest& request, std::byte* buf,
+                           uint32_t capacity) {
+  const uint32_t needed =
+      16 + 1 + static_cast<uint32_t>(request.lines.size()) * 8;
+  if (needed > capacity || request.lines.size() > 255) {
+    return 0;
+  }
+  uint32_t offset = 0;
+  WriteScalar(buf, &offset, request.warehouse);
+  WriteScalar(buf, &offset, request.district);
+  WriteScalar(buf, &offset, request.customer);
+  WriteScalar(buf, &offset, request.aux);
+  WriteScalar(buf, &offset, static_cast<uint8_t>(request.lines.size()));
+  for (const auto& line : request.lines) {
+    WriteScalar(buf, &offset, line.item);
+    WriteScalar(buf, &offset, line.quantity);
+  }
+  return offset;
+}
+
+std::optional<TpccRequest> DecodeTpccRequest(TpccTxn txn, const std::byte* buf,
+                                             uint32_t length) {
+  TpccRequest request;
+  request.txn = txn;
+  uint32_t offset = 0;
+  uint8_t line_count = 0;
+  if (!ReadScalar(buf, length, &offset, &request.warehouse) ||
+      !ReadScalar(buf, length, &offset, &request.district) ||
+      !ReadScalar(buf, length, &offset, &request.customer) ||
+      !ReadScalar(buf, length, &offset, &request.aux) ||
+      !ReadScalar(buf, length, &offset, &line_count)) {
+    return std::nullopt;
+  }
+  request.lines.reserve(line_count);
+  for (uint8_t i = 0; i < line_count; ++i) {
+    TpccDb::NewOrderLine line;
+    if (!ReadScalar(buf, length, &offset, &line.item) ||
+        !ReadScalar(buf, length, &offset, &line.quantity)) {
+      return std::nullopt;
+    }
+    request.lines.push_back(line);
+  }
+  return request;
+}
+
+uint32_t ExecuteTpccRequest(TpccDb& db, const TpccRequest& request,
+                            std::byte* response, uint32_t capacity) {
+  if (capacity < 8) {
+    return 0;
+  }
+  uint64_t result = 0;
+  switch (request.txn) {
+    case TpccTxn::kPayment:
+      result = db.Payment(TpccDb::PaymentParams{
+                   request.warehouse, request.district, request.customer,
+                   static_cast<double>(request.aux) / 100.0})
+                   ? 1
+                   : 0;
+      break;
+    case TpccTxn::kOrderStatus: {
+      const auto status =
+          db.OrderStatus(request.warehouse, request.district, request.customer);
+      result = status ? status->order_id : 0;
+      break;
+    }
+    case TpccTxn::kNewOrder: {
+      const auto order = db.NewOrder(request.warehouse, request.district,
+                                     request.customer, request.lines);
+      result = order ? order->order_id : 0;
+      break;
+    }
+    case TpccTxn::kDelivery:
+      result = db.Delivery(request.warehouse, request.aux);
+      break;
+    case TpccTxn::kStockLevel: {
+      const auto level =
+          db.StockLevel(request.warehouse, request.district, request.aux);
+      result = level ? *level : 0;
+      break;
+    }
+  }
+  uint32_t offset = 0;
+  WriteScalar(response, &offset, result);
+  return offset;
+}
+
+TpccRequest MakeRandomTpccRequest(TpccTxn txn, const TpccScale& scale,
+                                  Rng& rng) {
+  TpccRequest request;
+  request.txn = txn;
+  request.warehouse = static_cast<uint32_t>(rng.NextBounded(scale.warehouses));
+  request.district =
+      static_cast<uint32_t>(rng.NextBounded(scale.districts_per_warehouse));
+  request.customer =
+      static_cast<uint32_t>(rng.NextBounded(scale.customers_per_district));
+  switch (txn) {
+    case TpccTxn::kPayment:
+      request.aux = static_cast<uint32_t>(rng.NextBounded(500000)) + 100;
+      break;
+    case TpccTxn::kNewOrder: {
+      const size_t lines = 5 + rng.NextBounded(11);  // 5..15
+      for (size_t i = 0; i < lines; ++i) {
+        request.lines.push_back(TpccDb::NewOrderLine{
+            static_cast<uint32_t>(rng.NextBounded(scale.items)),
+            static_cast<uint32_t>(rng.NextBounded(10)) + 1});
+      }
+      break;
+    }
+    case TpccTxn::kDelivery:
+      request.aux = static_cast<uint32_t>(rng.NextBounded(10)) + 1;
+      break;
+    case TpccTxn::kStockLevel:
+      request.aux = static_cast<uint32_t>(rng.NextBounded(10)) + 10;
+      break;
+    case TpccTxn::kOrderStatus:
+      break;
+  }
+  return request;
+}
+
+}  // namespace psp

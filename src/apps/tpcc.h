@@ -1,0 +1,178 @@
+// An in-memory OLTP database implementing the five TPC-C transaction
+// profiles of Table 4 (Payment, OrderStatus, NewOrder, Delivery, StockLevel)
+// over the standard warehouse/district/customer/stock/order schema.
+//
+// The paper profiles these transactions on an in-memory database and replays
+// them as a synthetic workload (§5.1); we implement the transactions for real
+// so the runtime examples execute genuine database work. Warehouses are
+// independently locked: workers running transactions against different
+// warehouses proceed in parallel (the paper assumes requests are independent).
+#ifndef PSP_SRC_APPS_TPCC_H_
+#define PSP_SRC_APPS_TPCC_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace psp {
+
+// Wire ids for the five transactions (Table 4 order, ascending runtime).
+enum class TpccTxn : uint32_t {
+  kPayment = 1,
+  kOrderStatus = 2,
+  kNewOrder = 3,
+  kDelivery = 4,
+  kStockLevel = 5,
+};
+
+struct TpccScale {
+  uint32_t warehouses = 2;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 300;
+  uint32_t items = 1000;
+  uint32_t max_lines_per_order = 15;
+};
+
+class TpccDb {
+ public:
+  explicit TpccDb(const TpccScale& scale, uint64_t seed = 1);
+
+  // --- Transactions. Each returns false on invalid ids. ---------------------
+
+  struct PaymentParams {
+    uint32_t warehouse;
+    uint32_t district;
+    uint32_t customer;
+    double amount;
+    // TPC-C: 15% of payments are made through a remote warehouse (the
+    // customer's home warehouse differs from the paying one).
+    int32_t customer_warehouse = -1;  // -1 = home warehouse
+  };
+  bool Payment(const PaymentParams& params);
+
+  // TPC-C's by-last-name variant (60% of payments in the spec): selects the
+  // median customer with that last name in the district.
+  bool PaymentByLastName(uint32_t warehouse, uint32_t district,
+                         const std::string& last_name, double amount);
+
+  // Canonical TPC-C last name for a customer number (syllable rule, §4.3.2.3
+  // of the spec).
+  static std::string LastNameFor(uint32_t number);
+
+  struct OrderStatusResult {
+    uint64_t order_id = 0;
+    uint32_t line_count = 0;
+    double total_amount = 0;
+  };
+  std::optional<OrderStatusResult> OrderStatus(uint32_t warehouse,
+                                               uint32_t district,
+                                               uint32_t customer);
+
+  struct NewOrderLine {
+    uint32_t item;
+    uint32_t quantity;
+  };
+  struct NewOrderResult {
+    uint64_t order_id = 0;
+    double total_amount = 0;
+  };
+  // Per the spec, a line naming an unknown item rolls the whole transaction
+  // back (≈1% of NewOrders exercise this path); nothing is mutated then.
+  std::optional<NewOrderResult> NewOrder(uint32_t warehouse, uint32_t district,
+                                         uint32_t customer,
+                                         const std::vector<NewOrderLine>& lines);
+
+  // Delivers the oldest undelivered order in every district of `warehouse`.
+  // Returns the number of orders delivered.
+  uint32_t Delivery(uint32_t warehouse, uint32_t carrier);
+
+  // Counts distinct items from the district's 20 most recent orders whose
+  // stock quantity is below `threshold`.
+  std::optional<uint32_t> StockLevel(uint32_t warehouse, uint32_t district,
+                                     uint32_t threshold);
+
+  const TpccScale& scale() const { return scale_; }
+
+  // Consistency probe for tests: Σ district ytd == warehouse ytd.
+  bool CheckYtdConsistency(uint32_t warehouse);
+  // History record count (every payment appends one, per the spec).
+  size_t HistorySize(uint32_t warehouse);
+
+ private:
+  struct Order {
+    uint64_t id;
+    uint32_t customer;
+    int32_t carrier = -1;  // -1 = undelivered
+    std::vector<NewOrderLine> lines;
+    std::vector<double> amounts;
+    double total = 0;
+  };
+  struct District {
+    uint64_t next_order_id = 1;
+    double ytd = 0;
+    std::deque<Order> orders;          // recent orders, oldest first
+    std::deque<uint64_t> new_orders;   // undelivered order ids
+  };
+  struct Customer {
+    double balance = 0;
+    double ytd_payment = 0;
+    uint32_t payment_count = 0;
+    uint64_t last_order = 0;
+  };
+  struct HistoryRecord {
+    uint32_t district;
+    uint32_t customer;
+    double amount;
+  };
+  struct Warehouse {
+    double ytd = 0;
+    std::vector<District> districts;
+    std::vector<Customer> customers;  // district-major
+    std::vector<uint32_t> stock_quantity;
+    std::vector<double> stock_ytd;
+    std::vector<HistoryRecord> history;
+    std::mutex mutex;
+  };
+
+  Customer& CustomerAt(Warehouse& w, uint32_t district, uint32_t customer) {
+    return w.customers[district * scale_.customers_per_district + customer];
+  }
+  bool ValidIds(uint32_t warehouse, uint32_t district, uint32_t customer) const;
+
+  TpccScale scale_;
+  std::vector<double> item_price_;
+  std::vector<std::unique_ptr<Warehouse>> warehouses_;
+};
+
+// --- Wire protocol (payload after the PSP header, txn id in the header) -------
+struct TpccRequest {
+  TpccTxn txn = TpccTxn::kPayment;
+  uint32_t warehouse = 0;
+  uint32_t district = 0;
+  uint32_t customer = 0;
+  uint32_t aux = 0;  // carrier / threshold / amount-cents
+  std::vector<TpccDb::NewOrderLine> lines;
+};
+
+uint32_t EncodeTpccRequest(const TpccRequest& request, std::byte* buf,
+                           uint32_t capacity);
+std::optional<TpccRequest> DecodeTpccRequest(TpccTxn txn, const std::byte* buf,
+                                             uint32_t length);
+
+// Executes against the database; writes an 8-byte status/result code.
+uint32_t ExecuteTpccRequest(TpccDb& db, const TpccRequest& request,
+                            std::byte* response, uint32_t capacity);
+
+// Generates a random valid request of the given transaction type.
+TpccRequest MakeRandomTpccRequest(TpccTxn txn, const TpccScale& scale,
+                                  Rng& rng);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_APPS_TPCC_H_

@@ -1,0 +1,75 @@
+// A Bloom filter over 64-bit keys, used by the log-structured KV store to
+// skip sorted runs that cannot contain a key (the standard LSM read-path
+// optimisation RocksDB applies per SSTable).
+#ifndef PSP_SRC_COMMON_BLOOM_FILTER_H_
+#define PSP_SRC_COMMON_BLOOM_FILTER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace psp {
+
+class BloomFilter {
+ public:
+  // Sizes the filter for `expected_keys` at roughly `false_positive_rate`
+  // using the standard m = -n ln p / ln^2 2, k = (m/n) ln 2 formulas.
+  explicit BloomFilter(size_t expected_keys = 1024,
+                       double false_positive_rate = 0.01) {
+    expected_keys = expected_keys == 0 ? 1 : expected_keys;
+    const double ln2 = std::log(2.0);
+    const double m = -static_cast<double>(expected_keys) *
+                     std::log(false_positive_rate) / (ln2 * ln2);
+    bits_.assign((static_cast<size_t>(m) + 63) / 64 + 1, 0);
+    num_hashes_ = std::max(1, static_cast<int>(std::lround(
+                                  m / static_cast<double>(expected_keys) * ln2)));
+  }
+
+  void Add(uint64_t key) {
+    const auto [h1, h2] = Hashes(key);
+    for (int i = 0; i < num_hashes_; ++i) {
+      SetBit(h1 + static_cast<uint64_t>(i) * h2);
+    }
+  }
+
+  // False positives possible; false negatives are not.
+  bool MayContain(uint64_t key) const {
+    const auto [h1, h2] = Hashes(key);
+    for (int i = 0; i < num_hashes_; ++i) {
+      if (!TestBit(h1 + static_cast<uint64_t>(i) * h2)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t bit_count() const { return bits_.size() * 64; }
+  int num_hashes() const { return num_hashes_; }
+
+ private:
+  // Double hashing from one SplitMix-style mix.
+  static std::pair<uint64_t, uint64_t> Hashes(uint64_t key) {
+    uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    const uint64_t h1 = z ^ (z >> 31);
+    const uint64_t h2 = (z * 0xff51afd7ed558ccdULL) | 1;  // odd stride
+    return {h1, h2};
+  }
+
+  void SetBit(uint64_t hash) {
+    const size_t bit = hash % (bits_.size() * 64);
+    bits_[bit >> 6] |= 1ULL << (bit & 63);
+  }
+  bool TestBit(uint64_t hash) const {
+    const size_t bit = hash % (bits_.size() * 64);
+    return (bits_[bit >> 6] >> (bit & 63)) & 1ULL;
+  }
+
+  std::vector<uint64_t> bits_;
+  int num_hashes_ = 1;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_COMMON_BLOOM_FILTER_H_

@@ -1,0 +1,93 @@
+#include "src/common/memory_pool.h"
+
+#include <cassert>
+
+namespace psp {
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+MemoryPool::MemoryPool(size_t buffer_size, size_t num_buffers)
+    : buffer_size_((buffer_size + 63) & ~size_t{63}),
+      num_buffers_(RoundUpPow2(num_buffers)) {
+  // Buffers must start on cache-line boundaries (DMA-friendly, no false
+  // sharing between adjacent buffers).
+  storage_.reset(static_cast<std::byte*>(
+      ::operator new[](buffer_size_ * num_buffers_, std::align_val_t{64})));
+  // Ring is one slot class larger than the population so a full free list
+  // always fits.
+  free_ring_ = std::make_unique<MpscRing<uint32_t>>(num_buffers_);
+  for (uint32_t i = 0; i < num_buffers_; ++i) {
+    const bool ok = free_ring_->TryPush(i);
+    assert(ok);
+    (void)ok;
+  }
+}
+
+std::byte* MemoryPool::AllocGlobal() {
+  uint32_t idx;
+  if (!free_ring_->TryPop(&idx)) {
+    return nullptr;
+  }
+  return BufferAt(idx);
+}
+
+void MemoryPool::FreeGlobal(std::byte* ptr) {
+  const bool ok = free_ring_->TryPush(IndexOf(ptr));
+  assert(ok && "pool free ring can never overflow by construction");
+  (void)ok;
+}
+
+bool MemoryPool::Owns(const std::byte* ptr) const {
+  if (ptr < storage_.get() ||
+      ptr >= storage_.get() + buffer_size_ * num_buffers_) {
+    return false;
+  }
+  return (static_cast<size_t>(ptr - storage_.get()) % buffer_size_) == 0;
+}
+
+uint32_t MemoryPool::IndexOf(const std::byte* ptr) const {
+  assert(Owns(ptr));
+  return static_cast<uint32_t>(
+      static_cast<size_t>(ptr - storage_.get()) / buffer_size_);
+}
+
+void BufferCache::FlushAll() {
+  for (const uint32_t idx : local_) {
+    const bool ok = pool_->free_ring_->TryPush(idx);
+    assert(ok);
+    (void)ok;
+  }
+  local_.clear();
+}
+
+bool BufferCache::Refill() {
+  for (size_t i = 0; i < batch_; ++i) {
+    uint32_t idx;
+    if (!pool_->free_ring_->TryPop(&idx)) {
+      break;
+    }
+    local_.push_back(idx);
+  }
+  return !local_.empty();
+}
+
+void BufferCache::FlushHalf() {
+  const size_t keep = local_.size() / 2;
+  while (local_.size() > keep) {
+    const bool ok = pool_->free_ring_->TryPush(local_.back());
+    assert(ok);
+    (void)ok;
+    local_.pop_back();
+  }
+}
+
+}  // namespace psp

@@ -1,0 +1,110 @@
+// Multi-producer single-consumer bounded lock-free queue.
+//
+// Backs the shared buffer memory pool (paper §4.3.1): any worker may release
+// buffers after transmission (multi-producer) while allocation refills are
+// drained by one thread at a time per cache (single consumer per Pop call is
+// sufficient for our usage; Pop is also safe from one designated consumer).
+//
+// Implementation: classic bounded MPMC ring of Dmitry Vyukov, restricted here
+// to the MPSC usage (the algorithm itself is MPMC-safe, which keeps the pool
+// flexible if multiple threads ever drain it).
+#ifndef PSP_SRC_COMMON_MPSC_RING_H_
+#define PSP_SRC_COMMON_MPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+#include "src/common/spsc_ring.h"  // for kCacheLineSize
+
+namespace psp {
+
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(size_t capacity) : mask_(capacity - 1) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "MpscRing requires trivially copyable payloads");
+    if ((capacity & (capacity - 1)) != 0 || capacity == 0) {
+      std::terminate();  // capacity must be a power of two
+    }
+    cells_ = new Cell[capacity];
+    for (size_t i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  ~MpscRing() { delete[] cells_; }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  bool TryPush(const T& value) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = cell->value;
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t SizeApprox() const {
+    const size_t enq = enqueue_pos_.load(std::memory_order_acquire);
+    const size_t deq = dequeue_pos_.load(std::memory_order_acquire);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence;
+    T value;
+  };
+
+  const size_t mask_;
+  Cell* cells_;
+  alignas(kCacheLineSize) std::atomic<size_t> enqueue_pos_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_COMMON_MPSC_RING_H_

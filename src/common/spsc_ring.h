@@ -1,0 +1,99 @@
+// Single-producer single-consumer lock-free circular buffer used as the
+// dispatcher <-> worker communication channel (paper §4.3.2).
+//
+// The design follows the lightweight RPC pattern inspired by Barrelfish that
+// the paper describes: sender and receiver each keep a *local* copy of the
+// remote head/tail and only re-read the shared (cache-coherent) index when
+// their local state says the ring is full (producer) or empty (consumer).
+// This keeps the common-case operation free of cache-coherence traffic on the
+// peer's index line.
+#ifndef PSP_SRC_COMMON_SPSC_RING_H_
+#define PSP_SRC_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace psp {
+
+// 64 bytes on every mainstream x86/ARM server part; fixed rather than using
+// std::hardware_destructive_interference_size so the ABI does not depend on
+// compiler tuning flags.
+inline constexpr size_t kCacheLineSize = 64;
+
+// T must be trivially copyable (slots are raw storage; typical payloads are
+// pointers or small PODs). Capacity must be a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1), slots_(new T[capacity]) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SpscRing requires trivially copyable payloads");
+    if ((capacity & (capacity - 1)) != 0 || capacity == 0) {
+      std::terminate();  // programming error: capacity must be a power of two
+    }
+  }
+
+  ~SpscRing() { delete[] slots_; }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      // Local view says full: refresh from the shared head (the only
+      // cross-core read on this path, taken rarely).
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) {
+        return false;
+      }
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        return false;
+      }
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate occupancy (exact only when called from the consumer with a
+  // quiescent producer, and vice versa).
+  size_t SizeApprox() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  const size_t mask_;
+  T* const slots_;
+
+  // Producer-owned line: shared tail + producer's cached view of head.
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+  size_t head_cache_ = 0;
+
+  // Consumer-owned line: shared head + consumer's cached view of tail.
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  size_t tail_cache_ = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_COMMON_SPSC_RING_H_

@@ -1,0 +1,30 @@
+#include "src/common/time.h"
+
+namespace psp {
+
+TscClock::TscClock(std::chrono::milliseconds calibration_window) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const uint64_t tsc_start = ReadTsc();
+  const auto deadline = wall_start + calibration_window;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy-wait: sleeping would let the governor change frequency mid-window.
+  }
+  const uint64_t tsc_end = ReadTsc();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  const double elapsed_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              wall_end - wall_start)
+                              .count());
+  const double elapsed_cycles = static_cast<double>(tsc_end - tsc_start);
+  cycles_per_sec_ = elapsed_cycles / elapsed_ns * 1e9;
+  nanos_per_cycle_ = elapsed_ns / elapsed_cycles;
+  tsc_origin_ = ReadTsc();
+}
+
+const TscClock& TscClock::Global() {
+  static const TscClock clock;
+  return clock;
+}
+
+}  // namespace psp

@@ -1,0 +1,96 @@
+// Request classifiers (paper §4.2): user-defined functions that accept a
+// pointer to an application payload (layer 4 and above) and return a request
+// type. Unrecognised requests map to kUnknownTypeId and are served from the
+// spillway at low priority. At most one classifier is active at a time.
+#ifndef PSP_SRC_CORE_CLASSIFIER_H_
+#define PSP_SRC_CORE_CLASSIFIER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/request.h"
+
+namespace psp {
+
+class RequestClassifier {
+ public:
+  virtual ~RequestClassifier() = default;
+
+  // payload points at the application-level bytes (the PSP request header for
+  // our wire protocol). Must be cheap: classifiers are "bumps-in-the-wire" on
+  // the dispatch critical path.
+  virtual TypeId Classify(const std::byte* payload, size_t length) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+// Reads the request type from a fixed-offset 32-bit header field — the common
+// case for protocols like Memcached/Redis/Protobuf where "the request type's
+// position is known in the header". This is the classifier used by all paper
+// experiments (≈100 ns budget).
+class HeaderFieldClassifier final : public RequestClassifier {
+ public:
+  // field_offset: byte offset of the little-endian u32 type field within the
+  // payload. Defaults to PspHeader::request_type's offset (4).
+  explicit HeaderFieldClassifier(size_t field_offset = 4)
+      : field_offset_(field_offset) {}
+
+  TypeId Classify(const std::byte* payload, size_t length) const override {
+    if (payload == nullptr || length < field_offset_ + sizeof(TypeId)) {
+      return kUnknownTypeId;
+    }
+    TypeId value;
+    __builtin_memcpy(&value, payload + field_offset_, sizeof(TypeId));
+    return value;
+  }
+
+  std::string Name() const override { return "header-field"; }
+
+ private:
+  size_t field_offset_;
+};
+
+// Wraps an arbitrary user function (the general "arbitrarily complex
+// classifiers" escape hatch of §4.2).
+class CallbackClassifier final : public RequestClassifier {
+ public:
+  using Fn = std::function<TypeId(const std::byte*, size_t)>;
+
+  CallbackClassifier(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  TypeId Classify(const std::byte* payload, size_t length) const override {
+    return fn_(payload, length);
+  }
+
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+// A deliberately broken classifier that assigns uniformly random types — the
+// adversarial case of §5.6 (Fig 9), whose behaviour must converge to c-FCFS.
+class RandomClassifier final : public RequestClassifier {
+ public:
+  RandomClassifier(std::vector<TypeId> type_ids, uint64_t seed)
+      : type_ids_(std::move(type_ids)), rng_(seed) {}
+
+  TypeId Classify(const std::byte*, size_t) const override {
+    return type_ids_[rng_.NextBounded(type_ids_.size())];
+  }
+
+  std::string Name() const override { return "random"; }
+
+ private:
+  std::vector<TypeId> type_ids_;
+  mutable Rng rng_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_CORE_CLASSIFIER_H_

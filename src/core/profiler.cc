@@ -1,0 +1,150 @@
+#include "src/core/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psp {
+
+void Profiler::ResizeTypes(size_t count) {
+  if (count > types_.size()) {
+    types_.resize(count);
+  }
+}
+
+void Profiler::RecordCompletion(TypeIndex type, Nanos service_time) {
+  if (type >= types_.size()) {
+    return;
+  }
+  TypeStats& t = types_[type];
+  const double s = static_cast<double>(service_time);
+  if (t.window_count == 0) {
+    t.window_ewma = s;
+  } else {
+    t.window_ewma += config_.ewma_alpha * (s - t.window_ewma);
+  }
+  ++t.window_count;
+  if (t.lifetime_count == 0) {
+    t.lifetime_ewma = s;
+  } else {
+    t.lifetime_ewma += config_.ewma_alpha * (s - t.lifetime_ewma);
+  }
+  ++t.lifetime_count;
+  ++window_total_;
+}
+
+void Profiler::ObserveQueueingDelay(TypeIndex type, Nanos delay) {
+  const Nanos mean = MeanServiceTime(type);
+  if (mean > 0 &&
+      static_cast<double>(delay) > config_.slo_slowdown * static_cast<double>(mean)) {
+    delay_signal_ = true;
+  }
+}
+
+Nanos Profiler::MeanServiceTime(TypeIndex type) const {
+  if (type >= types_.size()) {
+    return 0;
+  }
+  const TypeStats& t = types_[type];
+  if (t.lifetime_count > 0) {
+    return static_cast<Nanos>(t.lifetime_ewma);
+  }
+  return static_cast<Nanos>(t.seed_mean);
+}
+
+void Profiler::SeedProfile(TypeIndex type, Nanos mean, double ratio) {
+  ResizeTypes(type + 1);
+  types_[type].seed_mean = static_cast<double>(mean);
+  types_[type].seed_ratio = ratio;
+}
+
+bool Profiler::HasDemands() const {
+  for (const auto& t : types_) {
+    if (t.window_count > 0 || t.seed_ratio > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TypeDemand> Profiler::BuildDemands() const {
+  std::vector<TypeDemand> demands(types_.size());
+  for (size_t i = 0; i < types_.size(); ++i) {
+    const TypeStats& t = types_[i];
+    demands[i].type = static_cast<TypeIndex>(i);
+    if (t.window_count > 0 && window_total_ > 0) {
+      demands[i].mean_service_nanos = t.window_ewma;
+      demands[i].ratio = static_cast<double>(t.window_count) /
+                         static_cast<double>(window_total_);
+    } else if (t.window_count == 0 && window_total_ == 0 && t.seed_ratio > 0) {
+      demands[i].mean_service_nanos = t.seed_mean;
+      demands[i].ratio = t.seed_ratio;
+    } else {
+      // Unseen this window: zero demand, served from the spillway.
+      demands[i].mean_service_nanos = 0;
+      demands[i].ratio = 0;
+    }
+  }
+  return demands;
+}
+
+std::vector<TypeDemand> Profiler::SnapshotDemands() const {
+  return BuildDemands();
+}
+
+std::optional<std::vector<TypeDemand>> Profiler::CheckUpdate(bool force) {
+  if (!force) {
+    if (!delay_signal_ || window_total_ < config_.min_window_samples) {
+      return std::nullopt;
+    }
+  } else if (!HasDemands()) {
+    return std::nullopt;
+  }
+
+  std::vector<TypeDemand> demands = BuildDemands();
+
+  // Demand fractions for the deviation gate.
+  double weighted_total = 0;
+  for (const auto& d : demands) {
+    weighted_total += d.mean_service_nanos * d.ratio;
+  }
+  std::vector<double> fractions(demands.size(), 0.0);
+  if (weighted_total > 0) {
+    for (size_t i = 0; i < demands.size(); ++i) {
+      fractions[i] = demands[i].mean_service_nanos * demands[i].ratio /
+                     weighted_total;
+    }
+  }
+
+  if (!force && !applied_fractions_.empty()) {
+    double deviation = 0;
+    const size_t n = std::max(fractions.size(), applied_fractions_.size());
+    for (size_t i = 0; i < n; ++i) {
+      const double cur = i < fractions.size() ? fractions[i] : 0.0;
+      const double old = i < applied_fractions_.size() ? applied_fractions_[i] : 0.0;
+      deviation += std::abs(cur - old);
+    }
+    if (deviation < config_.min_demand_deviation) {
+      // Signal observed but demand did not actually move: stay put, clear the
+      // signal, and keep accumulating in a fresh window.
+      delay_signal_ = false;
+      RollWindow();
+      return std::nullopt;
+    }
+  }
+
+  applied_fractions_ = std::move(fractions);
+  delay_signal_ = false;
+  RollWindow();
+  ++windows_completed_;
+  return demands;
+}
+
+void Profiler::RollWindow() {
+  for (auto& t : types_) {
+    t.window_ewma = 0;
+    t.window_count = 0;
+  }
+  window_total_ = 0;
+}
+
+}  // namespace psp

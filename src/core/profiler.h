@@ -1,0 +1,106 @@
+// Workload profiling windows (paper §3 "Profiling the workload and updating
+// reservations" and §4.3.3).
+//
+// The dispatcher maintains, per request type, a moving average of service
+// time and an occurrence counter, gathered when workers signal completions.
+// Two signals gate a reservation update: a request experiencing queueing
+// delay beyond `slo_slowdown ×` its type's profiled service time, and the
+// window's CPU-demand estimate deviating from the currently applied demand by
+// more than `min_demand_deviation`. A lower bound on window samples guards
+// against reacting to bursts. During the first window the system runs c-FCFS.
+#ifndef PSP_SRC_CORE_PROFILER_H_
+#define PSP_SRC_CORE_PROFILER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/request.h"
+#include "src/core/reservation.h"
+
+namespace psp {
+
+struct ProfilerConfig {
+  // Minimum completions observed in a window before a transition is allowed
+  // (50 000 in the paper's experiments).
+  uint64_t min_window_samples = 50000;
+  // Minimum L1 deviation between the window's demand fractions and the
+  // currently applied ones (10% in the paper's experiments).
+  double min_demand_deviation = 0.10;
+  // EWMA smoothing factor for per-type service times within a window.
+  double ewma_alpha = 1.0 / 128.0;
+  // Queueing-delay SLO multiplier: a dispatch whose queueing delay exceeds
+  // slo_slowdown × the type's mean service time raises the update signal
+  // ("DARC updates reservations whenever a request experiences queuing delays
+  // of ten times its average profiled service time", §5.1).
+  double slo_slowdown = 10.0;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(const ProfilerConfig& config) : config_(config) {}
+
+  // Grows the per-type tables to cover `count` types.
+  void ResizeTypes(size_t count);
+
+  // Called when a worker signals completion (≈75-cycle budget in the paper).
+  void RecordCompletion(TypeIndex type, Nanos service_time);
+
+  // Called at dispatch time with the request's queueing delay. Raises the
+  // update signal when the delay violates the slowdown SLO for its type.
+  void ObserveQueueingDelay(TypeIndex type, Nanos delay);
+
+  // Current per-type mean service time estimate in nanos (lifetime estimate,
+  // falling back to a seeded hint before any samples arrive). 0 = unknown.
+  Nanos MeanServiceTime(TypeIndex type) const;
+
+  // Seeds a type's profile (expected mean + relative occurrence weight),
+  // letting deployments start with a steady-state reservation instead of the
+  // c-FCFS bootstrap window.
+  void SeedProfile(TypeIndex type, Nanos mean, double ratio);
+
+  // Whether any profile (seeded or measured) can produce demands yet.
+  bool HasDemands() const;
+
+  // Checks the transition conditions (≈300-cycle budget). When a reservation
+  // update is warranted, returns the new demand vector, records it as the
+  // applied demand, and rolls the window. `force` bypasses the delay-signal
+  // and deviation gates (used for the bootstrap transition).
+  std::optional<std::vector<TypeDemand>> CheckUpdate(bool force = false);
+
+  // Demands from the current window (or seeds), without rolling the window.
+  std::vector<TypeDemand> SnapshotDemands() const;
+
+  uint64_t window_samples() const { return window_total_; }
+  bool delay_signal() const { return delay_signal_; }
+  uint64_t windows_completed() const { return windows_completed_; }
+
+ private:
+  struct TypeStats {
+    // Window-local EWMA of service time and sample count.
+    double window_ewma = 0;
+    uint64_t window_count = 0;
+    // Long-run estimate used for SLO checks and as fallback between windows.
+    double lifetime_ewma = 0;
+    uint64_t lifetime_count = 0;
+    // Seeded hints (used until real samples arrive).
+    double seed_mean = 0;
+    double seed_ratio = 0;
+  };
+
+  std::vector<TypeDemand> BuildDemands() const;
+  void RollWindow();
+
+  ProfilerConfig config_;
+  std::vector<TypeStats> types_;
+  uint64_t window_total_ = 0;
+  bool delay_signal_ = false;
+  uint64_t windows_completed_ = 0;
+  // Demand fractions applied by the last reservation, for deviation checks.
+  std::vector<double> applied_fractions_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_CORE_PROFILER_H_

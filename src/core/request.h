@@ -1,0 +1,45 @@
+// Core request representation shared by the discrete-event simulator and the
+// threaded runtime. The scheduler is engine-agnostic: it sees opaque requests
+// tagged with a type index and timestamps expressed in Nanos.
+#ifndef PSP_SRC_CORE_REQUEST_H_
+#define PSP_SRC_CORE_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace psp {
+
+using WorkerId = uint32_t;
+inline constexpr WorkerId kInvalidWorker = ~WorkerId{0};
+
+// External request-type identifier produced by classifiers (application
+// protocol value, e.g. a TPC-C transaction id).
+using TypeId = uint32_t;
+
+// Classifier output for unrecognised requests. They are placed in a
+// low-priority queue served by the spillway core(s) (paper §4.2).
+inline constexpr TypeId kUnknownTypeId = ~TypeId{0};
+
+// Dense internal index assigned by the scheduler's type registry.
+using TypeIndex = uint32_t;
+inline constexpr TypeIndex kInvalidTypeIndex = ~TypeIndex{0};
+
+struct Request {
+  uint64_t id = 0;
+  // Internal type index (registry slot), not the wire TypeId.
+  TypeIndex type = kInvalidTypeIndex;
+  // When the request entered the dispatcher's typed queue.
+  Nanos arrival = 0;
+  // The true service demand for simulation engines (the scheduler itself
+  // never reads this; policies that cheat, like oracle SJF, may).
+  Nanos service_demand = 0;
+  // Opaque payload handle for the threaded runtime (points into a NIC
+  // buffer); unused by the simulator.
+  void* payload = nullptr;
+  uint32_t payload_length = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_CORE_REQUEST_H_

@@ -1,0 +1,271 @@
+#include "src/core/reservation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace psp {
+namespace {
+
+// Hands out worker ids 0..W-1 in ascending order; once exhausted, cycles over
+// the designated spillway cores (the trailing `num_spillway` ids). This is
+// the paper's next_free_worker(): "If there are no more free workers,
+// next_free_worker() returns a spillway core."
+class WorkerAllocator {
+ public:
+  WorkerAllocator(uint32_t num_workers, uint32_t num_spillway)
+      : num_workers_(num_workers),
+        num_spillway_(std::min(std::max(num_spillway, 1u), num_workers)) {}
+
+  // Returns {worker, was_spillway}.
+  std::pair<WorkerId, bool> Next() {
+    if (next_ < num_workers_) {
+      return {next_++, false};
+    }
+    const WorkerId w = num_workers_ - num_spillway_ + spillway_cursor_;
+    spillway_cursor_ = (spillway_cursor_ + 1) % num_spillway_;
+    return {w, true};
+  }
+
+  // Workers not yet handed out as reservations.
+  WorkerSet Remaining() const {
+    WorkerSet s;
+    s.SetRange(next_, num_workers_);
+    return s;
+  }
+
+  WorkerSet SpillwaySet() const {
+    WorkerSet s;
+    s.SetRange(num_workers_ - num_spillway_, num_workers_);
+    return s;
+  }
+
+ private:
+  uint32_t num_workers_;
+  uint32_t num_spillway_;
+  WorkerId next_ = 0;
+  uint32_t spillway_cursor_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::vector<size_t>> GroupTypes(const std::vector<TypeDemand>& demands,
+                                            double delta) {
+  std::vector<size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return demands[a].mean_service_nanos < demands[b].mean_service_nanos;
+  });
+
+  std::vector<std::vector<size_t>> groups;
+  for (const size_t idx : order) {
+    const double mean = demands[idx].mean_service_nanos;
+    if (!groups.empty()) {
+      const double head_mean =
+          demands[groups.back().front()].mean_service_nanos;
+      // A type joins the current group while its mean service time falls
+      // within a factor δ of the group head's.
+      if (head_mean <= 0 ? mean <= 0 : mean <= delta * head_mean) {
+        groups.back().push_back(idx);
+        continue;
+      }
+    }
+    groups.push_back({idx});
+  }
+  return groups;
+}
+
+Reservation ComputeReservation(const std::vector<TypeDemand>& demands,
+                               const ReservationConfig& config) {
+  Reservation out;
+  out.num_workers = config.num_workers;
+  TypeIndex max_type = 0;
+  for (const auto& d : demands) {
+    max_type = std::max(max_type, d.type);
+  }
+  out.group_of_type.assign(demands.empty() ? 0 : max_type + 1, 0);
+  if (demands.empty() || config.num_workers == 0) {
+    return out;
+  }
+
+  // Normalise occurrence ratios; split off zero-demand types (unseen in the
+  // current window): they are served from the spillway, never from a
+  // dedicated reservation.
+  double ratio_sum = 0;
+  for (const auto& d : demands) {
+    ratio_sum += std::max(0.0, d.ratio);
+  }
+  std::vector<TypeDemand> active;
+  std::vector<size_t> idle_types;  // indices into `demands`
+  active.reserve(demands.size());
+  for (size_t i = 0; i < demands.size(); ++i) {
+    const double r =
+        ratio_sum > 0 ? std::max(0.0, demands[i].ratio) / ratio_sum : 0.0;
+    if (r > 0 && demands[i].mean_service_nanos > 0) {
+      TypeDemand d = demands[i];
+      d.ratio = r;
+      active.push_back(d);
+    } else {
+      idle_types.push_back(i);
+    }
+  }
+
+  WorkerAllocator alloc(config.num_workers, config.num_spillway);
+
+  if (!active.empty()) {
+    // S ← Σ S_j · R_j over the whole workload.
+    double total_weighted = 0;
+    for (const auto& d : active) {
+      total_weighted += d.mean_service_nanos * d.ratio;
+    }
+
+    const auto groups = GroupTypes(active, config.delta);
+    for (const auto& member_idx : groups) {
+      ReservedGroup g;
+      double group_weighted = 0;
+      double group_ratio = 0;
+      for (const size_t mi : member_idx) {
+        g.members.push_back(active[mi].type);
+        group_weighted += active[mi].mean_service_nanos * active[mi].ratio;
+        group_ratio += active[mi].ratio;
+      }
+      g.mean_service_nanos = group_ratio > 0 ? group_weighted / group_ratio : 0;
+      g.demand_fraction = total_weighted > 0 ? group_weighted / total_weighted : 0;
+      g.demand_workers = g.demand_fraction * config.num_workers;
+
+      uint32_t p = static_cast<uint32_t>(std::llround(g.demand_workers));
+      if (p == 0) {
+        p = 1;  // "We always assign at least one worker to a group."
+      }
+      for (uint32_t i = 0; i < p; ++i) {
+        const auto [w, was_spillway] = alloc.Next();
+        g.reserved.Set(w);
+        g.uses_spillway = g.uses_spillway || was_spillway;
+      }
+      g.reserved_count = g.reserved.Count();
+      // Workers not yet reserved when this group was processed: the group may
+      // steal cycles from them (shorter groups steal from longer ones).
+      g.stealable = alloc.Remaining();
+      out.groups.push_back(std::move(g));
+    }
+  }
+
+  // Idle/unseen types share a trailing spillway group.
+  if (!idle_types.empty()) {
+    ReservedGroup g;
+    for (const size_t i : idle_types) {
+      g.members.push_back(demands[i].type);
+    }
+    g.reserved = alloc.SpillwaySet();
+    g.reserved_count = g.reserved.Count();
+    g.uses_spillway = true;
+    out.groups.push_back(std::move(g));
+  }
+
+  // Map types to their group and account CPU waste. A group's granted surplus
+  // (rounding up, or the minimum-one-worker floor) counts as waste only when
+  // no shorter group can absorb it by stealing: shorter groups steal from
+  // workers reserved later, so a surplus on group g offsets the accumulated
+  // deficit of earlier groups (§5.4.3: TPC-C has "no average CPU waste"
+  // because under-provisioned A and B steal from over-provisioned C), while a
+  // surplus on the *first* group is unreachable by anyone and is pure waste
+  // (Eq. 2 / the 0.86-core figure of §5.2).
+  double deficit_pool = 0;
+  for (size_t gi = 0; gi < out.groups.size(); ++gi) {
+    auto& g = out.groups[gi];
+    for (const TypeIndex t : g.members) {
+      if (t < out.group_of_type.size()) {
+        out.group_of_type[t] = static_cast<uint32_t>(gi);
+      }
+    }
+    if (g.uses_spillway) {
+      continue;
+    }
+    const double surplus =
+        static_cast<double>(g.reserved_count) - g.demand_workers;
+    if (surplus >= 0) {
+      if (gi == 0) {
+        out.cpu_waste += surplus;
+      } else {
+        const double absorbed = std::min(surplus, deficit_pool);
+        out.cpu_waste += surplus - absorbed;
+        deficit_pool -= absorbed;
+      }
+    } else {
+      deficit_pool += -surplus;
+    }
+  }
+  return out;
+}
+
+Reservation ComputeStaticReservation(const std::vector<TypeDemand>& demands,
+                                     uint32_t num_workers,
+                                     uint32_t reserved_for_short) {
+  Reservation out;
+  out.num_workers = num_workers;
+  TypeIndex max_type = 0;
+  for (const auto& d : demands) {
+    max_type = std::max(max_type, d.type);
+  }
+  out.group_of_type.assign(demands.empty() ? 0 : max_type + 1, 0);
+  if (demands.empty() || num_workers == 0) {
+    return out;
+  }
+  const uint32_t k = std::min(reserved_for_short, num_workers);
+
+  // Shortest type by declared mean service time, ignoring unseen types
+  // (zero mean), which carry no information.
+  size_t shortest = 0;
+  bool found = false;
+  for (size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].mean_service_nanos <= 0) {
+      continue;
+    }
+    if (!found ||
+        demands[i].mean_service_nanos < demands[shortest].mean_service_nanos) {
+      shortest = i;
+      found = true;
+    }
+  }
+
+  ReservedGroup short_group;
+  short_group.members.push_back(demands[shortest].type);
+  short_group.mean_service_nanos = demands[shortest].mean_service_nanos;
+  short_group.reserved.SetRange(0, k);
+  short_group.reserved_count = k;
+  short_group.stealable.SetRange(k, num_workers);
+
+  ReservedGroup long_group;
+  for (size_t i = 0; i < demands.size(); ++i) {
+    if (i != shortest) {
+      long_group.members.push_back(demands[i].type);
+    }
+  }
+  if (k < num_workers) {
+    long_group.reserved.SetRange(k, num_workers);
+  } else {
+    // Fully reserved for shorts: longs fall back to the spillway core so they
+    // are starved of reservations but never denied service outright.
+    long_group.reserved.Set(num_workers - 1);
+    long_group.uses_spillway = true;
+  }
+  long_group.reserved_count = long_group.reserved.Count();
+
+  for (const TypeIndex t : short_group.members) {
+    if (t < out.group_of_type.size()) {
+      out.group_of_type[t] = 0;
+    }
+  }
+  for (const TypeIndex t : long_group.members) {
+    if (t < out.group_of_type.size()) {
+      out.group_of_type[t] = 1;
+    }
+  }
+  out.groups.push_back(std::move(short_group));
+  if (!long_group.members.empty()) {
+    out.groups.push_back(std::move(long_group));
+  }
+  return out;
+}
+
+}  // namespace psp

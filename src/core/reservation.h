@@ -1,0 +1,86 @@
+// DARC worker reservation — Algorithm 2 of the paper.
+//
+// Given per-type CPU demand profiles (mean service time S_i and occurrence
+// ratio R_i, Eq. 1), the algorithm:
+//   1. groups types whose mean service times fall within a factor δ of each
+//      other ("grouping lets all request types fit onto a limited number of
+//      cores and reduces the number of fractional ties");
+//   2. walks groups in ascending service-time order, reserving
+//      round(Δ_g · W) workers per group (minimum 1);
+//   3. when free workers run out, next_free_worker() returns a spillway core,
+//      so no group is ever denied service;
+//   4. grants each group the right to *steal* every worker not yet reserved
+//      at its turn — i.e., shorter groups may run on cores dedicated to
+//      longer ones, never the reverse (cycle stealing, CSCQ-style).
+#ifndef PSP_SRC_CORE_RESERVATION_H_
+#define PSP_SRC_CORE_RESERVATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/request.h"
+#include "src/core/worker_set.h"
+
+namespace psp {
+
+// One type's profiled demand (inputs to Eq. 1).
+struct TypeDemand {
+  TypeIndex type = kInvalidTypeIndex;
+  double mean_service_nanos = 0;  // S_i
+  double ratio = 0;               // R_i (normalised occurrence)
+};
+
+// A reserved group of similar types.
+struct ReservedGroup {
+  std::vector<TypeIndex> members;   // ascending mean service time
+  double mean_service_nanos = 0;    // demand-weighted group service time
+  double demand_fraction = 0;       // Δ_g in [0, 1]
+  double demand_workers = 0;        // Δ_g · W before rounding
+  uint32_t reserved_count = 0;      // workers granted (≥ 1)
+  bool uses_spillway = false;       // granted only spillway capacity
+  WorkerSet reserved;               // dedicated workers
+  WorkerSet stealable;              // workers this group may steal
+};
+
+struct Reservation {
+  std::vector<ReservedGroup> groups;        // ascending service time
+  std::vector<uint32_t> group_of_type;      // TypeIndex -> group index
+  // Average CPU waste in cores (Eq. 2): Σ over groups with fractional demand
+  // f ≥ 0.5 of (1 − f), taking the min-1-worker floor into account.
+  double cpu_waste = 0;
+  uint32_t num_workers = 0;
+};
+
+struct ReservationConfig {
+  uint32_t num_workers = 14;
+  // Service-time similarity factor δ: consecutive types (sorted ascending)
+  // join the current group while mean ≤ δ × group head's mean.
+  double delta = 2.0;
+  // Number of trailing worker ids designated as spillway cores; they are
+  // handed out when next_free_worker() exhausts the free list and always
+  // serve UNKNOWN requests. The paper's experiments use 1 (§3).
+  uint32_t num_spillway = 1;
+};
+
+// Groups types by δ-similarity. `demands` need not be sorted. Returned groups
+// (as index lists into `demands`) are sorted by ascending mean service time.
+std::vector<std::vector<size_t>> GroupTypes(const std::vector<TypeDemand>& demands,
+                                            double delta);
+
+// Runs Algorithm 2. Types with zero observed ratio still get (spillway)
+// service. Demands need not be normalised; ratios are normalised internally.
+Reservation ComputeReservation(const std::vector<TypeDemand>& demands,
+                               const ReservationConfig& config);
+
+// Builds the degenerate "DARC-static" reservation of §5.3: the shortest type
+// gets `reserved_for_short` dedicated workers plus the right to steal all
+// others; every other type shares the remaining workers without stealing.
+// With reserved_for_short == 0 this is plain Fixed Priority.
+Reservation ComputeStaticReservation(const std::vector<TypeDemand>& demands,
+                                     uint32_t num_workers,
+                                     uint32_t reserved_for_short);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_CORE_RESERVATION_H_

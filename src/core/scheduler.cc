@@ -1,0 +1,386 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psp {
+
+DarcScheduler::DarcScheduler(const SchedulerConfig& config)
+    : config_(config), profiler_(config.profiler) {
+  assert(config_.num_workers > 0 && config_.num_workers <= kMaxWorkers);
+  free_.SetRange(0, config_.num_workers);
+  all_workers_.SetRange(0, config_.num_workers);
+  const uint32_t spill =
+      std::min(std::max(config_.num_spillway, 1u), config_.num_workers);
+  spillway_.SetRange(config_.num_workers - spill, config_.num_workers);
+
+  // Slot 0 is the UNKNOWN type: low-priority queue served on spillway cores.
+  wire_ids_.push_back(kUnknownTypeId);
+  names_.push_back("UNKNOWN");
+  queues_.emplace_back(config_.typed_queue_capacity);
+  seed_means_.push_back(0);
+  seed_ratios_.push_back(0);
+  profiler_.ResizeTypes(1);
+  RebuildPriorityOrder();
+}
+
+TypeIndex DarcScheduler::RegisterType(TypeId wire_id, std::string name,
+                                      Nanos expected_mean,
+                                      double expected_ratio) {
+  assert(wire_id != kUnknownTypeId);
+  const auto index = static_cast<TypeIndex>(wire_ids_.size());
+  wire_ids_.push_back(wire_id);
+  names_.push_back(std::move(name));
+  queues_.emplace_back(config_.typed_queue_capacity);
+  seed_means_.push_back(expected_mean);
+  seed_ratios_.push_back(expected_ratio);
+  profiler_.ResizeTypes(wire_ids_.size());
+  if (expected_mean > 0) {
+    profiler_.SeedProfile(index, expected_mean, expected_ratio);
+  }
+  RebuildPriorityOrder();
+  return index;
+}
+
+TypeIndex DarcScheduler::ResolveType(TypeId wire_id) const {
+  // Linear scan: the paper's workloads have ≤ 5 types; registries stay tiny.
+  for (size_t i = 1; i < wire_ids_.size(); ++i) {
+    if (wire_ids_[i] == wire_id) {
+      return static_cast<TypeIndex>(i);
+    }
+  }
+  return kUnknownSlot;
+}
+
+void DarcScheduler::ActivateSeededReservation() {
+  // The UNKNOWN slot is excluded: ApplyReservation routes it to the spillway.
+  std::vector<TypeDemand> demands;
+  demands.reserve(names_.size());
+  for (size_t i = 1; i < names_.size(); ++i) {
+    demands.push_back(TypeDemand{static_cast<TypeIndex>(i),
+                                 static_cast<double>(seed_means_[i]),
+                                 seed_ratios_[i]});
+  }
+  if (config_.mode == PolicyMode::kDarcStatic) {
+    ApplyReservation(ComputeStaticReservation(demands, config_.num_workers,
+                                              config_.static_reserved));
+  } else {
+    ApplyReservation(ComputeReservation(
+        demands, ReservationConfig{config_.num_workers, config_.delta,
+                                   config_.num_spillway}));
+  }
+}
+
+void DarcScheduler::ResizeWorkers(uint32_t new_count) {
+  assert(new_count > 0 && new_count <= kMaxWorkers);
+  const uint32_t old_count = config_.num_workers;
+  config_.num_workers = new_count;
+
+  all_workers_.ClearAll();
+  all_workers_.SetRange(0, new_count);
+  const uint32_t spill =
+      std::min(std::max(config_.num_spillway, 1u), new_count);
+  spillway_.ClearAll();
+  spillway_.SetRange(new_count - spill, new_count);
+
+  if (new_count > old_count) {
+    // Grown workers start idle.
+    free_.SetRange(old_count, new_count);
+  } else {
+    // Retired workers leave the free list now; busy ones simply never return
+    // to it (OnCompletion ignores out-of-range workers).
+    for (WorkerId w = new_count; w < old_count; ++w) {
+      free_.Clear(w);
+    }
+  }
+
+  if (!darc_active_) {
+    return;
+  }
+  // Re-derive the reservation for the new pool from the freshest profile.
+  std::vector<TypeDemand> demands = profiler_.SnapshotDemands();
+  // Strip the UNKNOWN slot; ApplyReservation routes it to the spillway.
+  if (!demands.empty()) {
+    demands.erase(demands.begin());
+    // A freshly-rolled window can be empty: fall back to lifetime means,
+    // then seeds, so a resize never degrades every type to the spillway.
+    double ratio_total = 0;
+    for (auto& d : demands) {
+      if (d.mean_service_nanos <= 0) {
+        const Nanos lifetime = profiler_.MeanServiceTime(d.type);
+        if (lifetime > 0) {
+          d.mean_service_nanos = static_cast<double>(lifetime);
+        } else if (d.type < seed_means_.size()) {
+          d.mean_service_nanos = static_cast<double>(seed_means_[d.type]);
+        }
+      }
+      if (d.ratio <= 0 && d.type < seed_ratios_.size()) {
+        d.ratio = seed_ratios_[d.type];
+      }
+      ratio_total += d.ratio;
+    }
+    if (ratio_total <= 0) {
+      for (auto& d : demands) {
+        d.ratio = 1.0;  // no occurrence data at all: split evenly
+      }
+    }
+  }
+  if (config_.mode == PolicyMode::kDarcStatic) {
+    ApplyReservation(ComputeStaticReservation(demands, new_count,
+                                              config_.static_reserved));
+  } else {
+    ApplyReservation(ComputeReservation(
+        demands, ReservationConfig{new_count, config_.delta,
+                                   config_.num_spillway}));
+  }
+}
+
+bool DarcScheduler::Enqueue(const Request& request, Nanos now) {
+  (void)now;
+  assert(request.type < queues_.size());
+  if (!queues_[request.type].Push(request)) {
+    ++stats_.dropped;
+    return false;
+  }
+  ++stats_.enqueued;
+  return true;
+}
+
+DarcScheduler::Assignment DarcScheduler::MakeAssignment(TypeIndex type,
+                                                        WorkerId worker,
+                                                        bool stolen,
+                                                        Nanos now) {
+  Assignment a;
+  queues_[type].Pop(&a.request);
+  a.worker = worker;
+  a.stolen = stolen;
+  free_.Clear(worker);
+  ++stats_.dispatched;
+  if (stolen) {
+    ++stats_.stolen_dispatches;
+  }
+  profiler_.ObserveQueueingDelay(type, now - a.request.arrival);
+  return a;
+}
+
+std::optional<DarcScheduler::Assignment> DarcScheduler::NextAssignment(
+    Nanos now) {
+  if (free_.Empty()) {
+    return std::nullopt;
+  }
+  switch (config_.mode) {
+    case PolicyMode::kCFcfs:
+      return DispatchFcfs(now);
+    case PolicyMode::kFixedPriority:
+      return DispatchFixedPriority(now);
+    case PolicyMode::kDarc:
+    case PolicyMode::kDarcStatic:
+      if (!darc_active_) {
+        // Bootstrap windows run c-FCFS until the first profile lands (§3).
+        return DispatchFcfs(now);
+      }
+      return DispatchDarc(now);
+  }
+  return std::nullopt;
+}
+
+std::optional<DarcScheduler::Assignment> DarcScheduler::DispatchDarc(
+    Nanos now) {
+  // Algorithm 1: iterate typed queues sorted by ascending mean service time;
+  // for each non-empty queue, search the group's reserved workers first, then
+  // its stealable workers. With group_fcfs (the paper's single-queue
+  // abstraction), when several types of the *same* group have waiting
+  // requests, the globally oldest head goes first.
+  uint32_t pending_group = UINT32_MAX;
+  TypeIndex pending_type = kInvalidTypeIndex;
+  WorkerId pending_worker = kInvalidWorker;
+  bool pending_stolen = false;
+  Nanos pending_arrival = 0;
+
+  for (const TypeIndex type : priority_order_) {
+    if (queues_[type].Empty()) {
+      continue;
+    }
+    const uint32_t gi = type < reservation_.group_of_type.size()
+                            ? reservation_.group_of_type[type]
+                            : 0;
+    if (gi >= reservation_.groups.size()) {
+      continue;
+    }
+    // Crossed into a later group with a dispatchable candidate pending from
+    // an earlier one: the earlier group wins.
+    if (pending_type != kInvalidTypeIndex && gi != pending_group) {
+      break;
+    }
+    const ReservedGroup& group = reservation_.groups[gi];
+    WorkerId w = free_.FirstCommon(group.reserved);
+    bool stolen = false;
+    if (w == kInvalidWorker && config_.enable_stealing) {
+      w = free_.FirstCommon(group.stealable);
+      stolen = w != kInvalidWorker;
+    }
+    if (w == kInvalidWorker) {
+      continue;
+    }
+    if (!config_.group_fcfs) {
+      return MakeAssignment(type, w, stolen, now);
+    }
+    const Nanos arrival = queues_[type].Front().arrival;
+    if (pending_type == kInvalidTypeIndex || arrival < pending_arrival) {
+      pending_group = gi;
+      pending_type = type;
+      pending_worker = w;
+      pending_stolen = stolen;
+      pending_arrival = arrival;
+    }
+  }
+  if (pending_type != kInvalidTypeIndex) {
+    return MakeAssignment(pending_type, pending_worker, pending_stolen, now);
+  }
+  return std::nullopt;
+}
+
+std::optional<DarcScheduler::Assignment> DarcScheduler::DispatchFcfs(
+    Nanos now) {
+  // Centralized FCFS: dispatch the globally oldest queued request to any free
+  // worker (typed queues are each FIFO, so the oldest overall is some head).
+  TypeIndex best = kInvalidTypeIndex;
+  Nanos best_arrival = 0;
+  for (TypeIndex t = 0; t < queues_.size(); ++t) {
+    if (queues_[t].Empty()) {
+      continue;
+    }
+    const Nanos arr = queues_[t].Front().arrival;
+    if (best == kInvalidTypeIndex || arr < best_arrival) {
+      best = t;
+      best_arrival = arr;
+    }
+  }
+  if (best == kInvalidTypeIndex) {
+    return std::nullopt;
+  }
+  const WorkerId w = free_.First();
+  return MakeAssignment(best, w, /*stolen=*/false, now);
+}
+
+std::optional<DarcScheduler::Assignment> DarcScheduler::DispatchFixedPriority(
+    Nanos now) {
+  for (const TypeIndex type : priority_order_) {
+    if (queues_[type].Empty()) {
+      continue;
+    }
+    const WorkerId w = free_.First();
+    return MakeAssignment(type, w, /*stolen=*/false, now);
+  }
+  return std::nullopt;
+}
+
+void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
+                                 Nanos service_time, Nanos now) {
+  (void)now;
+  assert(worker < kMaxWorkers);
+  if (worker < config_.num_workers) {
+    free_.Set(worker);
+  }
+  // Workers at or beyond num_workers were retired by ResizeWorkers while
+  // running; their completion still feeds the profiler but they never
+  // re-enter the free list.
+  ++stats_.completed;
+  profiler_.RecordCompletion(type, service_time);
+
+  if (config_.mode != PolicyMode::kDarc &&
+      config_.mode != PolicyMode::kDarcStatic) {
+    return;
+  }
+  if (!darc_active_) {
+    // Bootstrap: transition out of c-FCFS once the first window has enough
+    // samples.
+    if (profiler_.window_samples() >= config_.profiler.min_window_samples) {
+      if (auto demands = profiler_.CheckUpdate(/*force=*/true)) {
+        if (config_.mode == PolicyMode::kDarcStatic) {
+          ApplyReservation(ComputeStaticReservation(
+              *demands, config_.num_workers, config_.static_reserved));
+        } else {
+          ApplyReservation(ComputeReservation(
+              *demands, ReservationConfig{config_.num_workers, config_.delta,
+                                          config_.num_spillway}));
+        }
+      }
+    }
+    return;
+  }
+  if (config_.mode == PolicyMode::kDarcStatic) {
+    return;  // static reservations never adapt
+  }
+  if (auto demands = profiler_.CheckUpdate()) {
+    ApplyReservation(ComputeReservation(
+        *demands, ReservationConfig{config_.num_workers, config_.delta,
+                                    config_.num_spillway}));
+  }
+}
+
+void DarcScheduler::ApplyReservation(Reservation reservation) {
+  // Route the UNKNOWN slot (and any type the reservation does not cover) to
+  // the spillway group: find or synthesise a group covering spillway cores.
+  reservation.group_of_type.resize(names_.size(), 0);
+  uint32_t spill_group = UINT32_MAX;
+  for (size_t gi = 0; gi < reservation.groups.size(); ++gi) {
+    for (const TypeIndex t : reservation.groups[gi].members) {
+      if (t == kUnknownSlot) {
+        spill_group = static_cast<uint32_t>(gi);
+      }
+    }
+  }
+  if (spill_group == UINT32_MAX) {
+    ReservedGroup g;
+    g.members.push_back(kUnknownSlot);
+    g.reserved = spillway_;
+    g.reserved_count = g.reserved.Count();
+    g.uses_spillway = true;
+    reservation.groups.push_back(std::move(g));
+    spill_group = static_cast<uint32_t>(reservation.groups.size() - 1);
+  }
+  reservation.group_of_type[kUnknownSlot] = spill_group;
+
+  reservation_ = std::move(reservation);
+  darc_active_ = true;
+  ++stats_.reservation_updates;
+  RebuildPriorityOrder();
+}
+
+void DarcScheduler::RebuildPriorityOrder() {
+  priority_order_.clear();
+  for (TypeIndex t = 1; t < names_.size(); ++t) {
+    priority_order_.push_back(t);
+  }
+  std::sort(priority_order_.begin(), priority_order_.end(),
+            [this](TypeIndex a, TypeIndex b) {
+              Nanos ma = profiler_.MeanServiceTime(a);
+              Nanos mb = profiler_.MeanServiceTime(b);
+              if (ma == 0) {
+                ma = seed_means_[a];
+              }
+              if (mb == 0) {
+                mb = seed_means_[b];
+              }
+              if (ma != mb) {
+                return ma < mb;
+              }
+              return a < b;
+            });
+  // UNKNOWN requests are "placed in a low priority queue" (§4.2): last.
+  priority_order_.push_back(kUnknownSlot);
+}
+
+uint32_t DarcScheduler::reserved_workers_of(TypeIndex t) const {
+  if (!darc_active_ || t >= reservation_.group_of_type.size()) {
+    return 0;
+  }
+  const uint32_t gi = reservation_.group_of_type[t];
+  if (gi >= reservation_.groups.size()) {
+    return 0;
+  }
+  return reservation_.groups[gi].reserved_count;
+}
+
+}  // namespace psp

@@ -1,0 +1,155 @@
+// The DARC scheduler: typed queues + Algorithm 1 dispatch + Algorithm 2
+// reservations + profiling windows, behind an engine-agnostic interface.
+//
+// Both execution engines drive it the same way:
+//   * Enqueue(request, now)          when a classified request arrives,
+//   * NextAssignment(now) in a loop  after every arrival/completion event,
+//   * OnCompletion(worker, ...)      when a worker signals completion.
+//
+// Besides DARC proper, the scheduler implements the in-Perséphone policy
+// variants the paper evaluates: c-FCFS (Fig 3), Fixed Priority and
+// "DARC-static" with a manually chosen reservation (Fig 4).
+#ifndef PSP_SRC_CORE_SCHEDULER_H_
+#define PSP_SRC_CORE_SCHEDULER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/profiler.h"
+#include "src/core/request.h"
+#include "src/core/reservation.h"
+#include "src/core/typed_queue.h"
+#include "src/core/worker_set.h"
+
+namespace psp {
+
+enum class PolicyMode {
+  kDarc,         // full DARC: profiling windows + Algorithm 2 reservations
+  kDarcStatic,   // manual reservation for the shortest type (§5.3)
+  kCFcfs,        // centralized FCFS within the Perséphone pipeline
+  kFixedPriority // shortest-mean-first priority, no reservations
+};
+
+struct SchedulerConfig {
+  PolicyMode mode = PolicyMode::kDarc;
+  uint32_t num_workers = 14;
+  double delta = 2.0;            // δ grouping factor
+  uint32_t num_spillway = 1;
+  uint32_t static_reserved = 0;  // kDarcStatic: cores reserved for shorts
+  size_t typed_queue_capacity = 4096;
+  // Ablation knob: disable cycle stealing (short groups may then run only on
+  // their reserved cores — pure static partitioning with DARC sizing).
+  bool enable_stealing = true;
+  // Within a reservation group, dequeue member types in global FCFS order
+  // (the paper's "single queue abstraction", §3) instead of Algorithm 1's
+  // literal fixed type order. Groups are still visited shortest-first.
+  bool group_fcfs = true;
+  ProfilerConfig profiler;
+};
+
+struct SchedulerStats {
+  uint64_t enqueued = 0;
+  uint64_t dropped = 0;
+  uint64_t dispatched = 0;
+  uint64_t completed = 0;
+  uint64_t reservation_updates = 0;
+  uint64_t stolen_dispatches = 0;  // dispatches onto stealable workers
+};
+
+class DarcScheduler {
+ public:
+  explicit DarcScheduler(const SchedulerConfig& config);
+
+  // --- Type registry -------------------------------------------------------
+
+  // Registers an application request type (wire id as produced by the
+  // classifier). Optionally seeds its expected mean service time and
+  // occurrence ratio so reservations can be computed before profiling data
+  // exists. Returns the dense internal index.
+  TypeIndex RegisterType(TypeId wire_id, std::string name,
+                         Nanos expected_mean = 0, double expected_ratio = 0);
+
+  // Maps a classifier result to the internal index; unrecognised wire ids
+  // resolve to the UNKNOWN slot (low-priority, spillway-served).
+  TypeIndex ResolveType(TypeId wire_id) const;
+  TypeIndex unknown_type() const { return kUnknownSlot; }
+  size_t num_types() const { return names_.size(); }
+  const std::string& type_name(TypeIndex t) const { return names_[t]; }
+
+  // Applies the seeded profiles immediately (skips the c-FCFS bootstrap
+  // window). Requires every registered type to carry seed hints.
+  void ActivateSeededReservation();
+
+  // Datacenter core-allocator hook (§6): grows or shrinks the worker pool at
+  // runtime and recomputes the reservation for the new size. Shrinking
+  // retires the highest-numbered workers: any request already running there
+  // completes normally, after which the worker is never assigned again.
+  void ResizeWorkers(uint32_t new_count);
+
+  // --- Data path -----------------------------------------------------------
+
+  // Enqueues into the request's typed queue; false = dropped (flow control).
+  bool Enqueue(const Request& request, Nanos now);
+
+  struct Assignment {
+    Request request;
+    WorkerId worker = kInvalidWorker;
+    bool stolen = false;  // dispatched onto a stealable (not reserved) worker
+  };
+
+  // One step of Algorithm 1: picks the highest-priority dispatchable request
+  // and a worker for it. Call in a loop until nullopt after every event.
+  std::optional<Assignment> NextAssignment(Nanos now);
+
+  // Worker signalled completion of a request of type `type` that occupied the
+  // CPU for `service_time`.
+  void OnCompletion(WorkerId worker, TypeIndex type, Nanos service_time,
+                    Nanos now);
+
+  // --- Introspection -------------------------------------------------------
+
+  bool darc_active() const { return darc_active_; }
+  const Reservation& reservation() const { return reservation_; }
+  const SchedulerStats& stats() const { return stats_; }
+  const Profiler& profiler() const { return profiler_; }
+  uint64_t queue_drops(TypeIndex t) const { return queues_[t].drops(); }
+  size_t queue_depth(TypeIndex t) const { return queues_[t].Size(); }
+  uint32_t reserved_workers_of(TypeIndex t) const;
+  bool AllWorkersIdle() const { return free_.Count() == config_.num_workers; }
+  uint32_t idle_workers() const { return free_.Count(); }
+
+ private:
+  static constexpr TypeIndex kUnknownSlot = 0;
+
+  void ApplyReservation(Reservation reservation);
+  void RebuildPriorityOrder();
+  std::optional<Assignment> DispatchDarc(Nanos now);
+  std::optional<Assignment> DispatchFcfs(Nanos now);
+  std::optional<Assignment> DispatchFixedPriority(Nanos now);
+  Assignment MakeAssignment(TypeIndex type, WorkerId worker, bool stolen,
+                            Nanos now);
+
+  SchedulerConfig config_;
+  Profiler profiler_;
+
+  std::vector<TypeId> wire_ids_;       // TypeIndex -> wire id
+  std::vector<std::string> names_;
+  std::vector<TypedQueue> queues_;     // TypeIndex -> typed queue
+  std::vector<Nanos> seed_means_;
+  std::vector<double> seed_ratios_;
+
+  // Types sorted by ascending mean service time (UNKNOWN last).
+  std::vector<TypeIndex> priority_order_;
+
+  Reservation reservation_;
+  bool darc_active_ = false;           // false while bootstrapping in c-FCFS
+  WorkerSet free_;
+  WorkerSet all_workers_;
+  WorkerSet spillway_;
+  SchedulerStats stats_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_CORE_SCHEDULER_H_

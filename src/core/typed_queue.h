@@ -1,0 +1,82 @@
+// Bounded FIFO request queue specialised for a single request type
+// (paper §4.3: "typed queues, i.e., buffers specialized for a single request
+// type"). Bounded capacity implements the flow-control rule of §4.3.3: "the
+// dispatcher drops requests from typed queues that are full", shedding load
+// only for overloaded types.
+#ifndef PSP_SRC_CORE_TYPED_QUEUE_H_
+#define PSP_SRC_CORE_TYPED_QUEUE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/request.h"
+
+namespace psp {
+
+class TypedQueue {
+ public:
+  explicit TypedQueue(size_t capacity = 4096)
+      : capacity_(capacity), slots_(capacity) {}
+
+  // Returns false (and counts a drop) when the queue is full.
+  bool Push(const Request& request) {
+    if (size_ == capacity_) {
+      ++drops_;
+      return false;
+    }
+    slots_[tail_] = request;
+    tail_ = Next(tail_);
+    ++size_;
+    return true;
+  }
+
+  // Re-inserts a request at the head (used by preemptive policies that
+  // enqueue preempted work "at the head of their respective queue", §5.1).
+  bool PushFront(const Request& request) {
+    if (size_ == capacity_) {
+      ++drops_;
+      return false;
+    }
+    head_ = Prev(head_);
+    slots_[head_] = request;
+    ++size_;
+    return true;
+  }
+
+  bool Pop(Request* out) {
+    if (size_ == 0) {
+      return false;
+    }
+    *out = slots_[head_];
+    head_ = Next(head_);
+    --size_;
+    return true;
+  }
+
+  const Request& Front() const { return slots_[head_]; }
+
+  bool Empty() const { return size_ == 0; }
+  size_t Size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  uint64_t drops() const { return drops_; }
+
+  // Queueing delay of the head request at `now`; 0 when empty.
+  Nanos HeadDelay(Nanos now) const {
+    return size_ == 0 ? 0 : now - slots_[head_].arrival;
+  }
+
+ private:
+  size_t Next(size_t i) const { return i + 1 == capacity_ ? 0 : i + 1; }
+  size_t Prev(size_t i) const { return i == 0 ? capacity_ - 1 : i - 1; }
+
+  size_t capacity_;
+  std::vector<Request> slots_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+  size_t size_ = 0;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_CORE_TYPED_QUEUE_H_

@@ -1,0 +1,98 @@
+// A fixed-capacity bitset over worker ids with fast "first free worker in
+// this set" queries — the data structure behind Algorithm 1's scan over
+// reserved ∪ stealable workers and the dispatcher's free-worker list.
+#ifndef PSP_SRC_CORE_WORKER_SET_H_
+#define PSP_SRC_CORE_WORKER_SET_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/request.h"
+
+namespace psp {
+
+inline constexpr uint32_t kMaxWorkers = 256;
+
+class WorkerSet {
+ public:
+  constexpr WorkerSet() = default;
+
+  void Set(WorkerId id) { words_[id >> 6] |= 1ULL << (id & 63); }
+  void Clear(WorkerId id) { words_[id >> 6] &= ~(1ULL << (id & 63)); }
+  bool Test(WorkerId id) const {
+    return (words_[id >> 6] >> (id & 63)) & 1ULL;
+  }
+
+  void SetRange(WorkerId begin, WorkerId end) {
+    for (WorkerId i = begin; i < end; ++i) {
+      Set(i);
+    }
+  }
+
+  void ClearAll() { words_.fill(0); }
+
+  bool Empty() const {
+    for (const uint64_t w : words_) {
+      if (w != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  uint32_t Count() const {
+    uint32_t n = 0;
+    for (const uint64_t w : words_) {
+      n += static_cast<uint32_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  // Lowest worker id present in (*this ∩ other), or kInvalidWorker.
+  WorkerId FirstCommon(const WorkerSet& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      const uint64_t inter = words_[i] & other.words_[i];
+      if (inter != 0) {
+        return static_cast<WorkerId>(i * 64 +
+                                     static_cast<uint32_t>(__builtin_ctzll(inter)));
+      }
+    }
+    return kInvalidWorker;
+  }
+
+  // Lowest worker id present, or kInvalidWorker.
+  WorkerId First() const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] != 0) {
+        return static_cast<WorkerId>(
+            i * 64 + static_cast<uint32_t>(__builtin_ctzll(words_[i])));
+      }
+    }
+    return kInvalidWorker;
+  }
+
+  WorkerSet Union(const WorkerSet& other) const {
+    WorkerSet out;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] = words_[i] | other.words_[i];
+    }
+    return out;
+  }
+
+  WorkerSet Intersect(const WorkerSet& other) const {
+    WorkerSet out;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] = words_[i] & other.words_[i];
+    }
+    return out;
+  }
+
+  bool operator==(const WorkerSet& other) const = default;
+
+ private:
+  std::array<uint64_t, kMaxWorkers / 64> words_{};
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_CORE_WORKER_SET_H_

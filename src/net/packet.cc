@@ -1,0 +1,163 @@
+#include "src/net/packet.h"
+
+#include <algorithm>
+
+namespace psp {
+namespace {
+
+constexpr std::array<uint8_t, 6> kClientMac = {0x02, 0x00, 0x00, 0x00, 0x00,
+                                               0x01};
+constexpr std::array<uint8_t, 6> kServerMac = {0x02, 0x00, 0x00, 0x00, 0x00,
+                                               0x02};
+
+}  // namespace
+
+uint16_t Ipv4Checksum(const Ipv4Header& header) {
+  // Sum 16-bit words with the checksum field treated as zero.
+  Ipv4Header copy = header;
+  copy.checksum = 0;
+  const auto* words = reinterpret_cast<const uint16_t*>(&copy);
+  uint32_t sum = 0;
+  for (size_t i = 0; i < sizeof(Ipv4Header) / 2; ++i) {
+    sum += words[i];
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+uint32_t BuildRequestPacket(const RequestFrame& frame, std::byte* buf,
+                            size_t buf_size) {
+  const uint32_t total = static_cast<uint32_t>(
+      kHeadersSize + sizeof(PspHeader) + frame.payload_length);
+  if (total > buf_size || total > kMaxPacketSize) {
+    return 0;
+  }
+
+  auto* eth = reinterpret_cast<EthernetHeader*>(buf);
+  eth->dst = kServerMac;
+  eth->src = kClientMac;
+  eth->ether_type = HostToNet16(EthernetHeader::kEtherTypeIpv4);
+
+  auto* ip = reinterpret_cast<Ipv4Header*>(buf + sizeof(EthernetHeader));
+  ip->version_ihl = 0x45;
+  ip->tos = 0;
+  ip->total_length = HostToNet16(static_cast<uint16_t>(
+      total - sizeof(EthernetHeader)));
+  ip->identification = 0;
+  ip->flags_fragment = HostToNet16(0x4000);  // don't fragment
+  ip->ttl = 64;
+  ip->protocol = Ipv4Header::kProtocolUdp;
+  ip->src_addr = HostToNet32(frame.flow.src_addr);
+  ip->dst_addr = HostToNet32(frame.flow.dst_addr);
+  ip->checksum = 0;
+  ip->checksum = Ipv4Checksum(*ip);
+
+  auto* udp = reinterpret_cast<UdpHeader*>(buf + sizeof(EthernetHeader) +
+                                           sizeof(Ipv4Header));
+  udp->src_port = HostToNet16(frame.flow.src_port);
+  udp->dst_port = HostToNet16(frame.flow.dst_port);
+  udp->length = HostToNet16(static_cast<uint16_t>(
+      sizeof(UdpHeader) + sizeof(PspHeader) + frame.payload_length));
+  udp->checksum = 0;  // optional for IPv4 UDP
+
+  // The request header lands at offset 42 (unaligned): build it locally and
+  // memcpy it into place.
+  PspHeader psp;
+  psp.magic = PspHeader::kMagic;
+  psp.request_type = frame.request_type;
+  psp.request_id = frame.request_id;
+  psp.client_id = frame.client_id;
+  psp.payload_length = frame.payload_length;
+  psp.client_timestamp = frame.client_timestamp;
+  std::memcpy(buf + kRequestOffset, &psp, sizeof(psp));
+
+  if (frame.payload_length > 0 && frame.payload != nullptr) {
+    std::memcpy(buf + kRequestOffset + sizeof(PspHeader), frame.payload,
+                frame.payload_length);
+  }
+  return total;
+}
+
+std::optional<ParsedRequest> ParseRequestPacket(const std::byte* data,
+                                                uint32_t length) {
+  if (length < kHeadersSize + sizeof(PspHeader)) {
+    return std::nullopt;
+  }
+  const auto* eth = reinterpret_cast<const EthernetHeader*>(data);
+  if (NetToHost16(eth->ether_type) != EthernetHeader::kEtherTypeIpv4) {
+    return std::nullopt;
+  }
+  const auto* ip =
+      reinterpret_cast<const Ipv4Header*>(data + sizeof(EthernetHeader));
+  if (ip->version_ihl != 0x45 || ip->protocol != Ipv4Header::kProtocolUdp) {
+    return std::nullopt;
+  }
+  const uint16_t ip_total = NetToHost16(ip->total_length);
+  if (ip_total + sizeof(EthernetHeader) > length) {
+    return std::nullopt;
+  }
+  const auto* udp = reinterpret_cast<const UdpHeader*>(
+      data + sizeof(EthernetHeader) + sizeof(Ipv4Header));
+  ParsedRequest out;
+  PspHeader wire;
+  std::memcpy(&wire, data + kRequestOffset, sizeof(PspHeader));
+  out.psp.magic = wire.magic;
+  out.psp.request_type = wire.request_type;
+  out.psp.request_id = wire.request_id;
+  out.psp.client_id = wire.client_id;
+  out.psp.payload_length = wire.payload_length;
+  out.psp.client_timestamp = wire.client_timestamp;
+  if (out.psp.magic != PspHeader::kMagic) {
+    return std::nullopt;
+  }
+  if (kRequestOffset + sizeof(PspHeader) + out.psp.payload_length > length) {
+    return std::nullopt;
+  }
+
+  out.flow.src_addr = NetToHost32(ip->src_addr);
+  out.flow.dst_addr = NetToHost32(ip->dst_addr);
+  out.flow.src_port = NetToHost16(udp->src_port);
+  out.flow.dst_port = NetToHost16(udp->dst_port);
+  out.payload = data + kRequestOffset + sizeof(PspHeader);
+  out.payload_length = out.psp.payload_length;
+  return out;
+}
+
+uint32_t FormatResponseInPlace(std::byte* data, uint32_t response_payload_len) {
+  auto* eth = reinterpret_cast<EthernetHeader*>(data);
+  const std::array<uint8_t, 6> dst = eth->dst;
+  eth->dst = eth->src;
+  eth->src = dst;
+
+  // Member-wise swaps via locals: packed struct members cannot be bound to
+  // references (std::swap), and some sit at unaligned offsets.
+  auto* ip = reinterpret_cast<Ipv4Header*>(data + sizeof(EthernetHeader));
+  const uint32_t src_addr = ip->src_addr;
+  ip->src_addr = ip->dst_addr;
+  ip->dst_addr = src_addr;
+
+  auto* udp = reinterpret_cast<UdpHeader*>(data + sizeof(EthernetHeader) +
+                                           sizeof(Ipv4Header));
+  const uint16_t src_port = udp->src_port;
+  udp->src_port = udp->dst_port;
+  udp->dst_port = src_port;
+
+  // Unaligned in-place field update via memcpy.
+  std::memcpy(data + kRequestOffset +
+                  offsetof(PspHeader, payload_length),
+              &response_payload_len, sizeof(response_payload_len));
+
+  const uint32_t total = static_cast<uint32_t>(
+      kHeadersSize + sizeof(PspHeader) + response_payload_len);
+  ip->total_length =
+      HostToNet16(static_cast<uint16_t>(total - sizeof(EthernetHeader)));
+  ip->checksum = 0;
+  ip->checksum = Ipv4Checksum(*ip);
+  udp->length = HostToNet16(static_cast<uint16_t>(
+      sizeof(UdpHeader) + sizeof(PspHeader) + response_payload_len));
+  return total;
+}
+
+}  // namespace psp

@@ -1,0 +1,155 @@
+// Wire formats for the UDP networking model (paper §4.1: "Our current
+// prototype is designed for UDP networking").
+//
+// A request on the wire is:  Ethernet | IPv4 | UDP | PspHeader | payload.
+// PspHeader mirrors the paper's client protocol: "TPC-C transaction ID,
+// RocksDB query ID, and synthetic workload request types are located in the
+// requests' header" (§5.1), so a classifier can read the type in O(1).
+#ifndef PSP_SRC_NET_PACKET_H_
+#define PSP_SRC_NET_PACKET_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "src/common/time.h"
+
+namespace psp {
+
+#pragma pack(push, 1)
+
+struct EthernetHeader {
+  std::array<uint8_t, 6> dst;
+  std::array<uint8_t, 6> src;
+  uint16_t ether_type;  // big-endian; 0x0800 = IPv4
+
+  static constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+};
+static_assert(sizeof(EthernetHeader) == 14);
+
+struct Ipv4Header {
+  uint8_t version_ihl;     // 0x45: IPv4, 5-word header
+  uint8_t tos;
+  uint16_t total_length;   // big-endian
+  uint16_t identification;
+  uint16_t flags_fragment;
+  uint8_t ttl;
+  uint8_t protocol;        // 17 = UDP
+  uint16_t checksum;
+  uint32_t src_addr;       // big-endian
+  uint32_t dst_addr;       // big-endian
+
+  static constexpr uint8_t kProtocolUdp = 17;
+};
+static_assert(sizeof(Ipv4Header) == 20);
+
+struct UdpHeader {
+  uint16_t src_port;  // big-endian
+  uint16_t dst_port;  // big-endian
+  uint16_t length;    // big-endian
+  uint16_t checksum;
+};
+static_assert(sizeof(UdpHeader) == 8);
+
+// Application-level request header (layer 4+ payload prefix).
+struct PspHeader {
+  uint32_t magic;        // kMagic
+  uint32_t request_type; // application request type id (classifier input)
+  uint64_t request_id;   // unique per client
+  uint32_t client_id;
+  uint32_t payload_length;  // bytes following this header
+  int64_t client_timestamp; // client send time (ns) for RTT accounting
+
+  static constexpr uint32_t kMagic = 0x50535031;  // "PSP1"
+};
+static_assert(sizeof(PspHeader) == 32);
+
+#pragma pack(pop)
+
+inline constexpr size_t kHeadersSize =
+    sizeof(EthernetHeader) + sizeof(Ipv4Header) + sizeof(UdpHeader);
+inline constexpr size_t kRequestOffset = kHeadersSize;  // PspHeader offset
+inline constexpr size_t kMaxPacketSize = 1518;           // standard MTU frame
+
+// Big-endian helpers (network byte order).
+constexpr uint16_t HostToNet16(uint16_t v) {
+  return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+constexpr uint16_t NetToHost16(uint16_t v) { return HostToNet16(v); }
+constexpr uint32_t HostToNet32(uint32_t v) {
+  return ((v & 0xFF) << 24) | ((v & 0xFF00) << 8) | ((v >> 8) & 0xFF00) |
+         (v >> 24);
+}
+constexpr uint32_t NetToHost32(uint32_t v) { return HostToNet32(v); }
+
+// A reference to a packet living in a MemoryPool buffer.
+struct PacketRef {
+  std::byte* data = nullptr;
+  uint32_t length = 0;
+};
+
+// Flow identity used for RSS steering.
+struct FlowTuple {
+  uint32_t src_addr = 0;
+  uint32_t dst_addr = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+};
+
+// Fields needed to build a request packet.
+struct RequestFrame {
+  FlowTuple flow;
+  uint32_t request_type = 0;
+  uint64_t request_id = 0;
+  uint32_t client_id = 0;
+  Nanos client_timestamp = 0;
+  const std::byte* payload = nullptr;
+  uint32_t payload_length = 0;
+};
+
+// Writes a full Eth/IP/UDP/PSP frame into `buf` (capacity `buf_size`).
+// Returns the frame length, or 0 if it does not fit.
+uint32_t BuildRequestPacket(const RequestFrame& frame, std::byte* buf,
+                            size_t buf_size);
+
+// Naturally-aligned copy of the wire PspHeader (the packed wire struct's
+// members have alignment 1, which poisons reference binding downstream).
+struct RequestHeaderView {
+  uint32_t magic = 0;
+  uint32_t request_type = 0;
+  uint64_t request_id = 0;
+  uint32_t client_id = 0;
+  uint32_t payload_length = 0;
+  int64_t client_timestamp = 0;
+};
+
+// Parsed view of a received request packet. The payload pointer aliases the
+// packet buffer (zero-copy, §4.3.1); the request header is copied out by
+// value because its position in the frame is not naturally aligned.
+struct ParsedRequest {
+  FlowTuple flow;
+  RequestHeaderView psp;
+  const std::byte* payload = nullptr;
+  uint32_t payload_length = 0;
+};
+
+// Validates Ethernet/IPv4/UDP framing and the PSP magic. The checks mirror
+// the paper's net worker, "a layer 2 forwarder [that] performs simple checks
+// on Ethernet and IP headers" (§6). Returns nullopt for malformed packets.
+std::optional<ParsedRequest> ParseRequestPacket(const std::byte* data,
+                                                uint32_t length);
+
+// Rewrites a request frame in place into a response frame: swaps Ethernet
+// MACs, IP addresses and UDP ports, and sets the new payload length. This is
+// the paper's buffer-reuse TX path ("the worker reuses the ingress network
+// buffer to host the egress packet", §4.3.1). Returns the new frame length.
+uint32_t FormatResponseInPlace(std::byte* data, uint32_t response_payload_len);
+
+// IPv4 header checksum (RFC 1071) over the 20-byte header.
+uint16_t Ipv4Checksum(const Ipv4Header& header);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_NET_PACKET_H_

@@ -1,0 +1,66 @@
+#include "src/net/rss.h"
+
+namespace psp {
+namespace {
+
+// Feeds `bits` (given as a big-endian byte span) into the Toeplitz hash.
+void HashBytes(const uint8_t* bytes, size_t len,
+               const std::array<uint8_t, 40>& key, size_t* key_bit,
+               uint32_t* result) {
+  for (size_t i = 0; i < len; ++i) {
+    const uint8_t byte = bytes[i];
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) {
+        // 32-bit window of the key starting at *key_bit.
+        uint32_t window = 0;
+        const size_t base = *key_bit;
+        for (int b = 0; b < 32; ++b) {
+          const size_t kb = base + static_cast<size_t>(b);
+          const uint8_t kbyte = key[(kb / 8) % key.size()];
+          const uint8_t kbit = (kbyte >> (7 - kb % 8)) & 1;
+          window = (window << 1) | kbit;
+        }
+        *result ^= window;
+      }
+      ++*key_bit;
+    }
+  }
+}
+
+}  // namespace
+
+uint32_t ToeplitzHash(const FlowTuple& flow,
+                      const std::array<uint8_t, 40>& key) {
+  uint32_t result = 0;
+  size_t key_bit = 0;
+
+  const uint8_t src_addr[4] = {
+      static_cast<uint8_t>(flow.src_addr >> 24),
+      static_cast<uint8_t>(flow.src_addr >> 16),
+      static_cast<uint8_t>(flow.src_addr >> 8),
+      static_cast<uint8_t>(flow.src_addr)};
+  const uint8_t dst_addr[4] = {
+      static_cast<uint8_t>(flow.dst_addr >> 24),
+      static_cast<uint8_t>(flow.dst_addr >> 16),
+      static_cast<uint8_t>(flow.dst_addr >> 8),
+      static_cast<uint8_t>(flow.dst_addr)};
+  const uint8_t ports[4] = {
+      static_cast<uint8_t>(flow.src_port >> 8),
+      static_cast<uint8_t>(flow.src_port),
+      static_cast<uint8_t>(flow.dst_port >> 8),
+      static_cast<uint8_t>(flow.dst_port)};
+
+  HashBytes(src_addr, 4, key, &key_bit, &result);
+  HashBytes(dst_addr, 4, key, &key_bit, &result);
+  HashBytes(ports, 4, key, &key_bit, &result);
+  return result;
+}
+
+uint32_t RssQueueForFlow(const FlowTuple& flow, uint32_t num_queues) {
+  if (num_queues == 0) {
+    return 0;
+  }
+  return ToeplitzHash(flow) % num_queues;
+}
+
+}  // namespace psp

@@ -1,0 +1,32 @@
+// Receive Side Scaling: Toeplitz hashing over the IPv4/UDP 4-tuple, as NICs
+// implement it. Used by the d-FCFS baseline ("d-FCFS models Receive Side
+// Scaling", §2) and by Shenango's IOKernel model, which "uses RSS hashes to
+// steer packets to application cores" (§5.1).
+#ifndef PSP_SRC_NET_RSS_H_
+#define PSP_SRC_NET_RSS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/net/packet.h"
+
+namespace psp {
+
+// Microsoft's canonical 40-byte RSS key (the default in most NIC drivers).
+inline constexpr std::array<uint8_t, 40> kDefaultRssKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+
+// Toeplitz hash over (src_addr, dst_addr, src_port, dst_port), host order.
+uint32_t ToeplitzHash(const FlowTuple& flow,
+                      const std::array<uint8_t, 40>& key = kDefaultRssKey);
+
+// Maps a flow to one of `num_queues` RX queues via the indirection table
+// convention (hash % table size with an identity table).
+uint32_t RssQueueForFlow(const FlowTuple& flow, uint32_t num_queues);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_NET_RSS_H_

@@ -1,0 +1,56 @@
+// Dispatcher ↔ worker communication channel (paper §4.3.2): a pair of
+// single-producer single-consumer rings carrying work orders one way and
+// completion signals the other, in the lockless Barrelfish-inspired pattern.
+#ifndef PSP_SRC_RUNTIME_CHANNEL_H_
+#define PSP_SRC_RUNTIME_CHANNEL_H_
+
+#include <memory>
+
+#include "src/common/spsc_ring.h"
+#include "src/core/request.h"
+
+namespace psp {
+
+// Dispatcher -> worker: run this request.
+struct WorkOrder {
+  uint64_t request_id = 0;
+  TypeIndex type = kInvalidTypeIndex;
+  Nanos arrival = 0;
+  void* payload = nullptr;      // NIC buffer (zero-copy handoff)
+  uint32_t payload_length = 0;
+  uint32_t frame_length = 0;    // full frame length for TX reuse
+};
+
+// Worker -> dispatcher: request done; profiled service time attached so the
+// dispatcher can update the type's profile (§4.3.3).
+struct CompletionSignal {
+  uint64_t request_id = 0;
+  TypeIndex type = kInvalidTypeIndex;
+  Nanos service_time = 0;
+};
+
+class WorkerChannel {
+ public:
+  explicit WorkerChannel(size_t depth)
+      : orders_(depth), completions_(depth) {}
+
+  // Dispatcher side.
+  bool PushOrder(const WorkOrder& order) { return orders_.TryPush(order); }
+  bool PopCompletion(CompletionSignal* out) {
+    return completions_.TryPop(out);
+  }
+
+  // Worker side.
+  bool PopOrder(WorkOrder* out) { return orders_.TryPop(out); }
+  bool PushCompletion(const CompletionSignal& signal) {
+    return completions_.TryPush(signal);
+  }
+
+ private:
+  SpscRing<WorkOrder> orders_;
+  SpscRing<CompletionSignal> completions_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_RUNTIME_CHANNEL_H_

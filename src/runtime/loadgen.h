@@ -1,0 +1,73 @@
+// In-process open-loop load generator: plays the role of the paper's client
+// machines (§5.1) against the threaded runtime. Generates Poisson arrivals of
+// typed requests, timestamps them in the request header, drains responses
+// from the NIC egress, and reports client-observed latency per type.
+#ifndef PSP_SRC_RUNTIME_LOADGEN_H_
+#define PSP_SRC_RUNTIME_LOADGEN_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/runtime/persephone.h"
+
+namespace psp {
+
+// One request type in the client mix. build_payload fills the application
+// payload (after the PSP header) and returns its length.
+struct ClientRequestSpec {
+  TypeId wire_id = 0;
+  std::string name;
+  double ratio = 0;
+  std::function<uint32_t(std::byte* payload, uint32_t capacity, Rng& rng)>
+      build_payload;
+};
+
+struct LoadGenConfig {
+  double rate_rps = 20000;
+  uint64_t total_requests = 10000;
+  uint64_t seed = 1;
+  // Give up waiting for outstanding responses this long after the last send
+  // (covers flow-control drops).
+  Nanos drain_timeout = 500 * kMillisecond;
+  // Discard this fraction of earliest sends from the report.
+  double warmup_fraction = 0.1;
+};
+
+struct LoadGenReport {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t send_drops = 0;  // NIC RX queue full at delivery
+  Nanos elapsed = 0;
+  std::map<TypeId, Histogram> latency;  // client-observed, per type
+  Histogram overall;
+
+  double AchievedRps() const {
+    return elapsed > 0
+               ? static_cast<double>(sent) * 1e9 / static_cast<double>(elapsed)
+               : 0;
+  }
+};
+
+class LoadGenerator {
+ public:
+  LoadGenerator(Persephone* server, std::vector<ClientRequestSpec> mix,
+                LoadGenConfig config);
+
+  // Runs in the calling thread until all requests are sent and responses
+  // drained (or the drain timeout expires).
+  LoadGenReport Run();
+
+ private:
+  Persephone* server_;
+  std::vector<ClientRequestSpec> mix_;
+  std::vector<double> cumulative_;
+  LoadGenConfig config_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_RUNTIME_LOADGEN_H_

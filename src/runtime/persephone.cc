@@ -1,0 +1,280 @@
+#include "src/runtime/persephone.h"
+
+#include <cassert>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include <unistd.h>
+
+#include "src/net/packet.h"
+
+namespace psp {
+namespace {
+
+// Pins the calling thread to `cpu` (mod the online-core count); best effort.
+void PinCurrentThread(uint32_t cpu) {
+#if defined(__linux__)
+  const long cores = sysconf(_SC_NPROCESSORS_ONLN);
+  if (cores <= 1) {
+    return;  // nothing to separate onto
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % static_cast<uint32_t>(cores), &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+Persephone::Persephone(RuntimeConfig config) : config_(std::move(config)) {
+  pool_ = std::make_unique<MemoryPool>(kMaxPacketSize, config_.pool_buffers);
+  // Queue 0: dispatcher RX; queues 1..N: per-worker TX contexts.
+  nic_ = std::make_unique<SimulatedNic>(config_.num_workers + 1,
+                                        config_.nic_queue_depth, pool_.get());
+  SchedulerConfig sched = config_.scheduler;
+  sched.num_workers = config_.num_workers;
+  scheduler_ = std::make_unique<DarcScheduler>(sched);
+  classifier_ = std::make_unique<HeaderFieldClassifier>();
+  channels_.reserve(config_.num_workers);
+  for (uint32_t w = 0; w < config_.num_workers; ++w) {
+    channels_.push_back(std::make_unique<WorkerChannel>(config_.channel_depth));
+    worker_counters_.push_back(std::make_unique<WorkerCounters>());
+  }
+  if (config_.dedicated_net_worker) {
+    net_ring_ = std::make_unique<SpscRing<PacketRef>>(config_.nic_queue_depth);
+  }
+  // Slot 0 (UNKNOWN) default handler: empty response.
+  handlers_.push_back([](const std::byte*, uint32_t, std::byte*, uint32_t) {
+    return 0u;
+  });
+}
+
+Persephone::~Persephone() { Stop(); }
+
+TypeIndex Persephone::RegisterType(TypeId wire_id, std::string name,
+                                   RequestHandler handler, Nanos expected_mean,
+                                   double expected_ratio) {
+  assert(!running());
+  const TypeIndex index = scheduler_->RegisterType(
+      wire_id, std::move(name), expected_mean, expected_ratio);
+  handlers_.resize(std::max<size_t>(handlers_.size(), index + 1));
+  handlers_[index] = std::move(handler);
+  return index;
+}
+
+void Persephone::set_unknown_handler(RequestHandler handler) {
+  handlers_[scheduler_->unknown_type()] = std::move(handler);
+}
+
+void Persephone::Start() {
+  assert(!running());
+  stop_.store(false, std::memory_order_release);
+  // Apply seeded reservations if every registered type carries hints;
+  // otherwise DARC bootstraps through its c-FCFS profiling window.
+  if (config_.scheduler.mode != PolicyMode::kCFcfs &&
+      scheduler_->profiler().HasDemands()) {
+    scheduler_->ActivateSeededReservation();
+  }
+  if (config_.dedicated_net_worker) {
+    threads_.emplace_back([this] { NetWorkerLoop(); });
+  }
+  threads_.emplace_back([this] { DispatcherLoop(); });
+  for (uint32_t w = 0; w < config_.num_workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  running_.store(true, std::memory_order_release);
+}
+
+void Persephone::Stop() {
+  if (threads_.empty()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+WorkerUtilization Persephone::worker_utilization(uint32_t id) const {
+  WorkerUtilization u;
+  if (id >= worker_counters_.size()) {
+    return u;
+  }
+  const WorkerCounters& counters = *worker_counters_[id];
+  const int64_t started = counters.started_at.load(std::memory_order_relaxed);
+  u.busy = static_cast<Nanos>(counters.busy.load(std::memory_order_relaxed));
+  u.requests = counters.requests.load(std::memory_order_relaxed);
+  u.wall = started > 0 ? TscClock::Global().Now() - started : 0;
+  return u;
+}
+
+RuntimeStats Persephone::stats() const {
+  RuntimeStats s;
+  s.rx_packets = rx_packets_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Persephone::NetWorkerLoop() {
+  if (config_.pin_threads) {
+    PinCurrentThread(0);
+  }
+  // The paper's net worker: "a layer 2 forwarder [that] performs simple
+  // checks on Ethernet and IP headers" (§6) before handing frames to the
+  // dispatcher. Full request parsing/classification stays on the dispatcher.
+  while (!stop_.load(std::memory_order_acquire)) {
+    PacketRef packet;
+    if (!nic_->PollRx(0, &packet)) {
+      IdlePause();
+      continue;
+    }
+    bool ok = packet.length >= kHeadersSize;
+    if (ok) {
+      const auto* eth = reinterpret_cast<const EthernetHeader*>(packet.data);
+      const auto* ip = reinterpret_cast<const Ipv4Header*>(
+          packet.data + sizeof(EthernetHeader));
+      ok = NetToHost16(eth->ether_type) == EthernetHeader::kEtherTypeIpv4 &&
+           ip->version_ihl == 0x45;
+    }
+    if (!ok) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      pool_->FreeGlobal(packet.data);
+      continue;
+    }
+    while (!net_ring_->TryPush(packet)) {
+      if (stop_.load(std::memory_order_acquire)) {
+        pool_->FreeGlobal(packet.data);
+        return;
+      }
+      IdlePause();  // dispatcher backpressure
+    }
+  }
+}
+
+void Persephone::DispatcherLoop() {
+  if (config_.pin_threads) {
+    PinCurrentThread(0);  // shares the net worker's core, as in the paper
+  }
+  const TscClock& clock = TscClock::Global();
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool progressed = false;
+    const Nanos now = clock.Now();
+
+    // 1. Absorb completion signals (frees workers, feeds the profiler).
+    for (uint32_t w = 0; w < config_.num_workers; ++w) {
+      CompletionSignal signal;
+      while (channels_[w]->PopCompletion(&signal)) {
+        scheduler_->OnCompletion(w, signal.type, signal.service_time, now);
+        progressed = true;
+      }
+    }
+
+    // 2. Ingest new packets: parse, classify, enqueue into typed queues.
+    PacketRef packet;
+    while (PollIngress(&packet)) {
+      progressed = true;
+      rx_packets_.fetch_add(1, std::memory_order_relaxed);
+      const auto parsed = ParseRequestPacket(packet.data, packet.length);
+      if (!parsed.has_value()) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        pool_->FreeGlobal(packet.data);
+        continue;
+      }
+      const TypeId wire = classifier_->Classify(
+          packet.data + kRequestOffset,
+          packet.length - static_cast<uint32_t>(kRequestOffset));
+      Request request;
+      request.id = next_request_id_++;
+      request.type = scheduler_->ResolveType(wire);
+      request.arrival = now;
+      request.payload = packet.data;
+      request.payload_length = packet.length;
+      if (!scheduler_->Enqueue(request, now)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        pool_->FreeGlobal(packet.data);  // flow-control shed (§4.3.3)
+      }
+    }
+
+    // 3. Algorithm 1: push ready work to free workers.
+    while (auto assignment = scheduler_->NextAssignment(now)) {
+      WorkOrder order;
+      order.request_id = assignment->request.id;
+      order.type = assignment->request.type;
+      order.arrival = assignment->request.arrival;
+      order.payload = assignment->request.payload;
+      order.payload_length = assignment->request.payload_length;
+      const bool pushed = channels_[assignment->worker]->PushOrder(order);
+      assert(pushed && "worker has at most one outstanding order");
+      (void)pushed;
+      progressed = true;
+    }
+
+    if (!progressed) {
+      IdlePause();
+    }
+  }
+}
+
+void Persephone::WorkerLoop(uint32_t worker_id) {
+  if (config_.pin_threads) {
+    PinCurrentThread(worker_id + 1);
+  }
+  const TscClock& clock = TscClock::Global();
+  NetworkContext ctx(nic_.get(), worker_id + 1);
+  WorkerChannel& channel = *channels_[worker_id];
+  WorkerCounters& counters = *worker_counters_[worker_id];
+  counters.started_at.store(clock.Now(), std::memory_order_relaxed);
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    WorkOrder order;
+    if (!channel.PopOrder(&order)) {
+      IdlePause();
+      continue;
+    }
+    auto* frame = static_cast<std::byte*>(order.payload);
+    const Nanos start = clock.Now();
+
+    // Application processing: payload in, response payload out — into the
+    // same buffer region (zero-copy TX reuse, §4.3.1). Handlers must finish
+    // reading the request before writing the response.
+    std::byte* response_area = frame + kRequestOffset + sizeof(PspHeader);
+    const uint32_t capacity = static_cast<uint32_t>(
+        pool_->buffer_size() - kRequestOffset - sizeof(PspHeader));
+    const std::byte* request_payload = response_area;
+    const uint32_t request_payload_len =
+        order.payload_length > kRequestOffset + sizeof(PspHeader)
+            ? order.payload_length -
+                  static_cast<uint32_t>(kRequestOffset + sizeof(PspHeader))
+            : 0;
+    const uint32_t response_len = handlers_[order.type](
+        request_payload, request_payload_len, response_area, capacity);
+
+    const uint32_t frame_len = FormatResponseInPlace(frame, response_len);
+    if (!ctx.Transmit(PacketRef{frame, frame_len})) {
+      // Egress full (client not draining): release the buffer.
+      pool_->FreeGlobal(frame);
+    }
+    const Nanos service = clock.Now() - start;
+    counters.busy.fetch_add(static_cast<uint64_t>(service),
+                            std::memory_order_relaxed);
+    counters.requests.fetch_add(1, std::memory_order_relaxed);
+
+    CompletionSignal signal{order.request_id, order.type, service};
+    const bool pushed = channel.PushCompletion(signal);
+    assert(pushed);
+    (void)pushed;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace psp

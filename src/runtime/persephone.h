@@ -1,0 +1,166 @@
+// The threaded Perséphone runtime (paper §4.3): a net-worker/dispatcher
+// thread running the DARC scheduler, plus application worker threads, all
+// communicating over lock-free SPSC channels and a shared NIC buffer pool.
+//
+// This is the execution engine a real deployment would use; the simulated NIC
+// stands in for DPDK hardware queues (see DESIGN.md). An in-process load
+// generator (LoadGenerator) plays the role of the client machines.
+//
+// Threading model:
+//   * exactly one dispatcher thread: polls NIC RX, parses + classifies,
+//     enqueues into typed queues, runs Algorithm 1, pushes work orders;
+//   * N application worker threads: pop orders, invoke the registered
+//     handler, format the response into the same buffer (zero-copy), TX via
+//     their private network context, signal completion.
+#ifndef PSP_SRC_RUNTIME_PERSEPHONE_H_
+#define PSP_SRC_RUNTIME_PERSEPHONE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/memory_pool.h"
+#include "src/core/classifier.h"
+#include "src/core/scheduler.h"
+#include "src/net/nic.h"
+#include "src/runtime/channel.h"
+
+namespace psp {
+
+// Application logic for one request type. Receives the request payload (the
+// bytes after the PSP header) and a scratch view of the same buffer to write
+// the response payload into. Returns the response payload length.
+using RequestHandler = std::function<uint32_t(
+    const std::byte* payload, uint32_t payload_length, std::byte* response,
+    uint32_t response_capacity)>;
+
+struct RuntimeConfig {
+  uint32_t num_workers = 2;
+  SchedulerConfig scheduler;
+  size_t channel_depth = 512;
+  size_t nic_queue_depth = 1024;
+  size_t pool_buffers = 8192;
+  // Cooperative yielding keeps the runtime functional on machines with fewer
+  // cores than threads (true busy-poll pins one core per thread, as on the
+  // paper's testbed).
+  bool yield_when_idle = true;
+  // Best-effort CPU pinning (the paper's testbed pins every role to a
+  // dedicated core via isolcpus): dispatcher (and net worker) on core 0,
+  // workers on cores 1..N modulo the machine's core count. No-op when the
+  // machine has fewer cores than threads or pinning is unsupported.
+  bool pin_threads = false;
+  // Run the net worker on its own thread (the Shinjuku/Shenango arrangement).
+  // Default false: net worker and dispatcher share one thread, Perséphone's
+  // own configuration ("Perséphone runs both its net worker and dispatcher
+  // on the same hardware thread", §5.1). The net worker performs the paper's
+  // layer-2 checks and forwards frames to the dispatcher over an SPSC ring.
+  bool dedicated_net_worker = false;
+};
+
+struct RuntimeStats {
+  uint64_t rx_packets = 0;
+  uint64_t malformed = 0;
+  uint64_t completed = 0;
+  uint64_t dropped = 0;
+};
+
+// Per-worker occupancy since Start(): busy time is accumulated while a
+// handler runs, so busy/wall exposes DARC's deliberate idling per core.
+struct WorkerUtilization {
+  Nanos busy = 0;
+  Nanos wall = 0;
+  uint64_t requests = 0;
+
+  double BusyFraction() const {
+    return wall > 0 ? static_cast<double>(busy) / static_cast<double>(wall)
+                    : 0.0;
+  }
+};
+
+class Persephone {
+ public:
+  explicit Persephone(RuntimeConfig config);
+  ~Persephone();
+
+  Persephone(const Persephone&) = delete;
+  Persephone& operator=(const Persephone&) = delete;
+
+  // --- Setup (before Start) -------------------------------------------------
+  void set_classifier(std::unique_ptr<RequestClassifier> classifier) {
+    classifier_ = std::move(classifier);
+  }
+
+  // Registers a request type with its application handler. Seeds let DARC
+  // start with a steady-state reservation; pass 0/0 to rely on profiling.
+  TypeIndex RegisterType(TypeId wire_id, std::string name,
+                         RequestHandler handler, Nanos expected_mean = 0,
+                         double expected_ratio = 0);
+
+  // Handler for UNKNOWN requests (optional; default echoes 0 bytes).
+  void set_unknown_handler(RequestHandler handler);
+
+  // --- Lifecycle --------------------------------------------------------------
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- Client-facing (the "wire") ---------------------------------------------
+  SimulatedNic& nic() { return *nic_; }
+  MemoryPool& pool() { return *pool_; }
+
+  const DarcScheduler& scheduler() const { return *scheduler_; }
+  RuntimeStats stats() const;
+  // Occupancy snapshot for worker `id` (valid after Start()).
+  WorkerUtilization worker_utilization(uint32_t id) const;
+  uint32_t num_workers() const { return config_.num_workers; }
+
+ private:
+  void NetWorkerLoop();
+  void DispatcherLoop();
+  void WorkerLoop(uint32_t worker_id);
+  // Pulls the next ingress frame from whichever path is configured (direct
+  // NIC poll, or the net worker's forwarding ring).
+  bool PollIngress(PacketRef* out) {
+    if (config_.dedicated_net_worker) {
+      return net_ring_->TryPop(out);
+    }
+    return nic_->PollRx(0, out);
+  }
+  void IdlePause() const {
+    if (config_.yield_when_idle) {
+      std::this_thread::yield();
+    }
+  }
+
+  RuntimeConfig config_;
+  std::unique_ptr<MemoryPool> pool_;
+  std::unique_ptr<SimulatedNic> nic_;
+  std::unique_ptr<DarcScheduler> scheduler_;
+  std::unique_ptr<RequestClassifier> classifier_;
+  std::vector<std::unique_ptr<WorkerChannel>> channels_;
+  std::unique_ptr<SpscRing<PacketRef>> net_ring_;  // net worker -> dispatcher
+  std::vector<RequestHandler> handlers_;  // indexed by TypeIndex
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  struct WorkerCounters {
+    std::atomic<uint64_t> busy{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<int64_t> started_at{0};
+  };
+  std::vector<std::unique_ptr<WorkerCounters>> worker_counters_;
+
+  std::atomic<uint64_t> rx_packets_{0};
+  std::atomic<uint64_t> malformed_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> dropped_{0};
+  uint64_t next_request_id_ = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_RUNTIME_PERSEPHONE_H_

@@ -1,0 +1,35 @@
+// Calibrated busy-work for synthetic service times in the threaded runtime
+// (the stand-in for the paper's spin-loop workloads, §5.1).
+#ifndef PSP_SRC_RUNTIME_SPIN_WORK_H_
+#define PSP_SRC_RUNTIME_SPIN_WORK_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace psp {
+
+// Spins the CPU for approximately `duration` using the calibrated TSC clock.
+// Precision is sub-microsecond on an idle core.
+inline void SpinFor(Nanos duration) {
+  const TscClock& clock = TscClock::Global();
+  clock.SpinUntil(clock.Now() + duration);
+}
+
+// A deterministic integer workload that cannot be optimised away; used where
+// pure spinning would let the CPU idle-boost and skew calibration.
+inline uint64_t ChurnFor(Nanos duration) {
+  const TscClock& clock = TscClock::Global();
+  const Nanos deadline = clock.Now() + duration;
+  uint64_t acc = 0x9E3779B97F4A7C15ULL;
+  while (clock.Now() < deadline) {
+    acc ^= acc << 13;
+    acc ^= acc >> 7;
+    acc ^= acc << 17;
+  }
+  return acc;
+}
+
+}  // namespace psp
+
+#endif  // PSP_SRC_RUNTIME_SPIN_WORK_H_

@@ -1,0 +1,200 @@
+#include "src/sim/cluster.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/trace.h"
+
+namespace psp {
+
+ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
+                             std::unique_ptr<SchedulingPolicy> policy)
+    : workload_(std::move(workload)),
+      config_(config),
+      policy_(std::move(policy)),
+      rng_(config.seed),
+      metrics_(static_cast<Nanos>(config.warmup_fraction *
+                                  static_cast<double>(config.duration))) {
+  assert(!workload_.phases.empty());
+  for (const auto& t : workload_.AllTypes()) {
+    metrics_.RegisterType(t.wire_id, t.name);
+  }
+  if (config_.time_series_bucket > 0) {
+    metrics_.EnableTimeSeries(config_.time_series_bucket);
+  }
+  policy_->Attach(this);
+}
+
+namespace {
+
+ClusterConfig AdjustDurationForTrace(ClusterConfig config,
+                                     const std::vector<TraceEntry>& trace) {
+  if (!trace.empty()) {
+    config.duration = trace.back().send_time + 1;
+  }
+  return config;
+}
+
+}  // namespace
+
+ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
+                             std::unique_ptr<SchedulingPolicy> policy,
+                             std::vector<TraceEntry> trace)
+    : ClusterEngine(std::move(workload), AdjustDurationForTrace(config, trace),
+                    std::move(policy)) {
+  trace_ = std::move(trace);
+}
+
+SimRequest* ClusterEngine::AllocRequest() {
+  if (!free_list_.empty()) {
+    SimRequest* r = free_list_.back();
+    free_list_.pop_back();
+    return r;
+  }
+  slab_.emplace_back();
+  return &slab_.back();
+}
+
+void ClusterEngine::FreeRequest(SimRequest* request) {
+  free_list_.push_back(request);
+}
+
+void ClusterEngine::StartPhase(size_t phase_index, Nanos start_time) {
+  phase_index_ = phase_index;
+  const WorkloadPhase& phase = workload_.phases[phase_index];
+  sampler_ = std::make_unique<PhaseSampler>(phase);
+  const double rate = config_.rate_rps * phase.load_scale;
+  gap_mean_nanos_ = rate > 0 ? 1e9 / rate : 0;
+  phase_end_ = phase.duration > 0 ? start_time + phase.duration
+                                  : config_.duration;
+}
+
+void ClusterEngine::ScheduleNextArrival() {
+  // Poisson gaps; crossing a phase boundary re-rolls the phase sampler.
+  double u = rng_.NextDouble();
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  next_send_ += static_cast<Nanos>(-gap_mean_nanos_ * std::log(1.0 - u)) + 1;
+  while (next_send_ >= phase_end_ && phase_index_ + 1 < workload_.phases.size()) {
+    StartPhase(phase_index_ + 1, phase_end_);
+  }
+  if (next_send_ >= config_.duration) {
+    return;  // sending window over
+  }
+
+  const Nanos send_time = next_send_;
+  sim_.ScheduleAt(send_time, [this, send_time] {
+    const MixtureDraw draw = sampler_->Sample(rng_);
+    InjectRequest(send_time, sampler_->type(draw.mode).wire_id, draw.mode,
+                  draw.service_time);
+    ScheduleNextArrival();
+  });
+}
+
+void ClusterEngine::InjectRequest(Nanos send_time, TypeId wire_type,
+                                  uint32_t phase_slot, Nanos service) {
+  SimRequest* req = AllocRequest();
+  req->id = next_id_++;
+  req->wire_type = wire_type;
+  req->phase_slot = phase_slot;
+  req->service = service;
+  req->remaining = service;
+  req->send_time = send_time;
+  req->flow_hash = static_cast<uint32_t>(rng_.Next());
+  ++generated_;
+
+  // Network flight, then the server's net-worker/dispatcher pipeline: a
+  // serial resource charging dispatch_cost per request.
+  const Nanos rx_time = send_time + config_.net_one_way;
+  const Nanos ready =
+      std::max(rx_time, dispatcher_busy_until_) + config_.dispatch_cost;
+  dispatcher_busy_until_ = ready;
+  sim_.ScheduleAt(ready, [this, req] { policy_->OnArrival(req); });
+}
+
+void ClusterEngine::ScheduleTraceArrival(size_t index) {
+  if (index >= trace_.size()) {
+    return;
+  }
+  const TraceEntry entry = trace_[index];
+  sim_.ScheduleAt(entry.send_time, [this, entry, index] {
+    InjectRequest(entry.send_time, entry.wire_type, /*phase_slot=*/0,
+                  entry.service);
+    ScheduleTraceArrival(index + 1);
+  });
+}
+
+void ClusterEngine::Run() {
+  if (!trace_.empty()) {
+    ScheduleTraceArrival(0);
+  } else {
+    StartPhase(0, 0);
+    ScheduleNextArrival();
+  }
+  sim_.RunToCompletion();
+}
+
+void ClusterEngine::CompleteRequest(SimRequest* request) {
+  // Completion signal occupies the dispatcher briefly (§4.3.3); the response
+  // itself is transmitted by the worker directly (§4.3.4).
+  dispatcher_busy_until_ =
+      std::max(dispatcher_busy_until_, Now()) + config_.completion_cost;
+  const Nanos receive_time = Now() + config_.net_one_way;
+  metrics_.RecordCompletion(request->wire_type, request->send_time,
+                            receive_time, request->service);
+  FreeRequest(request);
+}
+
+void ClusterEngine::DropRequest(SimRequest* request) {
+  metrics_.RecordDrop(request->wire_type);
+  FreeRequest(request);
+}
+
+void WorkerBank::Init(ClusterEngine* engine, IdleCallback on_idle) {
+  engine_ = engine;
+  on_idle_ = std::move(on_idle);
+  idle_.clear();
+  busy_nanos_.assign(engine->num_workers(), 0);
+  for (uint32_t w = 0; w < engine->num_workers(); ++w) {
+    idle_.push_back(w);
+  }
+}
+
+uint32_t WorkerBank::PopIdle() {
+  const uint32_t w = idle_.back();
+  idle_.pop_back();
+  return w;
+}
+
+bool WorkerBank::IsIdle(uint32_t worker) const {
+  for (const uint32_t w : idle_) {
+    if (w == worker) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkerBank::ClaimIdle(uint32_t worker) {
+  for (size_t i = 0; i < idle_.size(); ++i) {
+    if (idle_[i] == worker) {
+      idle_[i] = idle_.back();
+      idle_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerBank::Run(uint32_t worker, SimRequest* request, Nanos extra_cost) {
+  const Nanos busy = extra_cost + request->service;
+  busy_nanos_[worker] += static_cast<uint64_t>(busy);
+  engine_->sim().ScheduleAfter(busy, [this, worker, request] {
+    engine_->CompleteRequest(request);
+    idle_.push_back(worker);
+    on_idle_(worker);
+  });
+}
+
+}  // namespace psp

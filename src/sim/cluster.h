@@ -1,0 +1,179 @@
+// The simulated testbed: open-loop Poisson clients, a network with a fixed
+// one-way delay, and a server pipeline (net worker + dispatcher as one serial
+// resource feeding a pluggable scheduling policy over W worker cores) —
+// mirroring the paper's CloudLab setup (§5.1) and its idealised §2 simulator
+// (set net delay and pipeline costs to zero for the latter).
+#ifndef PSP_SRC_SIM_CLUSTER_H_
+#define PSP_SRC_SIM_CLUSTER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
+#include "src/sim/workload.h"
+
+namespace psp {
+
+struct SimRequest {
+  uint64_t id = 0;
+  TypeId wire_type = 0;    // request type id carried in the header
+  uint32_t phase_slot = 0; // index into the generating phase's type list
+  Nanos service = 0;       // total CPU demand
+  Nanos remaining = 0;     // remaining demand (preemptive policies)
+  Nanos send_time = 0;     // client send instant
+  uint32_t flow_hash = 0;  // RSS steering input
+};
+
+struct ClusterConfig {
+  uint32_t num_workers = 14;
+  double rate_rps = 1e6;            // offered load (phase load_scale applies)
+  Nanos duration = kSecond;         // client sending window
+  double warmup_fraction = 0.1;     // discarded prefix (paper: first 10%)
+  Nanos net_one_way = 5 * kMicrosecond;  // testbed RTT ≈ 10 µs
+  Nanos dispatch_cost = 100;        // net worker + classifier + decision, per request
+  Nanos completion_cost = 40;       // completion-signal handling on dispatcher
+  uint64_t seed = 42;
+  Nanos time_series_bucket = 0;     // 0 = no time series
+};
+
+class ClusterEngine;
+
+// A scheduling policy plugged into the server model. Policies own the worker
+// cores: they decide what runs where and call CompleteRequest/DropRequest.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual void Attach(ClusterEngine* engine) { engine_ = engine; }
+
+  // Called when the dispatcher hands over a classified request.
+  virtual void OnArrival(SimRequest* request) = 0;
+
+  virtual std::string Name() const = 0;
+
+  // Policy-specific counters surfaced in benches (e.g. preemptions, steals).
+  virtual uint64_t preemptions() const { return 0; }
+  virtual uint64_t steals() const { return 0; }
+
+ protected:
+  ClusterEngine* engine_ = nullptr;
+};
+
+class ClusterEngine {
+ public:
+  ClusterEngine(WorkloadSpec workload, ClusterConfig config,
+                std::unique_ptr<SchedulingPolicy> policy);
+
+  // Trace-replay constructor: arrivals, types and service times come from
+  // `trace` (see src/sim/trace.h) instead of the workload's generators; the
+  // workload spec still names the types for metrics and policy seeding.
+  // config.duration/rate_rps are ignored for generation (the warmup fraction
+  // applies against the last trace send time).
+  ClusterEngine(WorkloadSpec workload, ClusterConfig config,
+                std::unique_ptr<SchedulingPolicy> policy,
+                std::vector<TraceEntry> trace);
+
+  // Runs the experiment to completion (all sent requests completed/dropped).
+  void Run();
+
+  // --- Policy-facing API ----------------------------------------------------
+  Simulation& sim() { return sim_; }
+  Nanos Now() const { return sim_.Now(); }
+  uint32_t num_workers() const { return config_.num_workers; }
+  Rng& rng() { return rng_; }
+
+  // The request finished service now; routes the response to the client and
+  // releases the request.
+  void CompleteRequest(SimRequest* request);
+  // The request was shed (queue full); recorded as a drop.
+  void DropRequest(SimRequest* request);
+
+  // --- Results --------------------------------------------------------------
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  const ClusterConfig& config() const { return config_; }
+  const WorkloadSpec& workload() const { return workload_; }
+  SchedulingPolicy& policy() { return *policy_; }
+  uint64_t generated() const { return generated_; }
+
+  // Duration of the measured (post-warmup) sending window.
+  Nanos MeasuredWindow() const {
+    return config_.duration -
+           static_cast<Nanos>(config_.warmup_fraction *
+                              static_cast<double>(config_.duration));
+  }
+
+ private:
+  void ScheduleNextArrival();
+  void ScheduleTraceArrival(size_t index);
+  void StartPhase(size_t phase_index, Nanos start_time);
+  void InjectRequest(Nanos send_time, TypeId wire_type, uint32_t phase_slot,
+                     Nanos service);
+
+  WorkloadSpec workload_;
+  ClusterConfig config_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  Simulation sim_;
+  Rng rng_;
+  Metrics metrics_;
+
+  // Arrival generation state.
+  size_t phase_index_ = 0;
+  Nanos phase_end_ = 0;
+  std::unique_ptr<PhaseSampler> sampler_;
+  double gap_mean_nanos_ = 0;
+  Nanos next_send_ = 0;
+  uint64_t next_id_ = 0;
+  uint64_t generated_ = 0;
+
+  // Dispatcher serial-resource state.
+  Nanos dispatcher_busy_until_ = 0;
+
+  // Trace replay (empty = generated workload).
+  std::vector<TraceEntry> trace_;
+
+  // Request storage: slab + free list.
+  std::deque<SimRequest> slab_;
+  std::vector<SimRequest*> free_list_;
+
+  SimRequest* AllocRequest();
+  void FreeRequest(SimRequest* request);
+};
+
+// Helper for non-preemptive policies: tracks idle workers and runs requests
+// to completion, invoking a callback when a worker frees up.
+class WorkerBank {
+ public:
+  using IdleCallback = std::function<void(uint32_t worker)>;
+
+  void Init(ClusterEngine* engine, IdleCallback on_idle);
+
+  bool HasIdle() const { return !idle_.empty(); }
+  size_t idle_count() const { return idle_.size(); }
+  // Pops an arbitrary idle worker (unspecified which).
+  uint32_t PopIdle();
+  // True if `worker` is currently idle (O(n); small n).
+  bool IsIdle(uint32_t worker) const;
+  // Removes a specific idle worker; false if busy.
+  bool ClaimIdle(uint32_t worker);
+
+  // Runs `request` on `worker` starting now, occupying it for
+  // `extra_cost + request->service`, then completes it and reports idle.
+  void Run(uint32_t worker, SimRequest* request, Nanos extra_cost = 0);
+
+  uint64_t busy_nanos(uint32_t worker) const { return busy_nanos_[worker]; }
+
+ private:
+  ClusterEngine* engine_ = nullptr;
+  IdleCallback on_idle_;
+  std::vector<uint32_t> idle_;
+  std::vector<uint64_t> busy_nanos_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_CLUSTER_H_

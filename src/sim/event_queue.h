@@ -1,0 +1,83 @@
+// Discrete-event simulation core: a time-ordered event heap with stable FIFO
+// ordering for simultaneous events, driving all paper-figure experiments.
+#ifndef PSP_SRC_SIM_EVENT_QUEUE_H_
+#define PSP_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace psp {
+
+class Simulation {
+ public:
+  using Handler = std::function<void()>;
+
+  Nanos Now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `t` (>= Now()).
+  void ScheduleAt(Nanos t, Handler fn) {
+    heap_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  void ScheduleAfter(Nanos delay, Handler fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue drains or simulated time exceeds `until`.
+  void RunUntil(Nanos until) {
+    while (!heap_.empty() && heap_.top().time <= until) {
+      // Moving out of a priority_queue top requires a const_cast; the element
+      // is popped immediately after, so this is safe.
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++executed_;
+    }
+    if (now_ < until) {
+      now_ = until;
+    }
+  }
+
+  // Runs until the event queue is completely drained.
+  void RunToCompletion() {
+    while (!heap_.empty()) {
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++executed_;
+    }
+  }
+
+  uint64_t executed_events() const { return executed_; }
+  size_t pending_events() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    Nanos time;
+    uint64_t seq;  // tie-breaker: FIFO among simultaneous events
+    Handler fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_EVENT_QUEUE_H_

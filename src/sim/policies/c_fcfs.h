@@ -1,0 +1,56 @@
+// Centralized first-come-first-served (Table 1): a single queue feeding idle
+// workers. The idealised form of ZygOS/Shenango-style scheduling; work
+// conserving, type-blind, non-preemptive.
+#ifndef PSP_SRC_SIM_POLICIES_C_FCFS_H_
+#define PSP_SRC_SIM_POLICIES_C_FCFS_H_
+
+#include <deque>
+
+#include "src/sim/cluster.h"
+
+namespace psp {
+
+class CentralFcfsPolicy final : public SchedulingPolicy {
+ public:
+  explicit CentralFcfsPolicy(size_t queue_capacity = 1 << 20)
+      : capacity_(queue_capacity) {}
+
+  void Attach(ClusterEngine* engine) override {
+    SchedulingPolicy::Attach(engine);
+    bank_.Init(engine, [this](uint32_t worker) { OnWorkerIdle(worker); });
+  }
+
+  void OnArrival(SimRequest* request) override {
+    if (bank_.HasIdle()) {
+      bank_.Run(bank_.PopIdle(), request);
+      return;
+    }
+    if (queue_.size() >= capacity_) {
+      engine_->DropRequest(request);
+      return;
+    }
+    queue_.push_back(request);
+  }
+
+  std::string Name() const override { return "c-FCFS"; }
+
+ private:
+  void OnWorkerIdle(uint32_t worker) {
+    if (queue_.empty()) {
+      return;
+    }
+    SimRequest* next = queue_.front();
+    queue_.pop_front();
+    const bool claimed = bank_.ClaimIdle(worker);
+    (void)claimed;
+    bank_.Run(worker, next);
+  }
+
+  size_t capacity_;
+  std::deque<SimRequest*> queue_;
+  WorkerBank bank_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_POLICIES_C_FCFS_H_

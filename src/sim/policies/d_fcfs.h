@@ -1,0 +1,58 @@
+// Decentralized first-come-first-served (Table 1): RSS steers each request to
+// a per-worker queue; workers serve only their own queue. Models IX/Arrakis
+// style dataplanes and Shenango with work stealing disabled (§5.1).
+#ifndef PSP_SRC_SIM_POLICIES_D_FCFS_H_
+#define PSP_SRC_SIM_POLICIES_D_FCFS_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace psp {
+
+class DecentralizedFcfsPolicy final : public SchedulingPolicy {
+ public:
+  explicit DecentralizedFcfsPolicy(size_t per_worker_capacity = 1 << 16)
+      : capacity_(per_worker_capacity) {}
+
+  void Attach(ClusterEngine* engine) override {
+    SchedulingPolicy::Attach(engine);
+    queues_.assign(engine->num_workers(), {});
+    bank_.Init(engine, [this](uint32_t worker) { OnWorkerIdle(worker); });
+  }
+
+  void OnArrival(SimRequest* request) override {
+    const uint32_t worker = request->flow_hash % engine_->num_workers();
+    if (bank_.ClaimIdle(worker)) {
+      bank_.Run(worker, request);
+      return;
+    }
+    if (queues_[worker].size() >= capacity_) {
+      engine_->DropRequest(request);
+      return;
+    }
+    queues_[worker].push_back(request);
+  }
+
+  std::string Name() const override { return "d-FCFS"; }
+
+ private:
+  void OnWorkerIdle(uint32_t worker) {
+    if (queues_[worker].empty()) {
+      return;
+    }
+    SimRequest* next = queues_[worker].front();
+    queues_[worker].pop_front();
+    bank_.ClaimIdle(worker);
+    bank_.Run(worker, next);
+  }
+
+  size_t capacity_;
+  std::vector<std::deque<SimRequest*>> queues_;
+  WorkerBank bank_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_POLICIES_D_FCFS_H_

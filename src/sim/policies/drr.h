@@ -1,0 +1,123 @@
+// Deficit (Weighted) Round Robin over typed queues — the Table 5 reference
+// policy for "request flows with fairness requirements". Non-preemptive:
+// each non-empty typed queue accumulates `quantum × weight` of deficit per
+// round and may dispatch requests while its deficit covers their (true)
+// service demand.
+#ifndef PSP_SRC_SIM_POLICIES_DRR_H_
+#define PSP_SRC_SIM_POLICIES_DRR_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace psp {
+
+struct DrrOptions {
+  Nanos quantum = 10 * kMicrosecond;   // deficit added per visit
+  size_t queue_capacity = 1 << 16;     // per-type bound
+};
+
+class DeficitRoundRobinPolicy final : public SchedulingPolicy {
+ public:
+  explicit DeficitRoundRobinPolicy(DrrOptions options = {})
+      : options_(options) {}
+
+  void Attach(ClusterEngine* engine) override {
+    SchedulingPolicy::Attach(engine);
+    bank_.Init(engine, [this](uint32_t worker) { OnWorkerIdle(worker); });
+  }
+
+  void OnArrival(SimRequest* request) override {
+    Flow& flow = FlowFor(request->wire_type);
+    if (flow.queue.size() >= options_.queue_capacity) {
+      engine_->DropRequest(request);
+      return;
+    }
+    flow.queue.push_back(request);
+    PumpIdleWorkers();
+  }
+
+  std::string Name() const override { return "drr"; }
+
+ private:
+  struct Flow {
+    std::deque<SimRequest*> queue;
+    Nanos deficit = 0;
+  };
+
+  Flow& FlowFor(TypeId wire_type) {
+    const auto it = flow_index_.find(wire_type);
+    if (it != flow_index_.end()) {
+      return flows_[it->second];
+    }
+    flow_index_[wire_type] = flows_.size();
+    flows_.emplace_back();
+    return flows_.back();
+  }
+
+  // Selects the next dispatchable request under DRR accounting, or nullptr.
+  SimRequest* SelectNext() {
+    if (flows_.empty()) {
+      return nullptr;
+    }
+    // Visit each flow at most twice (once to top up deficit, once after a
+    // full wrap) to guarantee progress without unbounded deficit growth.
+    for (size_t visited = 0; visited < 2 * flows_.size(); ++visited) {
+      Flow& flow = flows_[cursor_];
+      if (flow.queue.empty()) {
+        flow.deficit = 0;  // standard DRR: idle flows forfeit their deficit
+        cursor_ = (cursor_ + 1) % flows_.size();
+        continue;
+      }
+      SimRequest* head = flow.queue.front();
+      if (flow.deficit >= head->service) {
+        flow.deficit -= head->service;
+        flow.queue.pop_front();
+        return head;
+      }
+      flow.deficit += options_.quantum;
+      cursor_ = (cursor_ + 1) % flows_.size();
+    }
+    // Nothing affordable even after a full top-up round: serve the cheapest
+    // head to avoid stalling idle workers (work conservation).
+    Flow* best = nullptr;
+    for (auto& flow : flows_) {
+      if (!flow.queue.empty() &&
+          (best == nullptr ||
+           flow.queue.front()->service < best->queue.front()->service)) {
+        best = &flow;
+      }
+    }
+    if (best == nullptr) {
+      return nullptr;
+    }
+    SimRequest* head = best->queue.front();
+    best->queue.pop_front();
+    best->deficit = 0;
+    return head;
+  }
+
+  void PumpIdleWorkers() {
+    while (bank_.HasIdle()) {
+      SimRequest* next = SelectNext();
+      if (next == nullptr) {
+        return;
+      }
+      bank_.Run(bank_.PopIdle(), next);
+    }
+  }
+
+  void OnWorkerIdle(uint32_t) { PumpIdleWorkers(); }
+
+  DrrOptions options_;
+  std::map<TypeId, size_t> flow_index_;
+  std::vector<Flow> flows_;
+  size_t cursor_ = 0;
+  WorkerBank bank_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_POLICIES_DRR_H_

@@ -1,0 +1,111 @@
+#include "src/sim/policies/oracle_policies.h"
+
+#include <cmath>
+
+namespace psp {
+
+void StaticPartitionPolicy::Attach(ClusterEngine* engine) {
+  SchedulingPolicy::Attach(engine);
+  partitions_.clear();
+  partition_of_.clear();
+
+  // Worker shares proportional to Eq. 1 demand, largest remainder rounding,
+  // minimum one worker per type.
+  const auto types = engine->workload().AllTypes();
+  const uint32_t num_workers = engine->num_workers();
+  double total = 0;
+  for (const auto& t : types) {
+    total += t.mean_us * t.ratio;
+  }
+  std::vector<double> exact(types.size(), 0);
+  std::vector<uint32_t> grant(types.size(), 1);
+  uint32_t granted = static_cast<uint32_t>(types.size());
+  for (size_t i = 0; i < types.size(); ++i) {
+    exact[i] = total > 0
+                   ? types[i].mean_us * types[i].ratio / total * num_workers
+                   : static_cast<double>(num_workers) / types.size();
+    const auto extra = static_cast<uint32_t>(std::floor(exact[i]));
+    const uint32_t add = extra > 1 ? extra - 1 : 0;
+    grant[i] += add;
+    granted += add;
+  }
+  while (granted < num_workers) {
+    // Hand leftovers to the largest fractional remainder.
+    size_t best = 0;
+    double best_frac = -1;
+    for (size_t i = 0; i < types.size(); ++i) {
+      const double frac = exact[i] - static_cast<double>(grant[i]);
+      if (frac > best_frac) {
+        best_frac = frac;
+        best = i;
+      }
+    }
+    ++grant[best];
+    ++granted;
+  }
+  while (granted > num_workers) {
+    // Take back from the most over-granted partition (keep minimum 1).
+    size_t best = 0;
+    double best_over = -1e18;
+    for (size_t i = 0; i < types.size(); ++i) {
+      if (grant[i] <= 1) {
+        continue;
+      }
+      const double over = static_cast<double>(grant[i]) - exact[i];
+      if (over > best_over) {
+        best_over = over;
+        best = i;
+      }
+    }
+    --grant[best];
+    --granted;
+  }
+
+  uint32_t next_worker = 0;
+  for (size_t i = 0; i < types.size(); ++i) {
+    Partition p;
+    for (uint32_t j = 0; j < grant[i] && next_worker < num_workers; ++j) {
+      p.workers.push_back(next_worker);
+      p.idle.push_back(next_worker);
+      ++next_worker;
+    }
+    partition_of_[types[i].wire_id] = partitions_.size();
+    partitions_.push_back(std::move(p));
+  }
+}
+
+void StaticPartitionPolicy::OnArrival(SimRequest* request) {
+  const auto it = partition_of_.find(request->wire_type);
+  if (it == partition_of_.end()) {
+    engine_->DropRequest(request);
+    return;
+  }
+  Partition& p = partitions_[it->second];
+  if (!p.idle.empty()) {
+    const uint32_t worker = p.idle.back();
+    p.idle.pop_back();
+    RunOn(p, worker, request);
+    return;
+  }
+  if (p.queue.size() >= capacity_) {
+    engine_->DropRequest(request);
+    return;
+  }
+  p.queue.push_back(request);
+}
+
+void StaticPartitionPolicy::RunOn(Partition& p, uint32_t worker,
+                                  SimRequest* request) {
+  engine_->sim().ScheduleAfter(request->service, [this, &p, worker, request] {
+    engine_->CompleteRequest(request);
+    if (!p.queue.empty()) {
+      SimRequest* next = p.queue.front();
+      p.queue.pop_front();
+      RunOn(p, worker, next);
+    } else {
+      p.idle.push_back(worker);
+    }
+  });
+}
+
+}  // namespace psp

@@ -1,0 +1,158 @@
+// Reference policies from the paper's comparison table (Table 5) used by the
+// policy-taxonomy bench and ablations:
+//   * SJF  — non-preemptive Shortest Job First over a central queue, with an
+//     oracle that knows each request's true service demand;
+//   * EDF  — Earliest Deadline First with per-request deadlines derived from
+//     a slowdown SLO (deadline = send + slo × service);
+//   * SP   — Static Partitioning: each type owns a fixed worker share, no
+//     stealing, no work conservation across partitions.
+// CSCQ (Cycle Stealing with Central Queue) is expressible as DARC-static via
+// PersephonePolicy (see DESIGN.md).
+#ifndef PSP_SRC_SIM_POLICIES_ORACLE_POLICIES_H_
+#define PSP_SRC_SIM_POLICIES_ORACLE_POLICIES_H_
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace psp {
+
+// Non-preemptive SJF with oracle service times.
+class ShortestJobFirstPolicy final : public SchedulingPolicy {
+ public:
+  explicit ShortestJobFirstPolicy(size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  void Attach(ClusterEngine* engine) override {
+    SchedulingPolicy::Attach(engine);
+    bank_.Init(engine, [this](uint32_t worker) { OnWorkerIdle(worker); });
+  }
+
+  void OnArrival(SimRequest* request) override {
+    if (bank_.HasIdle()) {
+      bank_.Run(bank_.PopIdle(), request);
+      return;
+    }
+    if (heap_.size() >= capacity_) {
+      engine_->DropRequest(request);
+      return;
+    }
+    heap_.push(request);
+  }
+
+  std::string Name() const override { return "sjf"; }
+
+ private:
+  struct Longer {
+    bool operator()(const SimRequest* a, const SimRequest* b) const {
+      if (a->service != b->service) {
+        return a->service > b->service;
+      }
+      return a->send_time > b->send_time;  // FIFO tie-break
+    }
+  };
+
+  void OnWorkerIdle(uint32_t worker) {
+    if (heap_.empty()) {
+      return;
+    }
+    SimRequest* next = heap_.top();
+    heap_.pop();
+    bank_.ClaimIdle(worker);
+    bank_.Run(worker, next);
+  }
+
+  size_t capacity_;
+  std::priority_queue<SimRequest*, std::vector<SimRequest*>, Longer> heap_;
+  WorkerBank bank_;
+};
+
+// Non-preemptive EDF; deadline = send_time + slo_slowdown × service.
+class EarliestDeadlineFirstPolicy final : public SchedulingPolicy {
+ public:
+  explicit EarliestDeadlineFirstPolicy(double slo_slowdown = 10.0,
+                                       size_t capacity = 1 << 20)
+      : slo_(slo_slowdown), capacity_(capacity) {}
+
+  void Attach(ClusterEngine* engine) override {
+    SchedulingPolicy::Attach(engine);
+    bank_.Init(engine, [this](uint32_t worker) { OnWorkerIdle(worker); });
+  }
+
+  void OnArrival(SimRequest* request) override {
+    if (bank_.HasIdle()) {
+      bank_.Run(bank_.PopIdle(), request);
+      return;
+    }
+    if (heap_.size() >= capacity_) {
+      engine_->DropRequest(request);
+      return;
+    }
+    heap_.push(Entry{Deadline(request), request});
+  }
+
+  std::string Name() const override { return "edf"; }
+
+ private:
+  struct Entry {
+    Nanos deadline;
+    SimRequest* request;
+    bool operator>(const Entry& other) const {
+      return deadline > other.deadline;
+    }
+  };
+
+  Nanos Deadline(const SimRequest* r) const {
+    return r->send_time +
+           static_cast<Nanos>(slo_ * static_cast<double>(r->service));
+  }
+
+  void OnWorkerIdle(uint32_t worker) {
+    if (heap_.empty()) {
+      return;
+    }
+    SimRequest* next = heap_.top().request;
+    heap_.pop();
+    bank_.ClaimIdle(worker);
+    bank_.Run(worker, next);
+  }
+
+  double slo_;
+  size_t capacity_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  WorkerBank bank_;
+};
+
+// Static Partitioning: worker shares proportional to each type's CPU demand
+// (computed from the workload spec), hard walls between partitions.
+class StaticPartitionPolicy final : public SchedulingPolicy {
+ public:
+  explicit StaticPartitionPolicy(size_t per_type_capacity = 1 << 16)
+      : capacity_(per_type_capacity) {}
+
+  void Attach(ClusterEngine* engine) override;
+  void OnArrival(SimRequest* request) override;
+
+  std::string Name() const override { return "static-partition"; }
+
+ private:
+  struct Partition {
+    std::vector<uint32_t> workers;
+    std::vector<uint32_t> idle;
+    std::deque<SimRequest*> queue;
+  };
+
+  void RunOn(Partition& p, uint32_t worker, SimRequest* request);
+
+  size_t capacity_;
+  std::map<TypeId, size_t> partition_of_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_POLICIES_ORACLE_POLICIES_H_

@@ -1,0 +1,85 @@
+#include "src/sim/policies/persephone.h"
+
+namespace psp {
+
+void PersephonePolicy::Attach(ClusterEngine* engine) {
+  SchedulingPolicy::Attach(engine);
+  SchedulerConfig config = options_.scheduler;
+  config.num_workers = engine->num_workers();
+  scheduler_ = std::make_unique<DarcScheduler>(config);
+  for (const auto& t : engine->workload().AllTypes()) {
+    scheduler_->RegisterType(t.wire_id, t.name, FromMicros(t.mean_us),
+                             t.ratio);
+  }
+  if (options_.seed_profiles) {
+    scheduler_->ActivateSeededReservation();
+  }
+}
+
+std::string PersephonePolicy::Name() const {
+  std::string base;
+  switch (options_.scheduler.mode) {
+    case PolicyMode::kDarc:
+      base = "darc";
+      break;
+    case PolicyMode::kDarcStatic:
+      base = "darc-static-" +
+             std::to_string(options_.scheduler.static_reserved);
+      break;
+    case PolicyMode::kCFcfs:
+      base = "psp-c-fcfs";
+      break;
+    case PolicyMode::kFixedPriority:
+      base = "fixed-priority";
+      break;
+  }
+  if (options_.random_classifier) {
+    base += "-random";
+  }
+  return base;
+}
+
+void PersephonePolicy::OnArrival(SimRequest* request) {
+  const Nanos now = engine_->Now();
+  Request r;
+  r.id = next_request_id_++;
+  if (options_.random_classifier) {
+    // Broken classifier (Fig 9): uniformly random registered type, skipping
+    // the UNKNOWN slot (index 0).
+    const auto num_real = static_cast<uint32_t>(scheduler_->num_types() - 1);
+    r.type = 1 + static_cast<TypeIndex>(engine_->rng().NextBounded(num_real));
+  } else {
+    r.type = scheduler_->ResolveType(request->wire_type);
+  }
+  r.arrival = now;
+  r.service_demand = request->service;
+  r.payload = request;
+  if (!scheduler_->Enqueue(r, now)) {
+    engine_->DropRequest(request);  // typed-queue flow control (§4.3.3)
+    return;
+  }
+  Pump();
+}
+
+void PersephonePolicy::Pump() {
+  const Nanos now = engine_->Now();
+  while (auto assignment = scheduler_->NextAssignment(now)) {
+    auto* sim_request = static_cast<SimRequest*>(assignment->request.payload);
+    const WorkerId worker = assignment->worker;
+    const TypeIndex type = assignment->request.type;
+    engine_->sim().ScheduleAfter(sim_request->service,
+                                 [this, worker, type, sim_request] {
+                                   OnWorkerDone(worker, type, sim_request);
+                                 });
+  }
+}
+
+void PersephonePolicy::OnWorkerDone(WorkerId worker, TypeIndex type,
+                                    SimRequest* request) {
+  const Nanos service = request->service;
+  engine_->CompleteRequest(request);
+  scheduler_->OnCompletion(worker, type, service, engine_->Now());
+  Pump();
+}
+
+}  // namespace psp

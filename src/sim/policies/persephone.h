@@ -1,0 +1,53 @@
+// Perséphone inside the simulated testbed: plugs the *actual* core
+// DarcScheduler (Algorithms 1 & 2, profiling windows, flow control) into the
+// cluster model. The same core code also runs in the threaded runtime.
+//
+// Policy modes (SchedulerConfig::mode) cover DARC, DARC-static (§5.3),
+// c-FCFS-in-Perséphone and Fixed Priority (Fig 3/4 variants).
+#ifndef PSP_SRC_SIM_POLICIES_PERSEPHONE_H_
+#define PSP_SRC_SIM_POLICIES_PERSEPHONE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/scheduler.h"
+#include "src/sim/cluster.h"
+
+namespace psp {
+
+struct PersephoneOptions {
+  SchedulerConfig scheduler;  // num_workers is overwritten from the engine
+  // Seed per-type profiles from the workload spec and start with the
+  // steady-state reservation (skips the c-FCFS bootstrap window). Turn off
+  // for adaptation experiments (Fig 7) and the bootstrap path itself.
+  bool seed_profiles = true;
+  // Use a broken classifier that assigns each request a uniformly random type
+  // (Fig 9). The scheduler still runs DARC over the misclassified queues.
+  bool random_classifier = false;
+};
+
+class PersephonePolicy final : public SchedulingPolicy {
+ public:
+  explicit PersephonePolicy(PersephoneOptions options = {})
+      : options_(std::move(options)) {}
+
+  void Attach(ClusterEngine* engine) override;
+  void OnArrival(SimRequest* request) override;
+
+  std::string Name() const override;
+
+  DarcScheduler& scheduler() { return *scheduler_; }
+  const DarcScheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  void Pump();
+  void OnWorkerDone(WorkerId worker, TypeIndex type, SimRequest* request);
+
+  PersephoneOptions options_;
+  std::unique_ptr<DarcScheduler> scheduler_;
+  uint64_t next_request_id_ = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_POLICIES_PERSEPHONE_H_

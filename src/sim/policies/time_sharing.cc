@@ -1,0 +1,209 @@
+#include "src/sim/policies/time_sharing.h"
+
+#include <algorithm>
+
+namespace psp {
+
+void TimeSharingPolicy::Attach(ClusterEngine* engine) {
+  SchedulingPolicy::Attach(engine);
+  workers_.assign(engine->num_workers(), {});
+  idle_.clear();
+  for (uint32_t w = 0; w < engine->num_workers(); ++w) {
+    idle_.push_back(w);
+  }
+  queues_.clear();
+  virtual_time_.clear();
+  type_to_queue_.clear();
+  if (!options_.multi_queue) {
+    queues_.emplace_back();
+    virtual_time_.push_back(0);
+  }
+}
+
+size_t TimeSharingPolicy::QueueIndexOf(TypeId wire_type) {
+  if (!options_.multi_queue) {
+    return 0;
+  }
+  const auto it = type_to_queue_.find(wire_type);
+  if (it != type_to_queue_.end()) {
+    return it->second;
+  }
+  const size_t idx = queues_.size();
+  type_to_queue_[wire_type] = idx;
+  queues_.emplace_back();
+  // New queues start at the minimum live virtual time ("borrowing"), so a
+  // late-arriving type is not starved nor unfairly boosted.
+  double min_vt = 0;
+  bool found = false;
+  for (const double vt : virtual_time_) {
+    if (!found || vt < min_vt) {
+      min_vt = vt;
+      found = true;
+    }
+  }
+  virtual_time_.push_back(found ? min_vt : 0);
+  return idx;
+}
+
+SimRequest* TimeSharingPolicy::Dequeue() {
+  if (queued_total_ == 0) {
+    return nullptr;
+  }
+  size_t best = SIZE_MAX;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i].empty()) {
+      continue;
+    }
+    if (best == SIZE_MAX || virtual_time_[i] < virtual_time_[best]) {
+      best = i;
+    }
+  }
+  SimRequest* req = queues_[best].front();
+  queues_[best].pop_front();
+  --queued_total_;
+  return req;
+}
+
+void TimeSharingPolicy::Requeue(SimRequest* request) {
+  const size_t qi = QueueIndexOf(request->wire_type);
+  if (options_.multi_queue) {
+    // Preempted requests re-enter at the head of their typed queue.
+    queues_[qi].push_front(request);
+  } else {
+    // Single-queue Shinjuku re-enqueues at the tail.
+    queues_[qi].push_back(request);
+  }
+  ++queued_total_;
+}
+
+void TimeSharingPolicy::OnArrival(SimRequest* request) {
+  if (!idle_.empty()) {
+    const uint32_t worker = idle_.back();
+    idle_.pop_back();
+    StartOn(worker, request);
+    return;
+  }
+  if (queued_total_ >= options_.queue_capacity) {
+    engine_->DropRequest(request);
+    return;
+  }
+  queues_[QueueIndexOf(request->wire_type)].push_back(request);
+  ++queued_total_;
+  if (options_.trigger_on_block) {
+    MaybeTriggerPreempt(request);
+  }
+}
+
+void TimeSharingPolicy::StartOn(uint32_t worker, SimRequest* request) {
+  WorkerState& state = workers_[worker];
+  // In trigger mode a request runs to completion unless preempted; in quantum
+  // mode the interrupt lands quantum + delay after the slice starts.
+  const Nanos slice =
+      options_.trigger_on_block
+          ? request->remaining
+          : std::min(request->remaining,
+                     options_.quantum + options_.preempt_delay);
+  state.current = request;
+  state.slice = slice;
+  state.slice_start = engine_->Now();
+  state.preempt_pending = false;
+  const uint64_t epoch = ++state.epoch;
+  engine_->sim().ScheduleAfter(
+      slice, [this, worker, epoch] { OnSliceEnd(worker, epoch); });
+}
+
+void TimeSharingPolicy::OnSliceEnd(uint32_t worker, uint64_t epoch) {
+  WorkerState& state = workers_[worker];
+  if (epoch != state.epoch) {
+    return;  // preempted mid-slice: stale event
+  }
+  SimRequest* req = state.current;
+  req->remaining -= state.slice;
+  virtual_time_[QueueIndexOf(req->wire_type)] +=
+      static_cast<double>(state.slice);
+  state.current = nullptr;
+
+  if (req->remaining <= 0) {
+    engine_->CompleteRequest(req);
+    PickNext(worker);
+    return;
+  }
+  if (QueuesEmpty()) {
+    // Nothing waiting: keep running the same request, no preemption charged.
+    StartOn(worker, req);
+    return;
+  }
+  // Quantum expiry with waiters: preempt, pay the overhead, switch.
+  ++preemptions_;
+  Requeue(req);
+  engine_->sim().ScheduleAfter(options_.preempt_overhead,
+                               [this, worker] { PickNext(worker); });
+}
+
+void TimeSharingPolicy::MaybeTriggerPreempt(const SimRequest* blocked) {
+  // Pick the busy worker with the most remaining work; preempt it only if the
+  // blocked request is meaningfully shorter than what remains there.
+  uint32_t victim = UINT32_MAX;
+  Nanos worst_remaining = 0;
+  const Nanos now = engine_->Now();
+  for (uint32_t w = 0; w < workers_.size(); ++w) {
+    const WorkerState& state = workers_[w];
+    if (state.current == nullptr || state.preempt_pending) {
+      continue;
+    }
+    const Nanos progressed = now - state.slice_start;
+    if (progressed + options_.preempt_delay < options_.quantum) {
+      continue;  // "preempting as often as every 5 µs": respect the quantum
+    }
+    const Nanos remaining = state.current->remaining - progressed;
+    if (remaining > worst_remaining) {
+      worst_remaining = remaining;
+      victim = w;
+    }
+  }
+  if (victim == UINT32_MAX ||
+      worst_remaining <= blocked->remaining + options_.preempt_overhead) {
+    return;  // preempting would not help the blocked request
+  }
+  WorkerState& state = workers_[victim];
+  state.preempt_pending = true;
+  const uint64_t epoch = state.epoch;
+  engine_->sim().ScheduleAfter(
+      options_.preempt_delay,
+      [this, victim, epoch] { FirePreempt(victim, epoch); });
+}
+
+void TimeSharingPolicy::FirePreempt(uint32_t worker, uint64_t epoch) {
+  WorkerState& state = workers_[worker];
+  if (epoch != state.epoch || state.current == nullptr) {
+    return;  // the victim finished (or changed) before the interrupt landed
+  }
+  SimRequest* req = state.current;
+  const Nanos progressed = engine_->Now() - state.slice_start;
+  req->remaining -= progressed;
+  virtual_time_[QueueIndexOf(req->wire_type)] +=
+      static_cast<double>(progressed);
+  ++state.epoch;  // invalidate the scheduled completion
+  state.current = nullptr;
+  state.preempt_pending = false;
+
+  ++preemptions_;
+  if (req->remaining <= 0) {
+    engine_->CompleteRequest(req);
+  } else {
+    Requeue(req);
+  }
+  engine_->sim().ScheduleAfter(options_.preempt_overhead,
+                               [this, worker] { PickNext(worker); });
+}
+
+void TimeSharingPolicy::PickNext(uint32_t worker) {
+  SimRequest* next = Dequeue();
+  if (next == nullptr) {
+    idle_.push_back(worker);
+    return;
+  }
+  StartOn(worker, next);
+}
+
+}  // namespace psp

@@ -1,0 +1,87 @@
+// Shinjuku-style preemptive time sharing (§2, §5.1, §6).
+//
+// A central dispatcher hands requests to workers; a request runs for at most
+// one quantum before a user-level interrupt preempts it. Preemption costs:
+//   * preempt_delay: time to propagate the preemption event to the worker —
+//     the running request keeps making progress during it;
+//   * preempt_overhead: time the worker spends performing the preemption —
+//     pure loss (the paper measured ≈2 µs per interrupt; its idealised §2
+//     simulation uses 1 µs; Fig 10 sweeps 0/1/2/4 µs).
+// Two queue disciplines, per the Shinjuku paper: a single queue (preempted
+// requests re-enter at the *tail*) and a multi-queue with one queue per type
+// selected by a Borrowed-Virtual-Time variant (preempted requests re-enter at
+// the *head* of their type's queue).
+#ifndef PSP_SRC_SIM_POLICIES_TIME_SHARING_H_
+#define PSP_SRC_SIM_POLICIES_TIME_SHARING_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace psp {
+
+struct TimeSharingOptions {
+  Nanos quantum = 5 * kMicrosecond;
+  Nanos preempt_overhead = 1 * kMicrosecond;
+  Nanos preempt_delay = 0;
+  bool multi_queue = false;
+  size_t queue_capacity = 1 << 16;  // total queued requests (flow control)
+  // Block-triggered preemption — the model of §2/§6: "a preemption event can
+  // be triggered as soon as a short request is blocked in the queue by long
+  // requests running on workers". When set, requests run to completion unless
+  // an arrival with less demand than some running request's remaining time
+  // fires a preemption (after preempt_delay, costing preempt_overhead).
+  // When clear, classic periodic quanta (the Shinjuku implementation).
+  bool trigger_on_block = false;
+};
+
+class TimeSharingPolicy final : public SchedulingPolicy {
+ public:
+  explicit TimeSharingPolicy(TimeSharingOptions options = {})
+      : options_(options) {}
+
+  void Attach(ClusterEngine* engine) override;
+  void OnArrival(SimRequest* request) override;
+
+  std::string Name() const override {
+    return options_.multi_queue ? "shinjuku-mq" : "shinjuku-sq";
+  }
+  uint64_t preemptions() const override { return preemptions_; }
+
+ private:
+  struct WorkerState {
+    SimRequest* current = nullptr;
+    Nanos slice = 0;        // length of the in-flight slice
+    Nanos slice_start = 0;  // when the slice began
+    uint64_t epoch = 0;     // invalidates stale slice/preempt events
+    bool preempt_pending = false;
+  };
+
+  size_t QueueIndexOf(TypeId wire_type);
+  bool QueuesEmpty() const { return queued_total_ == 0; }
+  SimRequest* Dequeue();
+  void Requeue(SimRequest* request);
+  void StartOn(uint32_t worker, SimRequest* request);
+  void OnSliceEnd(uint32_t worker, uint64_t epoch);
+  void PickNext(uint32_t worker);
+  void MaybeTriggerPreempt(const SimRequest* blocked);
+  void FirePreempt(uint32_t worker, uint64_t epoch);
+
+  TimeSharingOptions options_;
+  std::vector<WorkerState> workers_;
+  std::vector<uint32_t> idle_;
+
+  // Single-queue mode uses queues_[0]; multi-queue mode maps types to queues.
+  std::vector<std::deque<SimRequest*>> queues_;
+  std::vector<double> virtual_time_;  // BVT per queue (multi-queue mode)
+  std::map<TypeId, size_t> type_to_queue_;
+  size_t queued_total_ = 0;
+  uint64_t preemptions_ = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_POLICIES_TIME_SHARING_H_

@@ -1,0 +1,91 @@
+// Shenango-style c-FCFS approximation (§5.1): the IOKernel steers packets to
+// per-worker queues with RSS; idle workers steal work from victims' queues,
+// paying a per-steal coordination cost. This captures how Shenango/ZygOS
+// "simulate c-FCFS with per-worker queues and work stealing" (§2).
+#ifndef PSP_SRC_SIM_POLICIES_WORK_STEALING_H_
+#define PSP_SRC_SIM_POLICIES_WORK_STEALING_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace psp {
+
+struct WorkStealingOptions {
+  size_t per_worker_capacity = 1 << 16;
+  Nanos steal_cost = 120;  // cross-worker queue coordination per steal
+};
+
+class WorkStealingPolicy final : public SchedulingPolicy {
+ public:
+  explicit WorkStealingPolicy(WorkStealingOptions options = {})
+      : options_(options) {}
+
+  void Attach(ClusterEngine* engine) override {
+    SchedulingPolicy::Attach(engine);
+    queues_.assign(engine->num_workers(), {});
+    bank_.Init(engine, [this](uint32_t worker) { OnWorkerIdle(worker); });
+  }
+
+  void OnArrival(SimRequest* request) override {
+    const uint32_t home = request->flow_hash % engine_->num_workers();
+    if (bank_.ClaimIdle(home)) {
+      bank_.Run(home, request);
+      return;
+    }
+    // Home worker busy: any other idle worker picks it up immediately (the
+    // steady-state effect of stealing on enqueue/wakeup paths).
+    if (bank_.HasIdle()) {
+      ++steals_;
+      bank_.Run(bank_.PopIdle(), request, options_.steal_cost);
+      return;
+    }
+    if (queues_[home].size() >= options_.per_worker_capacity) {
+      engine_->DropRequest(request);
+      return;
+    }
+    queues_[home].push_back(request);
+  }
+
+  std::string Name() const override { return "shenango-ws"; }
+  uint64_t steals() const override { return steals_; }
+
+ private:
+  void OnWorkerIdle(uint32_t worker) {
+    // Serve own queue first.
+    if (!queues_[worker].empty()) {
+      SimRequest* next = queues_[worker].front();
+      queues_[worker].pop_front();
+      bank_.ClaimIdle(worker);
+      bank_.Run(worker, next);
+      return;
+    }
+    // Steal from the victim with the longest queue (idealised steal choice).
+    uint32_t victim = worker;
+    size_t best = 0;
+    for (uint32_t w = 0; w < queues_.size(); ++w) {
+      if (queues_[w].size() > best) {
+        best = queues_[w].size();
+        victim = w;
+      }
+    }
+    if (best == 0) {
+      return;
+    }
+    SimRequest* next = queues_[victim].front();
+    queues_[victim].pop_front();
+    ++steals_;
+    bank_.ClaimIdle(worker);
+    bank_.Run(worker, next, options_.steal_cost);
+  }
+
+  WorkStealingOptions options_;
+  std::vector<std::deque<SimRequest*>> queues_;
+  WorkerBank bank_;
+  uint64_t steals_ = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_POLICIES_WORK_STEALING_H_

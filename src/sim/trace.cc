@@ -1,0 +1,103 @@
+#include "src/sim/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace psp {
+
+std::optional<std::vector<TraceEntry>> ParseTraceCsv(std::istream& in,
+                                                     std::string* error) {
+  std::vector<TraceEntry> trace;
+  std::string line;
+  size_t line_no = 0;
+  Nanos prev_time = 0;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    double send_us = 0;
+    double service_us = 0;
+    uint64_t type = 0;
+    char comma1 = 0;
+    char comma2 = 0;
+    if (!(fields >> send_us >> comma1 >> type >> comma2 >> service_us) ||
+        comma1 != ',' || comma2 != ',') {
+      return fail("expected 'send_us,type,service_us'");
+    }
+    if (send_us < 0 || service_us <= 0) {
+      return fail("times must be positive");
+    }
+    TraceEntry entry;
+    entry.send_time = FromMicros(send_us);
+    entry.wire_type = static_cast<TypeId>(type);
+    entry.service = FromMicros(service_us);
+    if (entry.send_time < prev_time) {
+      return fail("send times must be non-decreasing");
+    }
+    prev_time = entry.send_time;
+    trace.push_back(entry);
+  }
+  return trace;
+}
+
+std::optional<std::vector<TraceEntry>> ParseTraceCsvFile(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  return ParseTraceCsv(in, error);
+}
+
+void WriteTraceCsv(const std::vector<TraceEntry>& trace, std::ostream& out) {
+  // Full double precision so nanosecond-resolution times survive the
+  // microsecond CSV representation exactly.
+  out << std::setprecision(15);
+  out << "# send_us,type,service_us\n";
+  for (const auto& entry : trace) {
+    out << ToMicros(entry.send_time) << ',' << entry.wire_type << ','
+        << ToMicros(entry.service) << '\n';
+  }
+}
+
+std::vector<TraceEntry> SynthesizeTrace(const WorkloadSpec& workload,
+                                        double rate_rps, Nanos duration,
+                                        uint64_t seed) {
+  std::vector<TraceEntry> trace;
+  Rng rng(seed);
+  PhaseSampler sampler(workload.phases.front());
+  const double gap_mean = 1e9 / rate_rps;
+  Nanos t = 0;
+  for (;;) {
+    double u = rng.NextDouble();
+    if (u <= 0.0) {
+      u = 1e-18;
+    }
+    t += static_cast<Nanos>(-gap_mean * std::log(1.0 - u)) + 1;
+    if (t >= duration) {
+      break;
+    }
+    const MixtureDraw draw = sampler.Sample(rng);
+    TraceEntry entry;
+    entry.send_time = t;
+    entry.wire_type = workload.phases.front().types[draw.mode].wire_id;
+    entry.service = draw.service_time;
+    trace.push_back(entry);
+  }
+  return trace;
+}
+
+}  // namespace psp

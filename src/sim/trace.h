@@ -1,0 +1,42 @@
+// Trace-driven workload replay: run experiments against recorded arrival
+// traces (production captures or synthesised ones) instead of the synthetic
+// Poisson generators. CSV format, one request per line:
+//
+//     send_time_us,type_id,service_us
+//
+// Lines starting with '#' are comments. Times are relative to trace start
+// and must be non-decreasing.
+#ifndef PSP_SRC_SIM_TRACE_H_
+#define PSP_SRC_SIM_TRACE_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/core/request.h"
+#include "src/sim/workload.h"
+
+namespace psp {
+
+// Parses a CSV trace. Returns nullopt on malformed input (and sets *error,
+// when provided, to a line-numbered description).
+std::optional<std::vector<TraceEntry>> ParseTraceCsv(
+    std::istream& in, std::string* error = nullptr);
+std::optional<std::vector<TraceEntry>> ParseTraceCsvFile(
+    const std::string& path, std::string* error = nullptr);
+
+// Serialises a trace in the same format.
+void WriteTraceCsv(const std::vector<TraceEntry>& trace, std::ostream& out);
+
+// Synthesises a Poisson trace from a workload spec (phase 0) — useful for
+// generating reproducible trace files and for round-trip tests.
+std::vector<TraceEntry> SynthesizeTrace(const WorkloadSpec& workload,
+                                        double rate_rps, Nanos duration,
+                                        uint64_t seed);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_TRACE_H_

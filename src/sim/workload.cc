@@ -1,0 +1,158 @@
+#include "src/sim/workload.h"
+
+#include <stdexcept>
+
+namespace psp {
+
+double WorkloadSpec::MeanServiceNanos() const {
+  double total_ratio = 0;
+  double weighted = 0;
+  for (const auto& t : types()) {
+    total_ratio += t.ratio;
+    weighted += t.ratio * t.mean_us * 1e3;
+  }
+  return total_ratio > 0 ? weighted / total_ratio : 0;
+}
+
+double WorkloadSpec::PeakLoadRps(uint32_t workers) const {
+  const double mean = MeanServiceNanos();
+  return mean > 0 ? static_cast<double>(workers) * 1e9 / mean : 0;
+}
+
+std::vector<WorkloadType> WorkloadSpec::AllTypes() const {
+  std::vector<WorkloadType> out;
+  for (const auto& phase : phases) {
+    for (const auto& t : phase.types) {
+      bool seen = false;
+      for (const auto& existing : out) {
+        if (existing.wire_id == t.wire_id) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        out.push_back(t);
+      }
+    }
+  }
+  return out;
+}
+
+WorkloadSpec HighBimodal() {
+  WorkloadSpec w;
+  w.name = "high-bimodal";
+  w.phases.push_back(WorkloadPhase{
+      0,
+      {WorkloadType{1, "SHORT", 1.0, 0.50},
+       WorkloadType{2, "LONG", 100.0, 0.50}},
+      1.0});
+  return w;
+}
+
+WorkloadSpec ExtremeBimodal() {
+  WorkloadSpec w;
+  w.name = "extreme-bimodal";
+  w.phases.push_back(WorkloadPhase{
+      0,
+      {WorkloadType{1, "SHORT", 0.5, 0.995},
+       WorkloadType{2, "LONG", 500.0, 0.005}},
+      1.0});
+  return w;
+}
+
+WorkloadSpec TpccMix() {
+  WorkloadSpec w;
+  w.name = "tpc-c";
+  w.phases.push_back(WorkloadPhase{
+      0,
+      {WorkloadType{1, "Payment", 5.7, 0.44},
+       WorkloadType{2, "OrderStatus", 6.0, 0.04},
+       WorkloadType{3, "NewOrder", 20.0, 0.44},
+       WorkloadType{4, "Delivery", 88.0, 0.04},
+       WorkloadType{5, "StockLevel", 100.0, 0.04}},
+      1.0});
+  return w;
+}
+
+WorkloadSpec RocksDbMix() {
+  WorkloadSpec w;
+  w.name = "rocksdb";
+  w.phases.push_back(WorkloadPhase{
+      0,
+      {WorkloadType{1, "GET", 1.5, 0.50},
+       WorkloadType{2, "SCAN", 635.0, 0.50}},
+      1.0});
+  return w;
+}
+
+WorkloadSpec FacebookUsrLike() {
+  WorkloadSpec w;
+  w.name = "fb-usr-like";
+  w.phases.push_back(WorkloadPhase{
+      0,
+      {WorkloadType{1, "GET", 2.0, 0.97},
+       WorkloadType{2, "MULTIGET", 40.0, 0.025},
+       WorkloadType{3, "RANGE", 800.0, 0.005}},
+      1.0});
+  return w;
+}
+
+WorkloadSpec FourPhaseAdaptation(Nanos phase_duration) {
+  WorkloadSpec w;
+  w.name = "four-phase";
+  // Type ids stay stable across phases: A=1, B=2.
+  w.phases.push_back(WorkloadPhase{
+      phase_duration,
+      {WorkloadType{1, "A", 100.0, 0.50}, WorkloadType{2, "B", 1.0, 0.50}},
+      1.0});
+  w.phases.push_back(WorkloadPhase{
+      phase_duration,
+      {WorkloadType{1, "A", 1.0, 0.50}, WorkloadType{2, "B", 100.0, 0.50}},
+      1.0});
+  // Phase 3 changes the ratios: A now makes up 94% of the mix, lifting its
+  // CPU-demand fraction to 2/14 so DARC re-reserves it 2 cores (paper:
+  // "their CPU demand increases and DARC reserves them 2 cores"). The
+  // load_scale keeps the server at the same utilisation despite the lighter
+  // mean service time ("For this new composition, 80% utilization on the
+  // server results in increased throughput").
+  const double phase1_mean = 0.5 * 100.0 + 0.5 * 1.0;   // 50.5 us
+  const double phase3_mean = 0.94 * 1.0 + 0.06 * 100.0;  // 6.94 us
+  w.phases.push_back(WorkloadPhase{
+      phase_duration,
+      {WorkloadType{1, "A", 1.0, 0.94}, WorkloadType{2, "B", 100.0, 0.06}},
+      phase1_mean / phase3_mean});
+  // Phase 4: A only. The sending rate stays at phase 3's level; pending B
+  // requests drain via the spillway while A may run on every core.
+  w.phases.push_back(WorkloadPhase{
+      phase_duration,
+      {WorkloadType{1, "A", 1.0, 1.0}},
+      phase1_mean / phase3_mean});
+  return w;
+}
+
+PhaseSampler::PhaseSampler(const WorkloadPhase& phase) : phase_(&phase) {
+  std::vector<DiscreteMixture::Component> components;
+  components.reserve(phase.types.size());
+  for (const auto& t : phase.types) {
+    std::shared_ptr<const Distribution> dist;
+    switch (t.shape) {
+      case ServiceShape::kFixed:
+        dist = std::make_shared<FixedDistribution>(FromMicros(t.mean_us));
+        break;
+      case ServiceShape::kExponential:
+        dist = std::make_shared<ExponentialDistribution>(t.mean_us * 1e3);
+        break;
+      case ServiceShape::kLognormal:
+        dist = std::make_shared<LognormalDistribution>(t.mean_us * 1e3,
+                                                       t.lognormal_sigma);
+        break;
+    }
+    components.push_back(DiscreteMixture::Component{t.ratio, std::move(dist)});
+  }
+  if (components.empty()) {
+    throw std::invalid_argument("phase has no types");
+  }
+  mixture_ = std::make_shared<DiscreteMixture>(std::move(components));
+}
+
+}  // namespace psp

@@ -1,0 +1,104 @@
+// Workload specifications for every paper experiment: the bimodal synthetic
+// mixes of Table 3, the TPC-C mix of Table 4, the RocksDB GET/SCAN mix
+// (§5.4.4), and the 4-phase adaptation workload of §5.5 (Fig 7).
+#ifndef PSP_SRC_SIM_WORKLOAD_H_
+#define PSP_SRC_SIM_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/distributions.h"
+#include "src/common/time.h"
+#include "src/core/request.h"
+#include "src/core/request.h"
+
+namespace psp {
+
+enum class ServiceShape { kFixed, kExponential, kLognormal };
+
+struct WorkloadType {
+  TypeId wire_id = 0;          // value carried in the request header
+  std::string name;
+  double mean_us = 0;          // mean service time
+  double ratio = 0;            // occurrence ratio (normalised per phase)
+  ServiceShape shape = ServiceShape::kFixed;
+  double lognormal_sigma = 1.0;  // only for kLognormal
+};
+
+struct WorkloadPhase {
+  Nanos duration = 0;               // 0 on the last phase = until sim end
+  std::vector<WorkloadType> types;  // the phase's mix
+  double load_scale = 1.0;          // multiplies the experiment's base rate
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::vector<WorkloadPhase> phases;
+
+  const std::vector<WorkloadType>& types() const {
+    return phases.front().types;
+  }
+
+  // Mean service time of phase 0 in nanos (Σ S_i·R_i).
+  double MeanServiceNanos() const;
+
+  // Offered load (requests/sec) that saturates `workers` cores at 100%
+  // utilisation for phase 0: workers / mean service time.
+  double PeakLoadRps(uint32_t workers) const;
+
+  // The union of all type wire ids across phases (stable order of first
+  // appearance) — what a server must register.
+  std::vector<WorkloadType> AllTypes() const;
+};
+
+// Table 3, "High Bimodal": 50% × 1 µs, 50% × 100 µs (100× dispersion).
+WorkloadSpec HighBimodal();
+
+// Table 3, "Extreme Bimodal": 99.5% × 0.5 µs, 0.5% × 500 µs (1000×).
+WorkloadSpec ExtremeBimodal();
+
+// Table 4, TPC-C transaction mix (5 types, 17.5× dispersion).
+WorkloadSpec TpccMix();
+
+// §5.4.4 RocksDB service: 50% GET (1.5 µs), 50% SCAN (635 µs), 420×.
+WorkloadSpec RocksDbMix();
+
+// A Facebook-USR-style cache mix (the paper's §5.1 cites Atikoglu et al. as
+// the "majority of short requests with a small amount of very long requests"
+// archetype): 97% tiny GETs, 2.5% mid-size multigets, 0.5% large range reads.
+WorkloadSpec FacebookUsrLike();
+
+// §5.5 / Fig 7: four 5-second phases over two types A and B.
+//   P1: A long (100 µs) 50%, B short (1 µs) 50%
+//   P2: service times swapped (misclassification stress)
+//   P3: ratio change: A 1 µs @ 94%, B 100 µs @ 6% (A's demand fraction
+//       rises to 2/14 cores; rate scaled to hold 80% utilisation)
+//   P4: A only (B demand drains to zero; spillway must serve stragglers)
+WorkloadSpec FourPhaseAdaptation(Nanos phase_duration = 5 * kSecond);
+
+// One recorded arrival for trace-driven replay (see src/sim/trace.h for the
+// CSV loader). Defined here so the engine can hold traces by value.
+struct TraceEntry {
+  Nanos send_time = 0;
+  TypeId wire_type = 0;
+  Nanos service = 0;
+};
+
+// Builds the per-phase sampler: mixture over the phase's types.
+class PhaseSampler {
+ public:
+  explicit PhaseSampler(const WorkloadPhase& phase);
+
+  // Draws a type slot + service time. `slot` indexes phase.types.
+  MixtureDraw Sample(Rng& rng) const { return mixture_->SampleDraw(rng); }
+  const WorkloadType& type(uint32_t slot) const { return phase_->types[slot]; }
+
+ private:
+  const WorkloadPhase* phase_;
+  std::shared_ptr<const DiscreteMixture> mixture_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SIM_WORKLOAD_H_

@@ -1,0 +1,285 @@
+// KV store semantics: versions, tombstones, runs, scans, compaction, codec.
+#include "src/apps/kvstore.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace psp {
+namespace {
+
+TEST(KvStore, PutGetRoundTrip) {
+  KvStore store;
+  store.Put(1, "one");
+  store.Put(2, "two");
+  EXPECT_EQ(store.Get(1), "one");
+  EXPECT_EQ(store.Get(2), "two");
+  EXPECT_FALSE(store.Get(3).has_value());
+}
+
+TEST(KvStore, OverwriteTakesLatestValue) {
+  KvStore store(4);  // small memtable: forces runs
+  store.Put(1, "v1");
+  store.Put(2, "a");
+  store.Put(3, "b");
+  store.Put(4, "c");  // freeze
+  EXPECT_GE(store.num_runs(), 1u);
+  store.Put(1, "v2");
+  EXPECT_EQ(store.Get(1), "v2");
+}
+
+TEST(KvStore, DeleteTombstonesAcrossRuns) {
+  KvStore store(2);
+  store.Put(1, "x");
+  store.Put(2, "y");  // freeze -> run contains 1,2
+  store.Delete(1);
+  store.Put(3, "z");  // freeze -> run contains tombstone(1), 3
+  EXPECT_FALSE(store.Get(1).has_value());
+  EXPECT_EQ(store.Get(2), "y");
+  EXPECT_EQ(store.Get(3), "z");
+}
+
+TEST(KvStore, ScanReturnsSortedLiveEntries) {
+  KvStore store(3);
+  for (uint64_t k = 0; k < 10; ++k) {
+    store.Put(k, "v" + std::to_string(k));
+  }
+  store.Delete(5);
+  std::vector<std::pair<uint64_t, std::string>> out;
+  const size_t n = store.Scan(2, 5, &out);
+  EXPECT_EQ(n, 5u);
+  ASSERT_EQ(out.size(), 5u);
+  // Keys 2,3,4,6,7 (5 deleted).
+  EXPECT_EQ(out[0].first, 2u);
+  EXPECT_EQ(out[2].first, 4u);
+  EXPECT_EQ(out[3].first, 6u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out[i].first, out[i - 1].first);
+  }
+}
+
+TEST(KvStore, ScanSeesNewestVersion) {
+  KvStore store(2);
+  store.Put(7, "old");
+  store.Put(8, "x");  // freeze
+  store.Put(7, "new");
+  std::vector<std::pair<uint64_t, std::string>> out;
+  store.Scan(7, 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, "new");
+}
+
+TEST(KvStore, ScanPastEndStops) {
+  KvStore store;
+  store.Put(1, "a");
+  EXPECT_EQ(store.Scan(100, 10), 0u);
+  EXPECT_EQ(store.Scan(0, 10), 1u);
+}
+
+TEST(KvStore, CompactMergesRunsAndDropsTombstones) {
+  KvStore store(2);
+  for (uint64_t k = 0; k < 20; ++k) {
+    store.Put(k, "v");
+  }
+  store.Delete(0);
+  store.Delete(19);
+  store.Compact();
+  EXPECT_EQ(store.num_runs(), 1u);
+  EXPECT_EQ(store.memtable_size(), 0u);
+  EXPECT_EQ(store.ApproxEntries(), 18u);
+  EXPECT_FALSE(store.Get(0).has_value());
+  EXPECT_EQ(store.Get(10), "v");
+}
+
+TEST(KvStore, LoadDatasetMatchesPaperSetup) {
+  KvStore store;
+  LoadKvDataset(store, 5000, 64);  // "SCAN requests over 5000 keys"
+  EXPECT_EQ(store.ApproxEntries(), 5000u);
+  EXPECT_EQ(store.num_runs(), 1u);
+  EXPECT_EQ(store.Scan(0, 5000), 5000u);
+}
+
+TEST(KvStore, RandomizedAgainstReferenceMap) {
+  KvStore store(16);
+  std::map<uint64_t, std::string> reference;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.NextBounded(200);
+    const int action = static_cast<int>(rng.NextBounded(3));
+    if (action < 2) {
+      const std::string value = "v" + std::to_string(i);
+      store.Put(key, value);
+      reference[key] = value;
+    } else {
+      store.Delete(key);
+      reference.erase(key);
+    }
+  }
+  for (uint64_t key = 0; key < 200; ++key) {
+    const auto it = reference.find(key);
+    const auto got = store.Get(key);
+    if (it == reference.end()) {
+      EXPECT_FALSE(got.has_value()) << key;
+    } else {
+      ASSERT_TRUE(got.has_value()) << key;
+      EXPECT_EQ(*got, it->second);
+    }
+  }
+  // Full scan equals the reference's live size.
+  EXPECT_EQ(store.Scan(0, SIZE_MAX), reference.size());
+}
+
+// --- Codec + execution ---------------------------------------------------------
+
+TEST(KvCodec, GetRoundTrip) {
+  std::byte buf[64];
+  KvRequest request;
+  request.op = KvOp::kGet;
+  request.key = 42;
+  const uint32_t len = EncodeKvRequest(request, buf, sizeof(buf));
+  ASSERT_GT(len, 0u);
+  const auto decoded = DecodeKvRequest(buf, len);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, KvOp::kGet);
+  EXPECT_EQ(decoded->key, 42u);
+}
+
+TEST(KvCodec, PutCarriesValueBytes) {
+  std::byte buf[128];
+  const char value[] = "payload-bytes";
+  KvRequest request;
+  request.op = KvOp::kPut;
+  request.key = 7;
+  request.value = reinterpret_cast<const std::byte*>(value);
+  request.value_length = sizeof(value);
+  const uint32_t len = EncodeKvRequest(request, buf, sizeof(buf));
+  const auto decoded = DecodeKvRequest(buf, len);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->value_length, sizeof(value));
+  EXPECT_EQ(std::memcmp(decoded->value, value, sizeof(value)), 0);
+}
+
+TEST(KvCodec, RejectsTruncatedAndBogus) {
+  std::byte buf[64];
+  KvRequest request;
+  request.op = KvOp::kScan;
+  request.key = 1;
+  request.count = 10;
+  const uint32_t len = EncodeKvRequest(request, buf, sizeof(buf));
+  EXPECT_FALSE(DecodeKvRequest(buf, len - 1).has_value());
+  buf[0] = std::byte{99};  // invalid op
+  EXPECT_FALSE(DecodeKvRequest(buf, len).has_value());
+}
+
+TEST(KvExecute, GetPutScanAgainstStore) {
+  KvStore store;
+  std::byte req[128];
+  std::byte resp[256];
+
+  KvRequest put;
+  put.op = KvOp::kPut;
+  put.key = 5;
+  const char value[] = "hello";
+  put.value = reinterpret_cast<const std::byte*>(value);
+  put.value_length = 5;
+  EncodeKvRequest(put, req, sizeof(req));
+  EXPECT_EQ(ExecuteKvRequest(store, put, resp, sizeof(resp)), 1u);
+
+  KvRequest get;
+  get.op = KvOp::kGet;
+  get.key = 5;
+  const uint32_t get_len = ExecuteKvRequest(store, get, resp, sizeof(resp));
+  EXPECT_EQ(get_len, 1u + 4u + 5u);
+  EXPECT_EQ(static_cast<uint8_t>(resp[0]), 1);  // found
+
+  get.key = 999;
+  const uint32_t miss_len = ExecuteKvRequest(store, get, resp, sizeof(resp));
+  EXPECT_EQ(miss_len, 5u);
+  EXPECT_EQ(static_cast<uint8_t>(resp[0]), 0);  // not found
+
+  KvRequest scan;
+  scan.op = KvOp::kScan;
+  scan.key = 0;
+  scan.count = 100;
+  const uint32_t scan_len = ExecuteKvRequest(store, scan, resp, sizeof(resp));
+  EXPECT_EQ(scan_len, 12u);
+  uint32_t visited;
+  std::memcpy(&visited, resp, 4);
+  EXPECT_EQ(visited, 1u);
+}
+
+
+TEST(KvStore, TieredCompactionBoundsRunCount) {
+  KvStore store(/*memtable_limit=*/8, /*max_runs=*/4);
+  for (uint64_t k = 0; k < 400; ++k) {
+    store.Put(k, "v" + std::to_string(k));
+  }
+  EXPECT_LE(store.num_runs(), 5u);  // bound is enforced after each freeze
+  // All data still visible.
+  for (uint64_t k = 0; k < 400; k += 37) {
+    ASSERT_TRUE(store.Get(k).has_value()) << k;
+    EXPECT_EQ(*store.Get(k), "v" + std::to_string(k));
+  }
+  EXPECT_EQ(store.Scan(0, SIZE_MAX), 400u);
+}
+
+TEST(KvStore, CompactionPreservesNewestVersionAndTombstones) {
+  KvStore store(/*memtable_limit=*/4, /*max_runs=*/2);
+  for (int round = 0; round < 30; ++round) {
+    store.Put(1, "v" + std::to_string(round));
+    store.Put(static_cast<uint64_t>(100 + round), "x");
+    store.Delete(2);
+    store.Put(2 + 1000u + static_cast<uint64_t>(round), "y");
+  }
+  EXPECT_EQ(*store.Get(1), "v29");
+  EXPECT_FALSE(store.Get(2).has_value());
+}
+
+TEST(KvStore, BloomFiltersSkipRunsOnMisses) {
+  KvStore store(/*memtable_limit=*/64, /*max_runs=*/16);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    store.Put(k, "v");
+  }
+  ASSERT_GT(store.num_runs(), 3u);
+  const uint64_t before = store.bloom_skips();
+  for (uint64_t k = 0; k < 500; ++k) {
+    EXPECT_FALSE(store.Get(1000000 + k * 13).has_value());
+  }
+  // Misses should skip nearly every run via the filters.
+  EXPECT_GT(store.bloom_skips() - before, 500u * (store.num_runs() - 1));
+}
+
+TEST(KvStore, RandomizedWithAggressiveCompaction) {
+  KvStore store(/*memtable_limit=*/8, /*max_runs=*/3);
+  std::map<uint64_t, std::string> reference;
+  Rng rng(123);
+  for (int i = 0; i < 8000; ++i) {
+    const uint64_t key = rng.NextBounded(300);
+    if (rng.NextBounded(3) < 2) {
+      const std::string value = "v" + std::to_string(i);
+      store.Put(key, value);
+      reference[key] = value;
+    } else {
+      store.Delete(key);
+      reference.erase(key);
+    }
+  }
+  for (uint64_t key = 0; key < 300; ++key) {
+    const auto it = reference.find(key);
+    const auto got = store.Get(key);
+    if (it == reference.end()) {
+      EXPECT_FALSE(got.has_value()) << key;
+    } else {
+      ASSERT_TRUE(got.has_value()) << key;
+      EXPECT_EQ(*got, it->second) << key;
+    }
+  }
+  EXPECT_EQ(store.Scan(0, SIZE_MAX), reference.size());
+  EXPECT_LE(store.num_runs(), 4u);
+}
+
+}  // namespace
+}  // namespace psp

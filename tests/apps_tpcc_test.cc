@@ -1,0 +1,250 @@
+// TPC-C database tests: the five transaction profiles, consistency
+// invariants, codec round trips, and concurrent execution safety.
+#include "src/apps/tpcc.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace psp {
+namespace {
+
+TpccScale SmallScale() {
+  TpccScale s;
+  s.warehouses = 2;
+  s.districts_per_warehouse = 3;
+  s.customers_per_district = 10;
+  s.items = 100;
+  return s;
+}
+
+TEST(Tpcc, PaymentUpdatesBalancesAndYtd) {
+  TpccDb db(SmallScale());
+  EXPECT_TRUE(db.Payment({0, 1, 2, 50.0}));
+  EXPECT_TRUE(db.Payment({0, 2, 2, 25.0}));
+  EXPECT_TRUE(db.CheckYtdConsistency(0));
+}
+
+TEST(Tpcc, PaymentRejectsInvalidIds) {
+  TpccDb db(SmallScale());
+  EXPECT_FALSE(db.Payment({9, 0, 0, 1.0}));
+  EXPECT_FALSE(db.Payment({0, 9, 0, 1.0}));
+  EXPECT_FALSE(db.Payment({0, 0, 99, 1.0}));
+}
+
+TEST(Tpcc, NewOrderCreatesOrderWithTotal) {
+  TpccDb db(SmallScale());
+  const auto result = db.NewOrder(0, 0, 1, {{3, 2}, {5, 1}});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->order_id, 1u);
+  EXPECT_GT(result->total_amount, 0.0);
+  const auto second = db.NewOrder(0, 0, 1, {{4, 1}});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->order_id, 2u);  // district order ids increase
+}
+
+TEST(Tpcc, NewOrderValidatesLines) {
+  TpccDb db(SmallScale());
+  EXPECT_FALSE(db.NewOrder(0, 0, 0, {}).has_value());
+  EXPECT_FALSE(db.NewOrder(0, 0, 0, {{999, 1}}).has_value());
+  EXPECT_FALSE(db.NewOrder(0, 0, 0, {{1, 0}}).has_value());
+  std::vector<TpccDb::NewOrderLine> too_many(16, {1, 1});
+  EXPECT_FALSE(db.NewOrder(0, 0, 0, too_many).has_value());
+}
+
+TEST(Tpcc, OrderStatusFindsLastOrder) {
+  TpccDb db(SmallScale());
+  const auto none = db.OrderStatus(0, 0, 4);
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(none->order_id, 0u);  // no orders yet
+
+  db.NewOrder(0, 0, 4, {{1, 1}, {2, 2}, {3, 3}});
+  const auto status = db.OrderStatus(0, 0, 4);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->order_id, 1u);
+  EXPECT_EQ(status->line_count, 3u);
+  EXPECT_GT(status->total_amount, 0.0);
+}
+
+TEST(Tpcc, DeliveryProcessesOldestOrderPerDistrict) {
+  TpccDb db(SmallScale());
+  // Two orders in district 0, one in district 1.
+  db.NewOrder(0, 0, 0, {{1, 1}});
+  db.NewOrder(0, 0, 1, {{2, 1}});
+  db.NewOrder(0, 1, 0, {{3, 1}});
+  EXPECT_EQ(db.Delivery(0, 7), 2u);  // one per non-empty district
+  EXPECT_EQ(db.Delivery(0, 7), 1u);  // the remaining district-0 order
+  EXPECT_EQ(db.Delivery(0, 7), 0u);  // nothing left
+}
+
+TEST(Tpcc, StockLevelCountsDistinctLowItems) {
+  TpccScale scale = SmallScale();
+  TpccDb db(scale);
+  db.NewOrder(0, 0, 0, {{1, 5}, {2, 5}});
+  // Threshold above every possible quantity (initial stock <= 99 + wrap 91):
+  const auto all = db.StockLevel(0, 0, 1000);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(*all, 2u);
+  // Threshold 0: nothing is below zero.
+  const auto none = db.StockLevel(0, 0, 0);
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(*none, 0u);
+}
+
+TEST(Tpcc, StockLevelLooksAtRecentOrdersOnly) {
+  TpccDb db(SmallScale());
+  for (int i = 0; i < 30; ++i) {
+    // Orders over item i % 100; only the last 20 are examined.
+    db.NewOrder(0, 0, 0,
+                {{static_cast<uint32_t>(i), 1}});
+  }
+  const auto level = db.StockLevel(0, 0, 1000);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 20u);
+}
+
+TEST(Tpcc, DeliveryCreditsCustomerBalance) {
+  TpccDb db(SmallScale());
+  const auto order = db.NewOrder(0, 0, 3, {{1, 2}});
+  ASSERT_TRUE(order.has_value());
+  db.Delivery(0, 1);
+  // Customer 3's last order is delivered; its total was credited. Verified
+  // indirectly through OrderStatus total (balance is internal).
+  const auto status = db.OrderStatus(0, 0, 3);
+  EXPECT_DOUBLE_EQ(status->total_amount, order->total_amount);
+}
+
+TEST(Tpcc, ConcurrentMixedTransactionsStayConsistent) {
+  TpccScale scale = SmallScale();
+  TpccDb db(scale);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &scale, t] {
+      Rng rng(static_cast<uint64_t>(t) + 100);
+      for (int i = 0; i < 2000; ++i) {
+        const auto txn = static_cast<TpccTxn>(1 + rng.NextBounded(5));
+        const TpccRequest req = MakeRandomTpccRequest(txn, scale, rng);
+        std::byte resp[16];
+        ExecuteTpccRequest(db, req, resp, sizeof(resp));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (uint32_t w = 0; w < scale.warehouses; ++w) {
+    EXPECT_TRUE(db.CheckYtdConsistency(w)) << "warehouse " << w;
+  }
+}
+
+// --- Codec ----------------------------------------------------------------------
+
+TEST(TpccCodec, RoundTripNewOrder) {
+  TpccRequest request;
+  request.txn = TpccTxn::kNewOrder;
+  request.warehouse = 1;
+  request.district = 2;
+  request.customer = 3;
+  request.lines = {{10, 5}, {20, 1}};
+  std::byte buf[256];
+  const uint32_t len = EncodeTpccRequest(request, buf, sizeof(buf));
+  ASSERT_GT(len, 0u);
+  const auto decoded = DecodeTpccRequest(TpccTxn::kNewOrder, buf, len);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->warehouse, 1u);
+  EXPECT_EQ(decoded->district, 2u);
+  EXPECT_EQ(decoded->customer, 3u);
+  ASSERT_EQ(decoded->lines.size(), 2u);
+  EXPECT_EQ(decoded->lines[1].item, 20u);
+}
+
+TEST(TpccCodec, RejectsTruncated) {
+  TpccRequest request;
+  request.txn = TpccTxn::kNewOrder;
+  request.lines = {{1, 1}};
+  std::byte buf[256];
+  const uint32_t len = EncodeTpccRequest(request, buf, sizeof(buf));
+  EXPECT_FALSE(DecodeTpccRequest(TpccTxn::kNewOrder, buf, len - 4).has_value());
+  EXPECT_FALSE(DecodeTpccRequest(TpccTxn::kNewOrder, buf, 3).has_value());
+}
+
+TEST(TpccCodec, RandomRequestsAreValidAndExecutable) {
+  TpccScale scale = SmallScale();
+  TpccDb db(scale);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto txn = static_cast<TpccTxn>(1 + rng.NextBounded(5));
+    const TpccRequest request = MakeRandomTpccRequest(txn, scale, rng);
+    std::byte buf[512];
+    const uint32_t len = EncodeTpccRequest(request, buf, sizeof(buf));
+    ASSERT_GT(len, 0u);
+    const auto decoded = DecodeTpccRequest(txn, buf, len);
+    ASSERT_TRUE(decoded.has_value());
+    std::byte resp[16];
+    EXPECT_EQ(ExecuteTpccRequest(db, *decoded, resp, sizeof(resp)), 8u);
+  }
+}
+
+
+// --- Spec-detail extensions ---------------------------------------------------
+
+TEST(Tpcc, LastNameSyllableRule) {
+  EXPECT_EQ(TpccDb::LastNameFor(0), "BARBARBAR");
+  EXPECT_EQ(TpccDb::LastNameFor(371), "PRICALLYOUGHT");
+  EXPECT_EQ(TpccDb::LastNameFor(999), "EINGEINGEING");
+}
+
+TEST(Tpcc, PaymentByLastNameHitsMedianCustomer) {
+  TpccDb db(SmallScale());
+  // Customer 5's name under the rule; ids 0..9 exist per district.
+  const std::string name = TpccDb::LastNameFor(5);
+  EXPECT_TRUE(db.PaymentByLastName(0, 0, name, 10.0));
+  EXPECT_FALSE(db.PaymentByLastName(0, 0, "NOSUCHNAME", 10.0));
+  EXPECT_TRUE(db.CheckYtdConsistency(0));
+}
+
+TEST(Tpcc, RemotePaymentCreditsPayingWarehouse) {
+  TpccDb db(SmallScale());
+  TpccDb::PaymentParams params{0, 1, 2, 42.0};
+  params.customer_warehouse = 1;  // customer lives in warehouse 1
+  EXPECT_TRUE(db.Payment(params));
+  // Revenue lands at the paying warehouse (0): its ytd must be consistent.
+  EXPECT_TRUE(db.CheckYtdConsistency(0));
+  EXPECT_TRUE(db.CheckYtdConsistency(1));
+  EXPECT_EQ(db.HistorySize(0), 1u);
+  EXPECT_EQ(db.HistorySize(1), 0u);
+}
+
+TEST(Tpcc, EveryPaymentAppendsHistory) {
+  TpccDb db(SmallScale());
+  for (int i = 0; i < 25; ++i) {
+    db.Payment({0, 0, 0, 1.0});
+  }
+  EXPECT_EQ(db.HistorySize(0), 25u);
+}
+
+TEST(Tpcc, ConcurrentRemotePaymentsDoNotDeadlock) {
+  TpccScale scale = SmallScale();
+  TpccDb db(scale);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&db, t] {
+      for (int i = 0; i < 2000; ++i) {
+        TpccDb::PaymentParams params{static_cast<uint32_t>(t % 2), 0, 0, 1.0};
+        params.customer_warehouse = (t + 1) % 2;  // always remote
+        db.Payment(params);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(db.HistorySize(0) + db.HistorySize(1), 8000u);
+  EXPECT_TRUE(db.CheckYtdConsistency(0));
+  EXPECT_TRUE(db.CheckYtdConsistency(1));
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,60 @@
+// Bloom filter tests: no false negatives, bounded false positives, sizing.
+#include "src/common/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace psp {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter filter(1000, 0.01);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    filter.Add(k * 7919);
+  }
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(filter.MayContain(k * 7919)) << k;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  BloomFilter filter(10000, 0.01);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    filter.Add(rng.Next());
+  }
+  // Probe disjoint keys (different generator stream).
+  Rng probe(999);
+  int positives = 0;
+  constexpr int kProbes = 50000;
+  for (int i = 0; i < kProbes; ++i) {
+    positives += filter.MayContain(probe.Next()) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(positives) / kProbes;
+  EXPECT_LT(rate, 0.03);  // target 1%, allow slack
+}
+
+TEST(BloomFilter, EmptyFilterRejectsEverything) {
+  BloomFilter filter(100);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(filter.MayContain(rng.Next()));
+  }
+}
+
+TEST(BloomFilter, ZeroExpectedKeysStillWorks) {
+  BloomFilter filter(0);
+  filter.Add(42);
+  EXPECT_TRUE(filter.MayContain(42));
+}
+
+TEST(BloomFilter, SizingScalesWithKeys) {
+  BloomFilter small(100, 0.01);
+  BloomFilter big(100000, 0.01);
+  EXPECT_GT(big.bit_count(), small.bit_count() * 100);
+  EXPECT_GE(small.num_hashes(), 1);
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,146 @@
+// Buffer pool tests: ownership, conservation across caches and threads,
+// exhaustion behaviour.
+#include "src/common/memory_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace psp {
+namespace {
+
+TEST(MemoryPool, RoundsBufferCountToPowerOfTwo) {
+  MemoryPool pool(100, 100);
+  EXPECT_EQ(pool.num_buffers(), 128u);
+  EXPECT_EQ(pool.buffer_size() % 64, 0u);  // cache-line multiple
+}
+
+TEST(MemoryPool, GlobalAllocFreeRoundTrip) {
+  MemoryPool pool(256, 16);
+  std::byte* buf = pool.AllocGlobal();
+  ASSERT_NE(buf, nullptr);
+  EXPECT_TRUE(pool.Owns(buf));
+  pool.FreeGlobal(buf);
+  EXPECT_EQ(pool.AvailableApprox(), pool.num_buffers());
+}
+
+TEST(MemoryPool, ExhaustionReturnsNull) {
+  MemoryPool pool(64, 4);
+  std::vector<std::byte*> held;
+  for (size_t i = 0; i < pool.num_buffers(); ++i) {
+    std::byte* buf = pool.AllocGlobal();
+    ASSERT_NE(buf, nullptr);
+    held.push_back(buf);
+  }
+  EXPECT_EQ(pool.AllocGlobal(), nullptr);
+  pool.FreeGlobal(held.back());
+  EXPECT_NE(pool.AllocGlobal(), nullptr);
+}
+
+TEST(MemoryPool, BuffersAreDistinctAndAligned) {
+  MemoryPool pool(128, 8);
+  std::set<std::byte*> seen;
+  for (size_t i = 0; i < pool.num_buffers(); ++i) {
+    std::byte* buf = pool.AllocGlobal();
+    ASSERT_NE(buf, nullptr);
+    EXPECT_TRUE(seen.insert(buf).second) << "duplicate buffer";
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(buf) % 64, 0u);
+  }
+}
+
+TEST(MemoryPool, OwnsRejectsForeignAndMisalignedPointers) {
+  MemoryPool pool(128, 8);
+  std::byte outside;
+  EXPECT_FALSE(pool.Owns(&outside));
+  std::byte* buf = pool.AllocGlobal();
+  EXPECT_FALSE(pool.Owns(buf + 1));  // interior pointer
+  pool.FreeGlobal(buf);
+}
+
+TEST(BufferCache, AllocFreeThroughCache) {
+  MemoryPool pool(128, 64);
+  BufferCache cache(&pool, 8);
+  std::byte* a = cache.Alloc();
+  std::byte* b = cache.Alloc();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  cache.Free(a);
+  cache.Free(b);
+  cache.FlushAll();
+  EXPECT_EQ(pool.AvailableApprox(), pool.num_buffers());
+}
+
+TEST(BufferCache, RefillsInBatches) {
+  MemoryPool pool(128, 64);
+  BufferCache cache(&pool, 8);
+  (void)cache.Alloc();
+  // One refill of 8 pulled from the pool; 7 remain cached.
+  EXPECT_EQ(cache.CachedCount(), 7u);
+  EXPECT_EQ(pool.AvailableApprox(), pool.num_buffers() - 8);
+}
+
+TEST(BufferCache, FlushesWhenOverfull) {
+  MemoryPool pool(128, 128);
+  BufferCache cache(&pool, 4);
+  std::vector<std::byte*> bufs;
+  for (int i = 0; i < 16; ++i) {
+    bufs.push_back(cache.Alloc());
+  }
+  for (auto* b : bufs) {
+    cache.Free(b);
+  }
+  // Cache flushed excess back: it never retains more than 2×batch.
+  EXPECT_LE(cache.CachedCount(), 8u);
+}
+
+TEST(BufferCache, DestructorReturnsEverything) {
+  MemoryPool pool(128, 32);
+  {
+    BufferCache cache(&pool, 8);
+    for (int i = 0; i < 5; ++i) {
+      std::byte* b = cache.Alloc();
+      ASSERT_NE(b, nullptr);
+      cache.Free(b);
+    }
+  }
+  EXPECT_EQ(pool.AvailableApprox(), pool.num_buffers());
+}
+
+TEST(BufferCache, ConservationAcrossThreads) {
+  // Workers alloc/free through private caches concurrently; afterwards every
+  // buffer must be back (the paper's workers release buffers after TX).
+  MemoryPool pool(256, 1024);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool] {
+      BufferCache cache(&pool, 16);
+      std::vector<std::byte*> held;
+      for (int round = 0; round < 5'000; ++round) {
+        if ((round & 3) != 3) {
+          std::byte* b = cache.Alloc();
+          if (b != nullptr) {
+            held.push_back(b);
+          }
+        } else if (!held.empty()) {
+          cache.Free(held.back());
+          held.pop_back();
+        }
+      }
+      for (auto* b : held) {
+        cache.Free(b);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(pool.AvailableApprox(), pool.num_buffers());
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,141 @@
+// Lock-free ring tests: single-threaded semantics plus multi-threaded
+// stress checking FIFO order (SPSC) and element conservation (MPSC).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/mpsc_ring.h"
+#include "src/common/spsc_ring.h"
+
+namespace psp {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<uint64_t> ring(8);
+  uint64_t out = 0;
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_TRUE(ring.TryPush(7));
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRing, FillsToCapacityThenRejects) {
+  SpscRing<uint64_t> ring(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));
+  uint64_t out;
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(ring.TryPush(99));  // slot freed
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<uint64_t> ring(4);
+  uint64_t out;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    ASSERT_TRUE(ring.TryPop(&out));
+    ASSERT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, SizeApprox) {
+  SpscRing<uint64_t> ring(8);
+  EXPECT_TRUE(ring.EmptyApprox());
+  ring.TryPush(1);
+  ring.TryPush(2);
+  EXPECT_EQ(ring.SizeApprox(), 2u);
+}
+
+TEST(SpscRing, CrossThreadFifoOrderPreserved) {
+  SpscRing<uint64_t> ring(64);
+  constexpr uint64_t kCount = 50'000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.TryPush(i)) {
+        std::this_thread::yield();  // single-core CI machines
+      }
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    uint64_t v;
+    if (ring.TryPop(&v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+}
+
+TEST(MpscRing, PushPopSingleThread) {
+  MpscRing<uint64_t> ring(8);
+  uint64_t out;
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_TRUE(ring.TryPush(5));
+  EXPECT_TRUE(ring.TryPush(6));
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 5u);
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 6u);
+}
+
+TEST(MpscRing, RejectsWhenFull) {
+  MpscRing<uint64_t> ring(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(4));
+}
+
+TEST(MpscRing, MultiProducerConservation) {
+  MpscRing<uint64_t> ring(1024);
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 20'000;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t value = (static_cast<uint64_t>(p) << 32) | i;
+        while (!ring.TryPush(value)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Single consumer: verify per-producer FIFO and total conservation.
+  std::vector<uint64_t> next(kProducers, 0);
+  uint64_t popped = 0;
+  while (popped < kProducers * kPerProducer) {
+    uint64_t v;
+    if (!ring.TryPop(&v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const auto producer = static_cast<int>(v >> 32);
+    const uint64_t seq = v & 0xFFFFFFFF;
+    ASSERT_LT(producer, kProducers);
+    ASSERT_EQ(seq, next[producer]) << "per-producer order violated";
+    ++next[producer];
+    ++popped;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  uint64_t leftover;
+  EXPECT_FALSE(ring.TryPop(&leftover));
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,64 @@
+// TSC clock and time-unit tests.
+#include "src/common/time.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace psp {
+namespace {
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(FromMicros(1.0), 1000);
+  EXPECT_EQ(FromMicros(0.5), 500);
+  EXPECT_DOUBLE_EQ(ToMicros(2500), 2.5);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+}
+
+TEST(TscClock, MonotonicNow) {
+  const TscClock& clock = TscClock::Global();
+  Nanos prev = clock.Now();
+  for (int i = 0; i < 1000; ++i) {
+    const Nanos now = clock.Now();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(TscClock, TracksWallClockWithinTolerance) {
+  const TscClock& clock = TscClock::Global();
+  const Nanos t0 = clock.Now();
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const Nanos elapsed_tsc = clock.Now() - t0;
+  const auto elapsed_wall =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall0)
+          .count();
+  // Within 10% of wall time (generous for noisy CI machines).
+  EXPECT_NEAR(static_cast<double>(elapsed_tsc),
+              static_cast<double>(elapsed_wall),
+              0.1 * static_cast<double>(elapsed_wall));
+}
+
+TEST(TscClock, CycleConversionsRoundTrip) {
+  const TscClock& clock = TscClock::Global();
+  EXPECT_GT(clock.cycles_per_sec(), 1e8);  // any real CPU: >100 MHz
+  const Nanos ns = 100000;
+  const uint64_t cycles = clock.NanosToCycles(ns);
+  EXPECT_NEAR(static_cast<double>(clock.CyclesToNanos(cycles)),
+              static_cast<double>(ns), 10.0);
+}
+
+TEST(TscClock, SpinUntilReachesDeadline) {
+  const TscClock& clock = TscClock::Global();
+  const Nanos deadline = clock.Now() + 200000;  // 200 µs
+  clock.SpinUntil(deadline);
+  EXPECT_GE(clock.Now(), deadline);
+  // And did not drastically overshoot (scheduler hiccups aside).
+  EXPECT_LT(clock.Now(), deadline + 100 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,72 @@
+// Request-classifier tests (§4.2): header-field extraction, the callback
+// escape hatch, UNKNOWN handling, and the adversarial random classifier.
+#include "src/core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/net/packet.h"
+
+namespace psp {
+namespace {
+
+TEST(HeaderFieldClassifier, ReadsTypeFromPspHeader) {
+  std::byte frame[256];
+  RequestFrame f;
+  f.flow = FlowTuple{1, 2, 3, 4};
+  f.request_type = 1234;
+  const uint32_t len = BuildRequestPacket(f, frame, sizeof(frame));
+  ASSERT_GT(len, 0u);
+  HeaderFieldClassifier classifier;  // default offset = PspHeader field
+  EXPECT_EQ(classifier.Classify(frame + kRequestOffset, len - kRequestOffset),
+            1234u);
+}
+
+TEST(HeaderFieldClassifier, CustomOffset) {
+  std::byte payload[16] = {};
+  const TypeId value = 99;
+  std::memcpy(payload + 8, &value, sizeof(value));
+  HeaderFieldClassifier classifier(8);
+  EXPECT_EQ(classifier.Classify(payload, sizeof(payload)), 99u);
+}
+
+TEST(HeaderFieldClassifier, ShortPayloadIsUnknown) {
+  std::byte payload[4] = {};
+  HeaderFieldClassifier classifier;
+  EXPECT_EQ(classifier.Classify(payload, sizeof(payload)), kUnknownTypeId);
+  EXPECT_EQ(classifier.Classify(nullptr, 100), kUnknownTypeId);
+}
+
+TEST(CallbackClassifier, ArbitraryLogic) {
+  // A "deep" classifier: first byte odd -> type 1, even -> type 2.
+  CallbackClassifier classifier(
+      "parity", [](const std::byte* payload, size_t length) -> TypeId {
+        if (length == 0) {
+          return kUnknownTypeId;
+        }
+        return (std::to_integer<uint8_t>(payload[0]) & 1) ? 1 : 2;
+      });
+  std::byte odd[1] = {std::byte{3}};
+  std::byte even[1] = {std::byte{4}};
+  EXPECT_EQ(classifier.Classify(odd, 1), 1u);
+  EXPECT_EQ(classifier.Classify(even, 1), 2u);
+  EXPECT_EQ(classifier.Classify(odd, 0), kUnknownTypeId);
+  EXPECT_EQ(classifier.Name(), "parity");
+}
+
+TEST(RandomClassifier, CoversAllTypesUniformly) {
+  RandomClassifier classifier({10, 20, 30}, /*seed=*/7);
+  std::map<TypeId, int> counts;
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[classifier.Classify(nullptr, 0)];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (const TypeId t : {10u, 20u, 30u}) {
+    EXPECT_NEAR(counts[t], 10000, 600) << "type " << t;
+  }
+}
+
+}  // namespace
+}  // namespace psp

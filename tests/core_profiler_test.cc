@@ -1,0 +1,175 @@
+// Tests for the profiling-window machinery of §4.3.3: per-type moving
+// averages, occurrence ratios, and the three-way transition gate (delay
+// signal + minimum samples + demand deviation).
+#include "src/core/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace psp {
+namespace {
+
+ProfilerConfig SmallWindows() {
+  ProfilerConfig c;
+  c.min_window_samples = 10;
+  c.min_demand_deviation = 0.10;
+  c.slo_slowdown = 10.0;
+  return c;
+}
+
+TEST(Profiler, TracksPerTypeMeans) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(2);
+  for (int i = 0; i < 100; ++i) {
+    p.RecordCompletion(0, 1000);
+    p.RecordCompletion(1, 100000);
+  }
+  EXPECT_NEAR(static_cast<double>(p.MeanServiceTime(0)), 1000, 1);
+  EXPECT_NEAR(static_cast<double>(p.MeanServiceTime(1)), 100000, 1);
+}
+
+TEST(Profiler, EwmaConvergesAfterServiceTimeChange) {
+  ProfilerConfig c = SmallWindows();
+  c.ewma_alpha = 0.25;
+  Profiler p(c);
+  p.ResizeTypes(1);
+  for (int i = 0; i < 50; ++i) {
+    p.RecordCompletion(0, 1000);
+  }
+  for (int i = 0; i < 100; ++i) {
+    p.RecordCompletion(0, 9000);
+  }
+  EXPECT_NEAR(static_cast<double>(p.MeanServiceTime(0)), 9000, 100);
+}
+
+TEST(Profiler, SeededMeanUsedUntilSamplesArrive) {
+  Profiler p(SmallWindows());
+  p.SeedProfile(3, 5000, 0.5);
+  EXPECT_EQ(p.MeanServiceTime(3), 5000);
+  p.RecordCompletion(3, 700);
+  EXPECT_EQ(p.MeanServiceTime(3), 700);
+}
+
+TEST(Profiler, DelaySignalRaisedOnlyBeyondSlo) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(1);
+  p.RecordCompletion(0, 1000);
+  p.ObserveQueueingDelay(0, 5000);  // 5× mean: under the 10× SLO
+  EXPECT_FALSE(p.delay_signal());
+  p.ObserveQueueingDelay(0, 20000);  // 20×: over
+  EXPECT_TRUE(p.delay_signal());
+}
+
+TEST(Profiler, NoSignalForUnknownMean) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(1);
+  p.ObserveQueueingDelay(0, 1000000);  // no samples yet: mean unknown
+  EXPECT_FALSE(p.delay_signal());
+}
+
+TEST(Profiler, CheckUpdateRequiresAllThreeGates) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(2);
+
+  // Gate 1: no delay signal -> no update even with samples.
+  for (int i = 0; i < 20; ++i) {
+    p.RecordCompletion(0, 1000);
+    p.RecordCompletion(1, 100000);
+  }
+  EXPECT_FALSE(p.CheckUpdate().has_value());
+
+  // Gate 2: delay signal but too few samples (fresh window) -> no update.
+  auto first = p.CheckUpdate(/*force=*/true);  // bootstrap applies demand
+  ASSERT_TRUE(first.has_value());
+  p.RecordCompletion(0, 1000);
+  p.ObserveQueueingDelay(0, 50000);
+  EXPECT_TRUE(p.delay_signal());
+  EXPECT_FALSE(p.CheckUpdate().has_value());
+
+  // Gate 3: signal + samples but demand unchanged -> no update, window rolls.
+  for (int i = 0; i < 20; ++i) {
+    p.RecordCompletion(0, 1000);
+    p.RecordCompletion(1, 100000);
+  }
+  p.ObserveQueueingDelay(0, 50000);
+  EXPECT_FALSE(p.CheckUpdate().has_value());
+  EXPECT_FALSE(p.delay_signal());     // signal consumed
+  EXPECT_EQ(p.window_samples(), 0u);  // window rolled
+
+  // All three: signal + samples + shifted demand -> update fires.
+  for (int i = 0; i < 20; ++i) {
+    p.RecordCompletion(0, 100000);  // type 0 became long
+    p.RecordCompletion(1, 1000);    // type 1 became short
+  }
+  p.ObserveQueueingDelay(0, 5000000);
+  const auto update = p.CheckUpdate();
+  ASSERT_TRUE(update.has_value());
+  EXPECT_GT((*update)[0].mean_service_nanos, (*update)[1].mean_service_nanos);
+}
+
+TEST(Profiler, BuildsOccurrenceRatiosFromWindowCounts) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(2);
+  for (int i = 0; i < 90; ++i) {
+    p.RecordCompletion(0, 1000);
+  }
+  for (int i = 0; i < 10; ++i) {
+    p.RecordCompletion(1, 1000);
+  }
+  const auto demands = p.SnapshotDemands();
+  ASSERT_EQ(demands.size(), 2u);
+  EXPECT_NEAR(demands[0].ratio, 0.9, 1e-9);
+  EXPECT_NEAR(demands[1].ratio, 0.1, 1e-9);
+}
+
+TEST(Profiler, UnseenTypeHasZeroDemandInWindow) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(2);
+  for (int i = 0; i < 20; ++i) {
+    p.RecordCompletion(0, 1000);
+  }
+  const auto demands = p.SnapshotDemands();
+  EXPECT_EQ(demands[1].ratio, 0.0);
+  EXPECT_EQ(demands[1].mean_service_nanos, 0.0);
+}
+
+TEST(Profiler, ForceUpdateWithoutAnyDataReturnsNothing) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(2);
+  EXPECT_FALSE(p.CheckUpdate(/*force=*/true).has_value());
+}
+
+TEST(Profiler, SeedsProduceDemandsBeforeFirstWindow) {
+  Profiler p(SmallWindows());
+  p.SeedProfile(0, 1000, 0.5);
+  p.SeedProfile(1, 100000, 0.5);
+  EXPECT_TRUE(p.HasDemands());
+  const auto update = p.CheckUpdate(/*force=*/true);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_EQ((*update)[0].mean_service_nanos, 1000.0);
+  EXPECT_EQ((*update)[1].ratio, 0.5);
+}
+
+TEST(Profiler, WindowCountsResetAfterUpdate) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(1);
+  for (int i = 0; i < 15; ++i) {
+    p.RecordCompletion(0, 1000);
+  }
+  EXPECT_EQ(p.window_samples(), 15u);
+  ASSERT_TRUE(p.CheckUpdate(/*force=*/true).has_value());
+  EXPECT_EQ(p.window_samples(), 0u);
+  EXPECT_EQ(p.windows_completed(), 1u);
+  // Lifetime mean survives the roll.
+  EXPECT_NEAR(static_cast<double>(p.MeanServiceTime(0)), 1000, 1);
+}
+
+TEST(Profiler, OutOfRangeTypeIsIgnored) {
+  Profiler p(SmallWindows());
+  p.ResizeTypes(1);
+  p.RecordCompletion(57, 1000);  // silently ignored
+  EXPECT_EQ(p.window_samples(), 0u);
+  EXPECT_EQ(p.MeanServiceTime(57), 0);
+}
+
+}  // namespace
+}  // namespace psp

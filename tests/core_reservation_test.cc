@@ -1,0 +1,389 @@
+// Tests for Algorithm 2 (worker reservation), including every worked example
+// the paper reports: High/Extreme Bimodal, RocksDB and the full TPC-C
+// grouping + allocation of §5.4.3.
+#include "src/core/reservation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace psp {
+namespace {
+
+TypeDemand D(TypeIndex t, double mean_us, double ratio) {
+  return TypeDemand{t, mean_us * 1e3, ratio};
+}
+
+std::vector<WorkerId> Workers(const WorkerSet& s) {
+  std::vector<WorkerId> out;
+  for (WorkerId w = 0; w < kMaxWorkers; ++w) {
+    if (s.Test(w)) {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+// --- δ-grouping ------------------------------------------------------------
+
+TEST(GroupTypes, GroupsTypesWithinDelta) {
+  const std::vector<TypeDemand> demands = {D(0, 5.7, 0.44), D(1, 6.0, 0.04),
+                                           D(2, 20.0, 0.44), D(3, 88.0, 0.04),
+                                           D(4, 100.0, 0.04)};
+  const auto groups = GroupTypes(demands, 2.0);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 1}));  // Payment, OrderStatus
+  EXPECT_EQ(groups[1], (std::vector<size_t>{2}));     // NewOrder
+  EXPECT_EQ(groups[2], (std::vector<size_t>{3, 4}));  // Delivery, StockLevel
+}
+
+TEST(GroupTypes, SortsUnorderedInput) {
+  const std::vector<TypeDemand> demands = {D(0, 100.0, 0.2), D(1, 1.0, 0.8)};
+  const auto groups = GroupTypes(demands, 2.0);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].front(), 1u);  // the 1 µs type sorts first
+  EXPECT_EQ(groups[1].front(), 0u);
+}
+
+TEST(GroupTypes, SingleGroupWhenAllSimilar) {
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 0.3), D(1, 1.5, 0.3),
+                                           D(2, 1.9, 0.4)};
+  EXPECT_EQ(GroupTypes(demands, 2.0).size(), 1u);
+}
+
+TEST(GroupTypes, DeltaOneSeparatesDistinctTimes) {
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 0.5), D(1, 1.1, 0.5)};
+  EXPECT_EQ(GroupTypes(demands, 1.0).size(), 2u);
+  EXPECT_EQ(GroupTypes(demands, 1.2).size(), 1u);
+}
+
+TEST(GroupTypes, GroupingIsAnchoredAtGroupHead) {
+  // 1, 1.9, 3.6: 1.9 joins 1's group (≤2×1); 3.6 does NOT (>2×1) even though
+  // 3.6 ≤ 2×1.9 — the anchor is the group head.
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 0.3), D(1, 1.9, 0.3),
+                                           D(2, 3.6, 0.4)};
+  const auto groups = GroupTypes(demands, 2.0);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[1].size(), 1u);
+}
+
+TEST(GroupTypes, EmptyInput) {
+  EXPECT_TRUE(GroupTypes({}, 2.0).empty());
+}
+
+// --- Paper worked example: High Bimodal -------------------------------------
+
+TEST(ComputeReservation, HighBimodalReservesOneCoreForShorts) {
+  // 50% × 1 µs, 50% × 100 µs, 14 workers. Short demand fraction
+  // 0.5/50.5 ≈ 0.0099 → 0.139 workers → round 0 → floor 1 (§5.2: "DARC
+  // reserves 1 core for short requests").
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 0.5), D(1, 100.0, 0.5)};
+  const auto r = ComputeReservation(demands, ReservationConfig{14, 2.0, 1});
+
+  ASSERT_EQ(r.groups.size(), 2u);
+  const auto& shorts = r.groups[0];
+  const auto& longs = r.groups[1];
+  EXPECT_EQ(shorts.reserved_count, 1u);
+  EXPECT_EQ(Workers(shorts.reserved), (std::vector<WorkerId>{0}));
+  // Shorts may steal every long worker: cores 1..13.
+  EXPECT_EQ(shorts.stealable.Count(), 13u);
+  EXPECT_FALSE(shorts.stealable.Test(0));
+  // Longs get the remaining 13 cores and cannot steal.
+  EXPECT_EQ(longs.reserved_count, 13u);
+  EXPECT_TRUE(longs.stealable.Empty());
+  // Paper: "The average CPU waste occasioned by DARC is 0.86 core."
+  EXPECT_NEAR(r.cpu_waste, 0.86, 0.01);
+}
+
+// --- Paper worked example: Extreme Bimodal -----------------------------------
+
+TEST(ComputeReservation, ExtremeBimodalReservesTwoCores) {
+  // 99.5% × 0.5 µs, 0.5% × 500 µs, 14 workers. Short fraction
+  // 0.4975/2.9975 ≈ 0.166 → 2.32 workers → round 2 (§5.4.2: "Perséphone
+  // reserves 2 cores").
+  const std::vector<TypeDemand> demands = {D(0, 0.5, 0.995), D(1, 500.0, 0.005)};
+  const auto r = ComputeReservation(demands, ReservationConfig{14, 2.0, 1});
+
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.groups[0].reserved_count, 2u);
+  EXPECT_EQ(r.groups[1].reserved_count, 12u);
+  EXPECT_EQ(r.groups[0].stealable.Count(), 12u);
+}
+
+// --- Paper worked example: RocksDB -------------------------------------------
+
+TEST(ComputeReservation, RocksDbReservesOneCoreWithHighWaste) {
+  // 50% GET 1.5 µs, 50% SCAN 635 µs (§5.4.4: "DARC reserves 1 core for GET
+  // requests, idling 0.96 core on average").
+  const std::vector<TypeDemand> demands = {D(0, 1.5, 0.5), D(1, 635.0, 0.5)};
+  const auto r = ComputeReservation(demands, ReservationConfig{14, 2.0, 1});
+
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.groups[0].reserved_count, 1u);
+  EXPECT_NEAR(r.cpu_waste, 0.97, 0.02);
+}
+
+// --- Paper worked example: TPC-C (§5.4.3, exact allocation) -------------------
+
+TEST(ComputeReservation, TpccMatchesPaperAllocation) {
+  const std::vector<TypeDemand> demands = {
+      D(0, 5.7, 0.44),   // Payment
+      D(1, 6.0, 0.04),   // OrderStatus
+      D(2, 20.0, 0.44),  // NewOrder
+      D(3, 88.0, 0.04),  // Delivery
+      D(4, 100.0, 0.04)  // StockLevel
+  };
+  const auto r = ComputeReservation(demands, ReservationConfig{14, 2.0, 1});
+
+  // "DARC groups Payment and OrderStatus transactions (group A), lets
+  // NewOrder run in their own group (B), and groups Delivery and StockLevel
+  // (group C)."
+  ASSERT_EQ(r.groups.size(), 3u);
+  EXPECT_EQ(r.groups[0].members, (std::vector<TypeIndex>{0, 1}));
+  EXPECT_EQ(r.groups[1].members, (std::vector<TypeIndex>{2}));
+  EXPECT_EQ(r.groups[2].members, (std::vector<TypeIndex>{3, 4}));
+
+  // "DARC attributes workers 1 and 2 to group A, 3–8 to group B, and 9–14 to
+  // group C" (paper counts from 1; we count from 0).
+  EXPECT_EQ(Workers(r.groups[0].reserved), (std::vector<WorkerId>{0, 1}));
+  EXPECT_EQ(Workers(r.groups[1].reserved),
+            (std::vector<WorkerId>{2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(Workers(r.groups[2].reserved),
+            (std::vector<WorkerId>{8, 9, 10, 11, 12, 13}));
+
+  // "Group A can steal from workers 3–14, group B from workers 9–14, and
+  // group C cannot steal."
+  EXPECT_EQ(Workers(r.groups[0].stealable),
+            (std::vector<WorkerId>{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}));
+  EXPECT_EQ(Workers(r.groups[1].stealable),
+            (std::vector<WorkerId>{8, 9, 10, 11, 12, 13}));
+  EXPECT_TRUE(r.groups[2].stealable.Empty());
+
+  // "There is no average CPU waste with this allocation."
+  EXPECT_NEAR(r.cpu_waste, 0.0, 0.05);
+
+  // Type → group mapping.
+  EXPECT_EQ(r.group_of_type[0], 0u);
+  EXPECT_EQ(r.group_of_type[1], 0u);
+  EXPECT_EQ(r.group_of_type[2], 1u);
+  EXPECT_EQ(r.group_of_type[3], 2u);
+  EXPECT_EQ(r.group_of_type[4], 2u);
+}
+
+// --- Spillway ----------------------------------------------------------------
+
+TEST(ComputeReservation, SpillwayServesGroupsWhenWorkersExhausted) {
+  // One dominant type grabs all workers; the tiny long type must be served
+  // from the spillway core rather than denied service.
+  const std::vector<TypeDemand> demands = {D(0, 10.0, 0.999),
+                                           D(1, 10000.0, 0.0)};
+  const auto r = ComputeReservation(demands, ReservationConfig{4, 2.0, 1});
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.groups[0].reserved_count, 4u);
+  EXPECT_TRUE(r.groups[1].uses_spillway);
+  EXPECT_EQ(Workers(r.groups[1].reserved), (std::vector<WorkerId>{3}));
+}
+
+TEST(ComputeReservation, ZeroRatioTypesLandOnSpillway) {
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 1.0), D(1, 100.0, 0.0)};
+  const auto r = ComputeReservation(demands, ReservationConfig{14, 2.0, 1});
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_TRUE(r.groups[1].uses_spillway);
+  EXPECT_TRUE(r.groups[1].reserved.Test(13));
+}
+
+TEST(ComputeReservation, RoundingOverflowFallsBackToSpillway) {
+  // Three equal groups of 1/3 demand each on 2 workers: round(0.67) = 1 each;
+  // the third group exhausts the free list and lands on the spillway.
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 1.0 / 3), D(1, 10.0, 1.0 / 3),
+                                           D(2, 100.0, 1.0 / 3)};
+  const auto r = ComputeReservation(demands, ReservationConfig{2, 1.5, 1});
+  ASSERT_EQ(r.groups.size(), 3u);
+  EXPECT_FALSE(r.groups[0].uses_spillway);
+  EXPECT_FALSE(r.groups[1].uses_spillway);
+  EXPECT_TRUE(r.groups[2].uses_spillway);
+}
+
+// --- Invariants over randomized inputs ----------------------------------------
+
+class ReservationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReservationPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  const auto num_types = static_cast<size_t>(2 + rng.NextBounded(8));
+  const auto num_workers = static_cast<uint32_t>(2 + rng.NextBounded(62));
+  std::vector<TypeDemand> demands;
+  for (size_t i = 0; i < num_types; ++i) {
+    demands.push_back(D(static_cast<TypeIndex>(i),
+                        0.5 + rng.NextDouble() * 1000.0, rng.NextDouble()));
+  }
+  const ReservationConfig config{num_workers, 1.0 + rng.NextDouble() * 4,
+                                 1};
+  const auto r = ComputeReservation(demands, config);
+
+  // 1. Every type belongs to exactly one group.
+  std::vector<int> seen(num_types, 0);
+  for (const auto& g : r.groups) {
+    for (const TypeIndex t : g.members) {
+      ASSERT_LT(t, num_types);
+      ++seen[t];
+    }
+  }
+  for (size_t i = 0; i < num_types; ++i) {
+    EXPECT_EQ(seen[i], 1) << "type " << i;
+  }
+
+  // 2. Every group has at least one worker (spillway included).
+  for (const auto& g : r.groups) {
+    EXPECT_GE(g.reserved_count, 1u);
+  }
+
+  // 3. Non-spillway reserved sets are disjoint.
+  WorkerSet acc;
+  for (const auto& g : r.groups) {
+    if (g.uses_spillway) {
+      continue;
+    }
+    EXPECT_EQ(acc.Intersect(g.reserved).Count(), 0u);
+    acc = acc.Union(g.reserved);
+  }
+
+  // 4. Groups are sorted by ascending mean service time, and a group's
+  //    stealable set never includes its own or any earlier group's workers.
+  WorkerSet earlier;
+  double prev_mean = -1;
+  for (const auto& g : r.groups) {
+    if (g.uses_spillway) {
+      continue;
+    }
+    EXPECT_GE(g.mean_service_nanos, prev_mean);
+    prev_mean = g.mean_service_nanos;
+    EXPECT_EQ(g.stealable.Intersect(g.reserved).Count(), 0u);
+    EXPECT_EQ(g.stealable.Intersect(earlier).Count(), 0u);
+    earlier = earlier.Union(g.reserved);
+  }
+
+  // 5. Waste is bounded: at most 1 core per group (granted beyond demand can
+  //    only come from rounding/min-floor of a single group's allocation).
+  EXPECT_LE(r.cpu_waste, static_cast<double>(r.groups.size()));
+  EXPECT_GE(r.cpu_waste, 0.0);
+
+  // 6. All worker ids are within range.
+  for (const auto& g : r.groups) {
+    for (const WorkerId w : Workers(g.reserved)) {
+      EXPECT_LT(w, num_workers);
+    }
+    for (const WorkerId w : Workers(g.stealable)) {
+      EXPECT_LT(w, num_workers);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReservationPropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// --- DARC-static (§5.3) -------------------------------------------------------
+
+TEST(StaticReservation, ReservesForShortestAndLetsItStealAll) {
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 0.5), D(1, 100.0, 0.5)};
+  const auto r = ComputeStaticReservation(demands, 14, 3);
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(Workers(r.groups[0].reserved), (std::vector<WorkerId>{0, 1, 2}));
+  EXPECT_EQ(r.groups[0].stealable.Count(), 11u);
+  EXPECT_EQ(r.groups[1].reserved_count, 11u);
+  EXPECT_TRUE(r.groups[1].stealable.Empty());
+}
+
+TEST(StaticReservation, ZeroReservedIsFixedPriority) {
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 0.5), D(1, 100.0, 0.5)};
+  const auto r = ComputeStaticReservation(demands, 14, 0);
+  EXPECT_EQ(r.groups[0].reserved_count, 0u);
+  EXPECT_EQ(r.groups[0].stealable.Count(), 14u);
+  EXPECT_EQ(r.groups[1].reserved_count, 14u);
+}
+
+TEST(StaticReservation, FullReservationStarvesLongsToSpillway) {
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 0.5), D(1, 100.0, 0.5)};
+  const auto r = ComputeStaticReservation(demands, 14, 14);
+  EXPECT_EQ(r.groups[0].reserved_count, 14u);
+  EXPECT_TRUE(r.groups[1].uses_spillway);
+  EXPECT_EQ(r.groups[1].reserved_count, 1u);
+}
+
+TEST(StaticReservation, PicksShortestByMeanNotOrder) {
+  const std::vector<TypeDemand> demands = {D(0, 100.0, 0.5), D(1, 1.0, 0.5)};
+  const auto r = ComputeStaticReservation(demands, 8, 2);
+  EXPECT_EQ(r.groups[0].members, (std::vector<TypeIndex>{1}));
+  EXPECT_EQ(r.group_of_type[1], 0u);
+  EXPECT_EQ(r.group_of_type[0], 1u);
+}
+
+// --- Edge cases ----------------------------------------------------------------
+
+TEST(ComputeReservation, EmptyDemands) {
+  const auto r = ComputeReservation({}, ReservationConfig{14, 2.0, 1});
+  EXPECT_TRUE(r.groups.empty());
+  EXPECT_EQ(r.cpu_waste, 0.0);
+}
+
+TEST(ComputeReservation, SingleTypeTakesAllWorkers) {
+  const auto r = ComputeReservation({D(0, 5.0, 1.0)},
+                                    ReservationConfig{14, 2.0, 1});
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].reserved_count, 14u);
+  EXPECT_TRUE(r.groups[0].stealable.Empty());
+}
+
+TEST(ComputeReservation, SingleWorkerSystem) {
+  const std::vector<TypeDemand> demands = {D(0, 1.0, 0.5), D(1, 100.0, 0.5)};
+  const auto r = ComputeReservation(demands, ReservationConfig{1, 2.0, 1});
+  ASSERT_EQ(r.groups.size(), 2u);
+  // Both groups end up on the only core; the second via the spillway path.
+  EXPECT_TRUE(r.groups[0].reserved.Test(0));
+  EXPECT_TRUE(r.groups[1].reserved.Test(0));
+  EXPECT_TRUE(r.groups[1].uses_spillway);
+}
+
+TEST(ComputeReservation, RatiosAreNormalised) {
+  // Ratios 50/50 (unnormalised) must behave like 0.5/0.5.
+  const std::vector<TypeDemand> a = {D(0, 1.0, 50.0), D(1, 100.0, 50.0)};
+  const std::vector<TypeDemand> b = {D(0, 1.0, 0.5), D(1, 100.0, 0.5)};
+  const auto ra = ComputeReservation(a, ReservationConfig{14, 2.0, 1});
+  const auto rb = ComputeReservation(b, ReservationConfig{14, 2.0, 1});
+  ASSERT_EQ(ra.groups.size(), rb.groups.size());
+  for (size_t i = 0; i < ra.groups.size(); ++i) {
+    EXPECT_EQ(ra.groups[i].reserved_count, rb.groups[i].reserved_count);
+  }
+}
+
+TEST(ComputeReservation, MoreTypesThanWorkers) {
+  // "Grouping lets DARC handle workloads where the number of distinct types
+  // is higher than the number of workers."
+  std::vector<TypeDemand> demands;
+  for (TypeIndex i = 0; i < 32; ++i) {
+    demands.push_back(D(i, std::pow(1.15, i), 1.0 / 32));
+  }
+  const auto r = ComputeReservation(demands, ReservationConfig{4, 2.0, 1});
+  // Every type must be mapped and every group must have a worker.
+  for (TypeIndex i = 0; i < 32; ++i) {
+    EXPECT_LT(r.group_of_type[i], r.groups.size());
+  }
+  for (const auto& g : r.groups) {
+    EXPECT_GE(g.reserved_count, 1u);
+  }
+}
+
+TEST(ComputeReservation, Figure1SixteenWorkerVariant) {
+  // §2 simulation: Extreme Bimodal on 16 workers. Short demand 0.166×16 =
+  // 2.66 → round 3; longs get the other 13.
+  const std::vector<TypeDemand> demands = {D(0, 0.5, 0.995), D(1, 500.0, 0.005)};
+  const auto r = ComputeReservation(demands, ReservationConfig{16, 2.0, 1});
+  EXPECT_EQ(r.groups[0].reserved_count, 3u);
+  EXPECT_EQ(r.groups[1].reserved_count, 13u);
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,98 @@
+// Additional ResizeWorkers edge cases: resizing immediately after a window
+// roll must not strand every type on the spillway, and repeated grow/shrink
+// cycles keep the scheduler consistent.
+#include <gtest/gtest.h>
+
+#include "src/core/scheduler.h"
+
+namespace psp {
+namespace {
+
+Request Req(uint64_t id, TypeIndex type, Nanos arrival, Nanos service = 1000) {
+  Request r;
+  r.id = id;
+  r.type = type;
+  r.arrival = arrival;
+  r.service_demand = service;
+  return r;
+}
+
+TEST(SchedulerResizeEdge, ResizeRightAfterWindowRollKeepsReservations) {
+  SchedulerConfig config;
+  config.mode = PolicyMode::kDarc;
+  config.num_workers = 8;
+  config.profiler.min_window_samples = 50;
+  DarcScheduler scheduler(config);
+  const TypeIndex s = scheduler.RegisterType(1, "S");
+  const TypeIndex l = scheduler.RegisterType(2, "L");
+
+  // Drive through the bootstrap window: 50/50 mix of 1 µs and 100 µs.
+  Nanos now = 0;
+  for (uint64_t i = 0; i < 80; ++i) {
+    const bool is_long = (i & 1) != 0;
+    const TypeIndex t = is_long ? l : s;
+    const Nanos service = is_long ? FromMicros(100) : FromMicros(1);
+    scheduler.Enqueue(Req(i, t, now), now);
+    const auto a = scheduler.NextAssignment(now);
+    ASSERT_TRUE(a.has_value());
+    now += service;
+    scheduler.OnCompletion(a->worker, t, service, now);
+  }
+  ASSERT_TRUE(scheduler.darc_active());
+  // The bootstrap transition just rolled the window: this resize must lean
+  // on lifetime means rather than the (empty) window.
+  scheduler.ResizeWorkers(14);
+  EXPECT_EQ(scheduler.reserved_workers_of(s), 1u);
+  EXPECT_EQ(scheduler.reserved_workers_of(l), 13u);
+}
+
+TEST(SchedulerResizeEdge, RepeatedGrowShrinkCyclesStayConsistent) {
+  SchedulerConfig config;
+  config.mode = PolicyMode::kDarc;
+  config.num_workers = 4;
+  DarcScheduler scheduler(config);
+  const TypeIndex s = scheduler.RegisterType(1, "S", FromMicros(1), 0.5);
+  scheduler.RegisterType(2, "L", FromMicros(100), 0.5);
+  scheduler.ActivateSeededReservation();
+
+  Nanos now = 0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const uint32_t size = cycle % 2 == 0 ? 16 : 3;
+    scheduler.ResizeWorkers(size);
+    // Work still flows at every size.
+    scheduler.Enqueue(Req(static_cast<uint64_t>(cycle), s, now), now);
+    const auto a = scheduler.NextAssignment(now);
+    ASSERT_TRUE(a.has_value()) << "cycle " << cycle;
+    EXPECT_LT(a->worker, size);
+    now += 1000;
+    scheduler.OnCompletion(a->worker, s, 1000, now);
+    EXPECT_EQ(scheduler.idle_workers(), size);
+  }
+}
+
+TEST(SchedulerResizeEdge, ShrinkToOneWorkerStillServesAllTypes) {
+  SchedulerConfig config;
+  config.mode = PolicyMode::kDarc;
+  config.num_workers = 8;
+  DarcScheduler scheduler(config);
+  const TypeIndex s = scheduler.RegisterType(1, "S", FromMicros(1), 0.5);
+  const TypeIndex l = scheduler.RegisterType(2, "L", FromMicros(100), 0.5);
+  scheduler.ActivateSeededReservation();
+  scheduler.ResizeWorkers(1);
+
+  Nanos now = 0;
+  uint64_t completed = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    scheduler.Enqueue(Req(i, i % 2 == 0 ? s : l, now), now);
+    while (auto a = scheduler.NextAssignment(now)) {
+      EXPECT_EQ(a->worker, 0u);
+      now += 1000;
+      scheduler.OnCompletion(a->worker, a->request.type, 1000, now);
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, 20u);
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,107 @@
+// Typed-queue tests: FIFO order, wraparound, bounded drops, head delay.
+#include "src/core/typed_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace psp {
+namespace {
+
+Request Req(uint64_t id, Nanos arrival = 0) {
+  Request r;
+  r.id = id;
+  r.type = 1;
+  r.arrival = arrival;
+  return r;
+}
+
+TEST(TypedQueue, FifoOrder) {
+  TypedQueue q(8);
+  q.Push(Req(1));
+  q.Push(Req(2));
+  q.Push(Req(3));
+  Request out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.id, 1u);
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.id, 2u);
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.id, 3u);
+  EXPECT_FALSE(q.Pop(&out));
+}
+
+TEST(TypedQueue, DropsWhenFull) {
+  TypedQueue q(2);
+  EXPECT_TRUE(q.Push(Req(1)));
+  EXPECT_TRUE(q.Push(Req(2)));
+  EXPECT_FALSE(q.Push(Req(3)));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.Size(), 2u);
+}
+
+TEST(TypedQueue, WrapsAroundRepeatedly) {
+  TypedQueue q(4);
+  Request out;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.Push(Req(i)));
+    ASSERT_TRUE(q.Pop(&out));
+    ASSERT_EQ(out.id, i);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(TypedQueue, PushFrontBeatsFifo) {
+  TypedQueue q(8);
+  q.Push(Req(1));
+  q.Push(Req(2));
+  q.PushFront(Req(99));  // preempted request re-enters at the head
+  Request out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.id, 99u);
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.id, 1u);
+}
+
+TEST(TypedQueue, PushFrontOnFullDrops) {
+  TypedQueue q(1);
+  q.Push(Req(1));
+  EXPECT_FALSE(q.PushFront(Req(2)));
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(TypedQueue, FrontPeeksWithoutRemoving) {
+  TypedQueue q(4);
+  q.Push(Req(7));
+  EXPECT_EQ(q.Front().id, 7u);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(TypedQueue, HeadDelay) {
+  TypedQueue q(4);
+  EXPECT_EQ(q.HeadDelay(1000), 0);
+  q.Push(Req(1, 200));
+  q.Push(Req(2, 900));
+  EXPECT_EQ(q.HeadDelay(1000), 800);  // oldest request waited 800ns
+  Request out;
+  q.Pop(&out);
+  EXPECT_EQ(q.HeadDelay(1000), 100);
+}
+
+TEST(TypedQueue, MixedFrontBackWrapAround) {
+  TypedQueue q(4);
+  q.Push(Req(1));
+  q.Push(Req(2));
+  Request out;
+  q.Pop(&out);  // head advanced
+  q.PushFront(Req(3));
+  q.Push(Req(4));
+  // Order: 3, 2, 4.
+  q.Pop(&out);
+  EXPECT_EQ(out.id, 3u);
+  q.Pop(&out);
+  EXPECT_EQ(out.id, 2u);
+  q.Pop(&out);
+  EXPECT_EQ(out.id, 4u);
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,88 @@
+// WorkerSet bitset tests, including the cross-word paths Algorithm 1 relies
+// on for systems with more than 64 workers.
+#include "src/core/worker_set.h"
+
+#include <gtest/gtest.h>
+
+namespace psp {
+namespace {
+
+TEST(WorkerSet, SetTestClear) {
+  WorkerSet s;
+  EXPECT_FALSE(s.Test(5));
+  s.Set(5);
+  EXPECT_TRUE(s.Test(5));
+  s.Clear(5);
+  EXPECT_FALSE(s.Test(5));
+}
+
+TEST(WorkerSet, EmptyAndCount) {
+  WorkerSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  s.SetRange(3, 9);
+  EXPECT_FALSE(s.Empty());
+  EXPECT_EQ(s.Count(), 6u);
+}
+
+TEST(WorkerSet, FirstReturnsLowest) {
+  WorkerSet s;
+  EXPECT_EQ(s.First(), kInvalidWorker);
+  s.Set(42);
+  s.Set(7);
+  s.Set(199);
+  EXPECT_EQ(s.First(), 7u);
+}
+
+TEST(WorkerSet, FirstCommonAcrossWords) {
+  WorkerSet a;
+  WorkerSet b;
+  a.Set(10);
+  a.Set(70);   // second word
+  a.Set(130);  // third word
+  b.Set(70);
+  b.Set(130);
+  EXPECT_EQ(a.FirstCommon(b), 70u);
+  b.Clear(70);
+  EXPECT_EQ(a.FirstCommon(b), 130u);
+  b.Clear(130);
+  EXPECT_EQ(a.FirstCommon(b), kInvalidWorker);
+}
+
+TEST(WorkerSet, UnionAndIntersect) {
+  WorkerSet a;
+  WorkerSet b;
+  a.SetRange(0, 4);
+  b.SetRange(2, 6);
+  EXPECT_EQ(a.Union(b).Count(), 6u);
+  EXPECT_EQ(a.Intersect(b).Count(), 2u);
+  EXPECT_TRUE(a.Intersect(b).Test(2));
+  EXPECT_TRUE(a.Intersect(b).Test(3));
+}
+
+TEST(WorkerSet, HighestWorkerId) {
+  WorkerSet s;
+  s.Set(kMaxWorkers - 1);
+  EXPECT_TRUE(s.Test(kMaxWorkers - 1));
+  EXPECT_EQ(s.First(), kMaxWorkers - 1);
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+TEST(WorkerSet, ClearAll) {
+  WorkerSet s;
+  s.SetRange(0, 100);
+  s.ClearAll();
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(WorkerSet, Equality) {
+  WorkerSet a;
+  WorkerSet b;
+  a.Set(9);
+  EXPECT_FALSE(a == b);
+  b.Set(9);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,102 @@
+// Worker-channel and spin-work tests for the threaded runtime.
+#include "src/runtime/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/runtime/spin_work.h"
+
+namespace psp {
+namespace {
+
+TEST(WorkerChannel, OrderRoundTrip) {
+  WorkerChannel channel(8);
+  WorkOrder in;
+  in.request_id = 42;
+  in.type = 3;
+  in.arrival = 1000;
+  in.payload_length = 64;
+  EXPECT_TRUE(channel.PushOrder(in));
+  WorkOrder out;
+  ASSERT_TRUE(channel.PopOrder(&out));
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.type, 3u);
+  EXPECT_EQ(out.arrival, 1000);
+  EXPECT_EQ(out.payload_length, 64u);
+  EXPECT_FALSE(channel.PopOrder(&out));
+}
+
+TEST(WorkerChannel, CompletionRoundTrip) {
+  WorkerChannel channel(8);
+  CompletionSignal in{7, 2, 12345};
+  EXPECT_TRUE(channel.PushCompletion(in));
+  CompletionSignal out;
+  ASSERT_TRUE(channel.PopCompletion(&out));
+  EXPECT_EQ(out.request_id, 7u);
+  EXPECT_EQ(out.type, 2u);
+  EXPECT_EQ(out.service_time, 12345);
+}
+
+TEST(WorkerChannel, DirectionsAreIndependent) {
+  WorkerChannel channel(4);
+  // Fill the order direction completely.
+  WorkOrder order;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(channel.PushOrder(order));
+  }
+  EXPECT_FALSE(channel.PushOrder(order));
+  // Completions still flow.
+  EXPECT_TRUE(channel.PushCompletion(CompletionSignal{}));
+}
+
+TEST(WorkerChannel, CrossThreadPingPong) {
+  WorkerChannel channel(16);
+  constexpr uint64_t kRounds = 20000;
+  std::thread worker([&] {
+    for (uint64_t i = 0; i < kRounds; ++i) {
+      WorkOrder order;
+      while (!channel.PopOrder(&order)) {
+        std::this_thread::yield();
+      }
+      CompletionSignal signal{order.request_id, order.type,
+                              static_cast<Nanos>(order.request_id * 2)};
+      while (!channel.PushCompletion(signal)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (uint64_t i = 0; i < kRounds; ++i) {
+    WorkOrder order;
+    order.request_id = i;
+    order.type = static_cast<TypeIndex>(i & 3);
+    while (!channel.PushOrder(order)) {
+      std::this_thread::yield();
+    }
+    CompletionSignal signal;
+    while (!channel.PopCompletion(&signal)) {
+      std::this_thread::yield();
+    }
+    ASSERT_EQ(signal.request_id, i);
+    ASSERT_EQ(signal.service_time, static_cast<Nanos>(i * 2));
+  }
+  worker.join();
+}
+
+TEST(SpinWork, SpinForApproximatesDuration) {
+  const TscClock& clock = TscClock::Global();
+  const Nanos start = clock.Now();
+  SpinFor(FromMicros(500));
+  const Nanos elapsed = clock.Now() - start;
+  EXPECT_GE(elapsed, FromMicros(490));
+  // Upper bound is loose: the thread may get descheduled on busy machines.
+  EXPECT_LT(elapsed, FromMicros(500) + 100 * kMillisecond);
+}
+
+TEST(SpinWork, ChurnForMakesProgressAndReturnsValue) {
+  const uint64_t v = ChurnFor(FromMicros(100));
+  EXPECT_NE(v, 0u);
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,81 @@
+// DES core tests: ordering, FIFO tie-breaking, nested scheduling.
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psp {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulation, SimultaneousEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 100) {
+      sim.ScheduleAfter(7, chain);
+    }
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(sim.Now(), 99 * 7);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesTimeWhenIdle) {
+  Simulation sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  Nanos seen = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { seen = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 150);
+}
+
+}  // namespace
+}  // namespace psp

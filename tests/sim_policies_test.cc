@@ -1,0 +1,182 @@
+// Focused tests for the simulator's policy implementations: TS preemption
+// accounting (both quantum and trigger modes), DRR fairness, the elastic
+// allocator, and the work-stealing model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/cluster.h"
+#include "src/sim/policies/c_fcfs.h"
+#include "src/sim/policies/drr.h"
+#include "src/sim/policies/elastic.h"
+#include "src/sim/policies/time_sharing.h"
+#include "src/sim/policies/work_stealing.h"
+
+namespace psp {
+namespace {
+
+ClusterConfig IdealConfig(uint32_t workers, double rate, Nanos duration) {
+  ClusterConfig c;
+  c.num_workers = workers;
+  c.rate_rps = rate;
+  c.duration = duration;
+  c.net_one_way = 0;
+  c.dispatch_cost = 0;
+  c.completion_cost = 0;
+  c.seed = 3;
+  return c;
+}
+
+// --- Time sharing -----------------------------------------------------------
+
+TEST(TimeSharing, PreemptsLongRequestsUnderLoad) {
+  const WorkloadSpec w = HighBimodal();
+  TimeSharingOptions o;
+  o.quantum = 5 * kMicrosecond;
+  o.preempt_overhead = kMicrosecond;
+  ClusterEngine engine(
+      w, IdealConfig(4, 0.7 * w.PeakLoadRps(4), 100 * kMillisecond),
+      std::make_unique<TimeSharingPolicy>(o));
+  engine.Run();
+  // 100 µs requests at a 5 µs quantum: plenty of preemptions.
+  EXPECT_GT(engine.policy().preemptions(), 1000u);
+  // All requests still complete despite slicing.
+  EXPECT_EQ(engine.metrics().TotalDrops(), 0u);
+  EXPECT_GT(engine.metrics().TotalCount(), 0u);
+}
+
+TEST(TimeSharing, NoPreemptionWhenQueueEmpty) {
+  // A single type at trivially low load: slices end with an empty queue, so
+  // the request continues without preemption charges.
+  WorkloadSpec w;
+  w.name = "longs";
+  w.phases.push_back(
+      WorkloadPhase{0, {WorkloadType{1, "L", 100.0, 1.0}}, 1.0});
+  TimeSharingOptions o;
+  ClusterEngine engine(w, IdealConfig(4, 1000.0, 100 * kMillisecond),
+                       std::make_unique<TimeSharingPolicy>(o));
+  engine.Run();
+  EXPECT_EQ(engine.policy().preemptions(), 0u);
+  // Latency ≈ service: no overhead charged.
+  EXPECT_LT(engine.metrics().TypeLatency(1, 50.0), FromMicros(101));
+}
+
+TEST(TimeSharing, PreemptionOverheadStretchesLongs) {
+  const WorkloadSpec w = HighBimodal();
+  const double rate = 0.6 * w.PeakLoadRps(8);
+  TimeSharingOptions expensive;
+  expensive.preempt_overhead = 2 * kMicrosecond;
+  TimeSharingOptions free_preempt;
+  free_preempt.preempt_overhead = 0;
+
+  ClusterEngine a(w, IdealConfig(8, rate, 100 * kMillisecond),
+                  std::make_unique<TimeSharingPolicy>(expensive));
+  a.Run();
+  ClusterEngine b(w, IdealConfig(8, rate, 100 * kMillisecond),
+                  std::make_unique<TimeSharingPolicy>(free_preempt));
+  b.Run();
+  // Paper §5.4.2: preemption overheads land on the long requests.
+  EXPECT_GT(a.metrics().TypeLatency(2, 99.0),
+            b.metrics().TypeLatency(2, 99.0));
+}
+
+TEST(TimeSharing, TriggerModePreemptsOnBlockedShort) {
+  const WorkloadSpec w = ExtremeBimodal();
+  TimeSharingOptions o;
+  o.quantum = 0;
+  o.trigger_on_block = true;
+  o.preempt_overhead = 0;
+  ClusterEngine engine(
+      w, IdealConfig(4, 0.8 * w.PeakLoadRps(4), 100 * kMillisecond),
+      std::make_unique<TimeSharingPolicy>(o));
+  engine.Run();
+  EXPECT_GT(engine.policy().preemptions(), 0u);
+  // Instant, free preemption: shorts barely wait.
+  EXPECT_LT(engine.metrics().TypeSlowdown(1, 99.0), 20.0);
+}
+
+// --- DRR ----------------------------------------------------------------------
+
+TEST(DeficitRoundRobin, ServesBothTypesProportionally) {
+  const WorkloadSpec w = HighBimodal();
+  ClusterEngine engine(
+      w, IdealConfig(8, 0.6 * w.PeakLoadRps(8), 100 * kMillisecond),
+      std::make_unique<DeficitRoundRobinPolicy>());
+  engine.Run();
+  EXPECT_EQ(engine.metrics().TotalDrops(), 0u);
+  EXPECT_GT(engine.metrics().TypeCount(1), 0u);
+  EXPECT_GT(engine.metrics().TypeCount(2), 0u);
+}
+
+TEST(DeficitRoundRobin, ShortsNotStarvedByLongFlow) {
+  // 90% longs: under FIFO shorts queue behind them; DRR's per-flow quanta
+  // keep the short flow moving.
+  WorkloadSpec w;
+  w.name = "skewed";
+  w.phases.push_back(WorkloadPhase{0,
+                                   {WorkloadType{1, "S", 1.0, 0.1},
+                                    WorkloadType{2, "L", 100.0, 0.9}},
+                                   1.0});
+  const double rate = 0.8 * w.PeakLoadRps(8);
+  ClusterEngine drr(w, IdealConfig(8, rate, 100 * kMillisecond),
+                    std::make_unique<DeficitRoundRobinPolicy>());
+  drr.Run();
+  ClusterEngine fifo(w, IdealConfig(8, rate, 100 * kMillisecond),
+                     std::make_unique<CentralFcfsPolicy>());
+  fifo.Run();
+  EXPECT_LE(drr.metrics().TypeLatency(1, 99.0),
+            fifo.metrics().TypeLatency(1, 99.0));
+}
+
+// --- Elastic allocator -----------------------------------------------------------
+
+TEST(ElasticDarc, GrowsUnderLoadAndShrinksAfter) {
+  // low -> high -> low load phases.
+  WorkloadSpec w = HighBimodal();
+  WorkloadPhase base = w.phases[0];
+  w.phases.clear();
+  base.duration = 150 * kMillisecond;
+  base.load_scale = 0.2;
+  w.phases.push_back(base);
+  base.load_scale = 0.9;
+  w.phases.push_back(base);
+  base.load_scale = 0.2;
+  base.duration = 0;
+  w.phases.push_back(base);
+
+  ElasticOptions options;
+  options.min_workers = 2;
+  options.initial_workers = 2;
+  options.allocation_period = 5 * kMillisecond;
+
+  ClusterConfig config =
+      IdealConfig(14, HighBimodal().PeakLoadRps(14), 450 * kMillisecond);
+  ClusterEngine engine(w, config,
+                       std::make_unique<ElasticDarcPolicy>(options));
+  auto& policy = static_cast<ElasticDarcPolicy&>(engine.policy());
+  engine.Run();
+
+  ASSERT_FALSE(policy.allocation_log().empty());
+  uint32_t max_active = options.initial_workers;
+  for (const auto& [t, n] : policy.allocation_log()) {
+    max_active = std::max(max_active, n);
+  }
+  EXPECT_GE(max_active, 10u);  // grew toward the pool during the 90% phase
+  EXPECT_LE(policy.active_workers(), 6u);  // released cores afterwards
+  EXPECT_GT(engine.metrics().TotalCount(), 0u);
+}
+
+// --- Work stealing ----------------------------------------------------------------
+
+TEST(WorkStealing, StealsFromLoadedVictims) {
+  const WorkloadSpec w = HighBimodal();
+  ClusterEngine engine(
+      w, IdealConfig(8, 0.7 * w.PeakLoadRps(8), 100 * kMillisecond),
+      std::make_unique<WorkStealingPolicy>());
+  engine.Run();
+  EXPECT_GT(engine.policy().steals(), 0u);
+  EXPECT_EQ(engine.metrics().TotalDrops(), 0u);
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,118 @@
+// Validation of the discrete-event engine against closed-form queueing
+// theory: if the simulator cannot reproduce M/M/1 and M/D/1, none of the
+// paper reproductions can be trusted.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/cluster.h"
+#include "src/sim/policies/c_fcfs.h"
+
+namespace psp {
+namespace {
+
+ClusterConfig TheoryConfig(uint32_t workers, double rate) {
+  ClusterConfig c;
+  c.num_workers = workers;
+  c.rate_rps = rate;
+  c.duration = 2 * kSecond;  // long run for tight confidence
+  c.net_one_way = 0;
+  c.dispatch_cost = 0;
+  c.completion_cost = 0;
+  c.seed = 1234;
+  return c;
+}
+
+WorkloadSpec SingleType(ServiceShape shape, double mean_us) {
+  WorkloadSpec w;
+  w.name = "theory";
+  WorkloadType t{1, "T", mean_us, 1.0, shape};
+  w.phases.push_back(WorkloadPhase{0, {t}, 1.0});
+  return w;
+}
+
+class Mm1Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1Test, MeanSojournMatchesTheory) {
+  // M/M/1: E[T] = 1 / (mu - lambda) = S / (1 - rho).
+  const double rho = GetParam();
+  const double mean_us = 10.0;
+  const double rate = rho * 1e6 / mean_us;  // lambda for one worker
+
+  ClusterEngine engine(SingleType(ServiceShape::kExponential, mean_us),
+                       TheoryConfig(1, rate),
+                       std::make_unique<CentralFcfsPolicy>());
+  engine.Run();
+  const double expected_us = mean_us / (1.0 - rho);
+  const double measured_us = engine.metrics().TypeMeanLatency(1) / 1e3;
+  EXPECT_NEAR(measured_us, expected_us, expected_us * 0.10)
+      << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Mm1Test, ::testing::Values(0.3, 0.5, 0.7, 0.8));
+
+TEST(Md1Test, MeanWaitMatchesPollaczekKhinchine) {
+  // M/D/1: E[W] = rho * S / (2 (1 - rho)); E[T] = E[W] + S.
+  const double rho = 0.7;
+  const double mean_us = 10.0;
+  const double rate = rho * 1e6 / mean_us;
+
+  ClusterEngine engine(SingleType(ServiceShape::kFixed, mean_us),
+                       TheoryConfig(1, rate),
+                       std::make_unique<CentralFcfsPolicy>());
+  engine.Run();
+  const double expected_us = mean_us + rho * mean_us / (2.0 * (1.0 - rho));
+  const double measured_us = engine.metrics().TypeMeanLatency(1) / 1e3;
+  EXPECT_NEAR(measured_us, expected_us, expected_us * 0.08);
+}
+
+TEST(MmcTest, ErlangCWaitProbabilityShape) {
+  // M/M/4 at rho=0.8: Erlang-C P(wait) ≈ 0.66; mean wait
+  // = C(c, a) * S / (c (1 - rho)). We check mean sojourn within 15%.
+  const double rho = 0.8;
+  const uint32_t c = 4;
+  const double mean_us = 10.0;
+  const double rate = rho * c * 1e6 / mean_us;
+
+  ClusterEngine engine(SingleType(ServiceShape::kExponential, mean_us),
+                       TheoryConfig(c, rate),
+                       std::make_unique<CentralFcfsPolicy>());
+  engine.Run();
+
+  // Erlang C for c=4, a = rho*c = 3.2.
+  const double a = rho * c;
+  double sum = 0;
+  double term = 1;
+  for (uint32_t k = 0; k < c; ++k) {
+    if (k > 0) {
+      term *= a / k;
+    }
+    sum += term;
+  }
+  const double last = term * a / c;
+  const double erlang_c = (last / (1 - rho)) / (sum + last / (1 - rho));
+  const double expected_us =
+      mean_us + erlang_c * mean_us / (c * (1 - rho));
+  const double measured_us = engine.metrics().TypeMeanLatency(1) / 1e3;
+  EXPECT_NEAR(measured_us, expected_us, expected_us * 0.15);
+}
+
+TEST(TailTest, Mm1SojournTailIsExponential) {
+  // M/M/1 sojourn time is exponential with rate mu - lambda: its p99 is
+  // ln(100) × the mean.
+  const double rho = 0.6;
+  const double mean_us = 10.0;
+  const double rate = rho * 1e6 / mean_us;
+  ClusterEngine engine(SingleType(ServiceShape::kExponential, mean_us),
+                       TheoryConfig(1, rate),
+                       std::make_unique<CentralFcfsPolicy>());
+  engine.Run();
+  const double mean_sojourn_us = mean_us / (1 - rho);
+  const double expected_p99 = mean_sojourn_us * std::log(100.0);
+  const double measured_p99 =
+      static_cast<double>(engine.metrics().TypeLatency(1, 99.0)) / 1e3;
+  EXPECT_NEAR(measured_p99, expected_p99, expected_p99 * 0.12);
+}
+
+}  // namespace
+}  // namespace psp

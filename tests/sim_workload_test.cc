@@ -1,0 +1,111 @@
+// Workload spec tests: the paper's Tables 3 & 4 parameters and derived
+// quantities (mean service times, peak loads, phase structure).
+#include "src/sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace psp {
+namespace {
+
+TEST(Workloads, HighBimodalParameters) {
+  const WorkloadSpec w = HighBimodal();
+  ASSERT_EQ(w.types().size(), 2u);
+  EXPECT_EQ(w.types()[0].mean_us, 1.0);
+  EXPECT_EQ(w.types()[1].mean_us, 100.0);
+  // Mean = 50.5 µs; 14 workers peak ≈ 277 kRPS.
+  EXPECT_NEAR(w.MeanServiceNanos(), 50500.0, 0.1);
+  EXPECT_NEAR(w.PeakLoadRps(14), 14e9 / 50500.0, 1.0);
+}
+
+TEST(Workloads, ExtremeBimodalParameters) {
+  const WorkloadSpec w = ExtremeBimodal();
+  EXPECT_NEAR(w.MeanServiceNanos(), 2997.5, 0.1);
+  // §2: "up to a maximum of 5.3 million requests per second" on 16 workers.
+  EXPECT_NEAR(w.PeakLoadRps(16) / 1e6, 5.34, 0.01);
+}
+
+TEST(Workloads, TpccParameters) {
+  const WorkloadSpec w = TpccMix();
+  ASSERT_EQ(w.types().size(), 5u);
+  double ratio_sum = 0;
+  for (const auto& t : w.types()) {
+    ratio_sum += t.ratio;
+  }
+  EXPECT_NEAR(ratio_sum, 1.0, 1e-9);
+  // Table 4 weighted mean: 19.068 µs.
+  EXPECT_NEAR(w.MeanServiceNanos(), 19068.0, 1.0);
+}
+
+TEST(Workloads, RocksDbParameters) {
+  const WorkloadSpec w = RocksDbMix();
+  EXPECT_NEAR(w.MeanServiceNanos(), 318250.0, 1.0);
+  EXPECT_EQ(w.types()[0].name, "GET");
+  EXPECT_EQ(w.types()[1].name, "SCAN");
+}
+
+TEST(Workloads, FourPhaseStructure) {
+  const WorkloadSpec w = FourPhaseAdaptation(2 * kSecond);
+  ASSERT_EQ(w.phases.size(), 4u);
+  for (const auto& p : w.phases) {
+    EXPECT_EQ(p.duration, 2 * kSecond);
+  }
+  // Phase 1 and 2 swap service times for A and B.
+  EXPECT_EQ(w.phases[0].types[0].mean_us, 100.0);
+  EXPECT_EQ(w.phases[1].types[0].mean_us, 1.0);
+  // Phase 3 ratio change lifts A's demand fraction to ~2/14 cores and
+  // scales the rate to hold utilisation.
+  EXPECT_EQ(w.phases[2].types[0].ratio, 0.94);
+  EXPECT_GT(w.phases[2].load_scale, 7.0);
+  // Phase 4 has only type A.
+  EXPECT_EQ(w.phases[3].types.size(), 1u);
+  // AllTypes is the union {A, B}.
+  EXPECT_EQ(w.AllTypes().size(), 2u);
+}
+
+TEST(PhaseSampler, RespectsRatiosAndServiceTimes) {
+  const WorkloadSpec w = ExtremeBimodal();
+  PhaseSampler sampler(w.phases[0]);
+  Rng rng(9);
+  int longs = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const MixtureDraw d = sampler.Sample(rng);
+    if (d.mode == 1) {
+      ++longs;
+      EXPECT_EQ(d.service_time, FromMicros(500.0));
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(longs) / kDraws, 0.005, 0.002);
+}
+
+TEST(PhaseSampler, SupportsNonFixedShapes) {
+  WorkloadPhase phase;
+  phase.types.push_back(
+      WorkloadType{1, "EXP", 10.0, 1.0, ServiceShape::kExponential});
+  PhaseSampler sampler(phase);
+  Rng rng(10);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(sampler.Sample(rng).service_time);
+  }
+  EXPECT_NEAR(sum / kDraws / 1000.0, 10.0, 0.3);
+}
+
+
+TEST(Workloads, FacebookUsrLikeParameters) {
+  const WorkloadSpec w = FacebookUsrLike();
+  ASSERT_EQ(w.types().size(), 3u);
+  double ratio_sum = 0;
+  for (const auto& t : w.types()) {
+    ratio_sum += t.ratio;
+  }
+  EXPECT_NEAR(ratio_sum, 1.0, 1e-9);
+  // 400x dispersion between GET and RANGE.
+  EXPECT_NEAR(w.types()[2].mean_us / w.types()[0].mean_us, 400.0, 0.1);
+}
+
+}  // namespace
+}  // namespace psp

@@ -146,12 +146,14 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  std::string darc_stage_report;
   for (const auto& entry : policies) {
     psp::ClusterConfig config;
     config.num_workers = workers;
     config.rate_rps = load * peak;
     config.duration = 300 * psp::kMillisecond;
     config.net_one_way = 5 * psp::kMicrosecond;
+    config.telemetry.sample_every = 16;  // lifecycle traces for StageReport
     auto engine_ptr =
         trace.empty()
             ? std::make_unique<psp::ClusterEngine>(workload, config,
@@ -169,6 +171,15 @@ int main(int argc, char** argv) {
                   psp::ToMicros(metrics.TypeLatency(type.wire_id, 99.9)));
     }
     std::printf("\n");
+    if (std::strcmp(entry.name, "darc") == 0) {
+      // Same unified snapshot API as the threaded runtime (see quickstart):
+      // per-stage latency decomposition from sampled lifecycle traces.
+      darc_stage_report = engine.telemetry_snapshot().StageReport();
+    }
+  }
+  if (!darc_stage_report.empty()) {
+    std::printf("\ndarc stage breakdown (sampled lifecycle traces):\n%s",
+                darc_stage_report.c_str());
   }
   return 0;
 }

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   const psp::LoadGenReport report = client.Run();
   server.Stop();
 
-  // 5. Report.
+  // 5. Report: client-observed latency from the load generator...
   std::printf("\nsent %llu, received %llu (%.0f rps achieved)\n",
               static_cast<unsigned long long>(report.sent),
               static_cast<unsigned long long>(report.received),
@@ -73,11 +73,14 @@ int main(int argc, char** argv) {
                 psp::ToMicros(hist.Percentile(99.9)),
                 static_cast<unsigned long long>(hist.Count()));
   }
-  const auto& stats = server.stats();
-  std::printf("server: %llu completed, %llu dropped, %llu malformed\n",
-              static_cast<unsigned long long>(stats.completed),
-              static_cast<unsigned long long>(stats.dropped),
-              static_cast<unsigned long long>(stats.malformed));
+
+  // ...and the server's own view through the unified telemetry snapshot:
+  // every counter/gauge in one table, plus the per-stage latency breakdown
+  // reconstructed from sampled lifecycle traces (rx → queueing → service →
+  // tx). The same API works on the simulator (see policy_explorer).
+  const psp::TelemetrySnapshot snap = server.telemetry_snapshot();
+  std::printf("\n%s", snap.ToTable().c_str());
+  std::printf("\n%s", snap.StageReport().c_str());
   for (uint32_t w = 0; w < server.num_workers(); ++w) {
     const psp::WorkerUtilization u = server.worker_utilization(w);
     std::printf("  worker %u: %llu requests, %.1f%% busy\n", w,

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configures a Debug build with PSP_SANITIZE=ON (ASan +
+# UBSan), builds everything, and runs the test suite under the sanitizers.
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -eu
+BUILD=${1:-build-asan}
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPSP_SANITIZE=ON
+cmake --build "$BUILD" -j "$(nproc)"
+
+# halt_on_error keeps UBSan findings fatal so ctest reports them as failures.
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "src/common/time.h"
+#include "src/telemetry/lifecycle.h"
 
 namespace psp {
 
@@ -38,6 +39,9 @@ struct Request {
   // buffer); unused by the simulator.
   void* payload = nullptr;
   uint32_t payload_length = 0;
+  // Lifecycle trace stamps, carried in-band while the request flows through
+  // the pipeline. Zero-initialised and inert unless trace.sampled is set.
+  TraceContext trace;
 };
 
 }  // namespace psp

@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace psp {
 
+std::string SchedulerConfig::Validate() const {
+  if (num_workers == 0) {
+    return "scheduler: num_workers must be > 0";
+  }
+  if (num_workers > kMaxWorkers) {
+    return "scheduler: num_workers exceeds kMaxWorkers (" +
+           std::to_string(kMaxWorkers) + ")";
+  }
+  if (typed_queue_capacity == 0) {
+    return "scheduler: typed_queue_capacity must be > 0";
+  }
+  if (num_spillway > num_workers) {
+    return "scheduler: num_spillway exceeds num_workers";
+  }
+  if (delta <= 1.0) {
+    return "scheduler: delta (grouping factor) must be > 1";
+  }
+  if (mode == PolicyMode::kDarcStatic && static_reserved >= num_workers) {
+    return "scheduler: static_reserved must leave at least one worker for "
+           "other types (static_reserved < num_workers)";
+  }
+  return "";
+}
+
 DarcScheduler::DarcScheduler(const SchedulerConfig& config)
     : config_(config), profiler_(config.profiler) {
-  assert(config_.num_workers > 0 && config_.num_workers <= kMaxWorkers);
+  if (const std::string error = config_.Validate(); !error.empty()) {
+    throw std::invalid_argument(error);
+  }
   free_.SetRange(0, config_.num_workers);
   all_workers_.SetRange(0, config_.num_workers);
   const uint32_t spill =
@@ -75,6 +102,11 @@ void DarcScheduler::ResizeWorkers(uint32_t new_count) {
   assert(new_count > 0 && new_count <= kMaxWorkers);
   const uint32_t old_count = config_.num_workers;
   config_.num_workers = new_count;
+  if (telemetry_ != nullptr) {
+    telemetry_->RecordEvent(0, "scheduler: resized workers " +
+                                   std::to_string(old_count) + " -> " +
+                                   std::to_string(new_count));
+  }
 
   all_workers_.ClearAll();
   all_workers_.SetRange(0, new_count);
@@ -139,10 +171,10 @@ bool DarcScheduler::Enqueue(const Request& request, Nanos now) {
   (void)now;
   assert(request.type < queues_.size());
   if (!queues_[request.type].Push(request)) {
-    ++stats_.dropped;
+    counters_.dropped.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  ++stats_.enqueued;
+  counters_.enqueued.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -155,9 +187,9 @@ DarcScheduler::Assignment DarcScheduler::MakeAssignment(TypeIndex type,
   a.worker = worker;
   a.stolen = stolen;
   free_.Clear(worker);
-  ++stats_.dispatched;
+  counters_.dispatched.fetch_add(1, std::memory_order_relaxed);
   if (stolen) {
-    ++stats_.stolen_dispatches;
+    counters_.stolen_dispatches.fetch_add(1, std::memory_order_relaxed);
   }
   profiler_.ObserveQueueingDelay(type, now - a.request.arrival);
   return a;
@@ -285,7 +317,7 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
   // Workers at or beyond num_workers were retired by ResizeWorkers while
   // running; their completion still feeds the profiler but they never
   // re-enter the free list.
-  ++stats_.completed;
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
   profiler_.RecordCompletion(type, service_time);
 
   if (config_.mode != PolicyMode::kDarc &&
@@ -319,6 +351,44 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
   }
 }
 
+SchedulerStats DarcScheduler::stats() const {
+  SchedulerStats s;
+  s.enqueued = counters_.enqueued.load(std::memory_order_relaxed);
+  s.dropped = counters_.dropped.load(std::memory_order_relaxed);
+  s.dispatched = counters_.dispatched.load(std::memory_order_relaxed);
+  s.completed = counters_.completed.load(std::memory_order_relaxed);
+  s.reservation_updates =
+      counters_.reservation_updates.load(std::memory_order_relaxed);
+  s.stolen_dispatches =
+      counters_.stolen_dispatches.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DarcScheduler::ExportTelemetry(TelemetrySnapshot* out) const {
+  out->counters["scheduler.enqueued"] +=
+      counters_.enqueued.load(std::memory_order_relaxed);
+  out->counters["scheduler.dropped"] +=
+      counters_.dropped.load(std::memory_order_relaxed);
+  out->counters["scheduler.dispatched"] +=
+      counters_.dispatched.load(std::memory_order_relaxed);
+  out->counters["scheduler.completed"] +=
+      counters_.completed.load(std::memory_order_relaxed);
+  out->counters["scheduler.reservation_updates"] +=
+      counters_.reservation_updates.load(std::memory_order_relaxed);
+  out->counters["scheduler.stolen_dispatches"] +=
+      counters_.stolen_dispatches.load(std::memory_order_relaxed);
+  out->gauges["scheduler.idle_workers"] = idle_workers();
+  out->gauges["scheduler.darc_active"] = darc_active_ ? 1 : 0;
+  for (TypeIndex t = 0; t < names_.size(); ++t) {
+    const std::string prefix = "scheduler.type." + names_[t];
+    out->gauges[prefix + ".queue_depth"] =
+        static_cast<int64_t>(queues_[t].Size());
+    out->counters[prefix + ".queue_drops"] += queues_[t].drops();
+    out->gauges[prefix + ".reserved_workers"] = reserved_workers_of(t);
+    out->type_names.emplace(t, names_[t]);
+  }
+}
+
 void DarcScheduler::ApplyReservation(Reservation reservation) {
   // Route the UNKNOWN slot (and any type the reservation does not cover) to
   // the spillway group: find or synthesise a group covering spillway cores.
@@ -344,7 +414,25 @@ void DarcScheduler::ApplyReservation(Reservation reservation) {
 
   reservation_ = std::move(reservation);
   darc_active_ = true;
-  ++stats_.reservation_updates;
+  counters_.reservation_updates.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) {
+    std::string what = "scheduler: reservation update #" +
+                       std::to_string(counters_.reservation_updates.load(
+                           std::memory_order_relaxed));
+    for (size_t gi = 0; gi < reservation_.groups.size(); ++gi) {
+      const ReservedGroup& group = reservation_.groups[gi];
+      what += gi == 0 ? " [" : " | ";
+      for (size_t m = 0; m < group.members.size(); ++m) {
+        if (m > 0) {
+          what += ',';
+        }
+        what += names_[group.members[m]];
+      }
+      what += ":" + std::to_string(group.reserved_count);
+    }
+    what += "]";
+    telemetry_->RecordEvent(0, std::move(what));
+  }
   RebuildPriorityOrder();
 }
 

@@ -12,6 +12,7 @@
 #ifndef PSP_SRC_CORE_SCHEDULER_H_
 #define PSP_SRC_CORE_SCHEDULER_H_
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "src/core/reservation.h"
 #include "src/core/typed_queue.h"
 #include "src/core/worker_set.h"
+#include "src/telemetry/telemetry.h"
 
 namespace psp {
 
@@ -46,8 +48,17 @@ struct SchedulerConfig {
   // literal fixed type order. Groups are still visited shortest-first.
   bool group_fcfs = true;
   ProfilerConfig profiler;
+
+  // Empty string = valid; otherwise a description of the misconfiguration.
+  // DarcScheduler's constructor calls this and throws std::invalid_argument
+  // instead of silently misbehaving.
+  std::string Validate() const;
 };
 
+// DEPRECATED: value-copy view kept so existing callers compile. New code
+// should read the unified TelemetrySnapshot ("scheduler.*" counters) via
+// Persephone::telemetry_snapshot() / ClusterEngine::telemetry_snapshot() or
+// DarcScheduler::ExportTelemetry.
 struct SchedulerStats {
   uint64_t enqueued = 0;
   uint64_t dropped = 0;
@@ -107,11 +118,22 @@ class DarcScheduler {
   void OnCompletion(WorkerId worker, TypeIndex type, Nanos service_time,
                     Nanos now);
 
-  // --- Introspection -------------------------------------------------------
+  // --- Telemetry / introspection -------------------------------------------
+
+  // Hooks the scheduler up to an engine's telemetry: reservation changes and
+  // worker-pool resizes are recorded as timestamped events. Counters are
+  // kept internally (always on) and published through ExportTelemetry.
+  void AttachTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
+  // Publishes the scheduler's counters ("scheduler.*") and per-type queue
+  // gauges into `out`. Safe to call from any thread while the data path runs.
+  void ExportTelemetry(TelemetrySnapshot* out) const;
 
   bool darc_active() const { return darc_active_; }
   const Reservation& reservation() const { return reservation_; }
-  const SchedulerStats& stats() const { return stats_; }
+  // DEPRECATED shim over the same counters ExportTelemetry publishes;
+  // returns a snapshot by value (counters are atomics internally).
+  SchedulerStats stats() const;
   const Profiler& profiler() const { return profiler_; }
   uint64_t queue_drops(TypeIndex t) const { return queues_[t].drops(); }
   size_t queue_depth(TypeIndex t) const { return queues_[t].Size(); }
@@ -130,8 +152,21 @@ class DarcScheduler {
   Assignment MakeAssignment(TypeIndex type, WorkerId worker, bool stolen,
                             Nanos now);
 
+  // Counters are relaxed atomics so cross-thread introspection (telemetry
+  // snapshots taken while the dispatcher runs) is race-free. All increments
+  // happen on the single scheduling thread.
+  struct AtomicCounters {
+    std::atomic<uint64_t> enqueued{0};
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> dispatched{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> reservation_updates{0};
+    std::atomic<uint64_t> stolen_dispatches{0};
+  };
+
   SchedulerConfig config_;
   Profiler profiler_;
+  Telemetry* telemetry_ = nullptr;  // optional, not owned
 
   std::vector<TypeId> wire_ids_;       // TypeIndex -> wire id
   std::vector<std::string> names_;
@@ -147,7 +182,7 @@ class DarcScheduler {
   WorkerSet free_;
   WorkerSet all_workers_;
   WorkerSet spillway_;
-  SchedulerStats stats_;
+  AtomicCounters counters_;
 };
 
 }  // namespace psp

@@ -24,6 +24,9 @@ bool SimulatedNic::DeliverFromWire(PacketRef packet) {
 }
 
 bool SimulatedNic::DeliverToQueue(uint32_t queue, PacketRef packet) {
+  // NIC-hardware-style RX timestamping (one rdtsc per frame): downstream
+  // telemetry reads this as the lifecycle rx stamp.
+  packet.rx_timestamp = TscClock::Global().Now();
   if (queue >= num_queues_ || !queues_[queue]->rx().TryPush(packet)) {
     ++rx_drops_;
     return false;
@@ -36,6 +39,7 @@ bool SimulatedNic::PollRx(uint32_t queue, PacketRef* out) {
 }
 
 bool SimulatedNic::Transmit(uint32_t queue, PacketRef packet) {
+  packet.tx_timestamp = TscClock::Global().Now();
   return egress_[queue]->TryPush(packet);
 }
 

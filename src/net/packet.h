@@ -88,6 +88,12 @@ constexpr uint32_t NetToHost32(uint32_t v) { return HostToNet32(v); }
 struct PacketRef {
   std::byte* data = nullptr;
   uint32_t length = 0;
+  // Hardware-style NIC timestamps: rx is stamped when the frame enters an RX
+  // queue (telemetry reads it as the lifecycle rx stamp, so NIC-queue wait is
+  // attributed correctly); tx when the frame enters a TX queue. 0 = not
+  // stamped (frames built by hand in tests).
+  Nanos rx_timestamp = 0;
+  Nanos tx_timestamp = 0;
 };
 
 // Flow identity used for RSS steering.

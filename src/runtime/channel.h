@@ -19,6 +19,9 @@ struct WorkOrder {
   void* payload = nullptr;      // NIC buffer (zero-copy handoff)
   uint32_t payload_length = 0;
   uint32_t frame_length = 0;    // full frame length for TX reuse
+  // Lifecycle trace stamps accumulated on the dispatcher side; the worker
+  // adds its stages and commits the record (inert unless trace.sampled).
+  TraceContext trace;
 };
 
 // Worker -> dispatcher: request done; profiled service time attached so the

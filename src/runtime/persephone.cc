@@ -1,6 +1,7 @@
 #include "src/runtime/persephone.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -32,7 +33,39 @@ void PinCurrentThread(uint32_t cpu) {
 
 }  // namespace
 
+std::string RuntimeConfig::Validate() const {
+  if (num_workers == 0) {
+    return "runtime: num_workers must be > 0";
+  }
+  if (channel_depth == 0) {
+    return "runtime: channel_depth must be > 0";
+  }
+  if (nic_queue_depth == 0) {
+    return "runtime: nic_queue_depth must be > 0";
+  }
+  if (pool_buffers < nic_queue_depth) {
+    return "runtime: pool_buffers must be >= nic_queue_depth (every RX "
+           "descriptor needs a backing buffer)";
+  }
+  if (const std::string error = telemetry.Validate(); !error.empty()) {
+    return error;
+  }
+  // Validate the scheduler config with the worker count the runtime will
+  // actually impose on it.
+  SchedulerConfig effective = scheduler;
+  effective.num_workers = num_workers;
+  return effective.Validate();
+}
+
 Persephone::Persephone(RuntimeConfig config) : config_(std::move(config)) {
+  if (const std::string error = config_.Validate(); !error.empty()) {
+    throw std::invalid_argument(error);
+  }
+  // One trace ring per worker thread (workers commit completed records).
+  telemetry_ = std::make_unique<Telemetry>(config_.telemetry,
+                                           config_.num_workers);
+  rx_packets_ = &telemetry_->registry().GetCounter("runtime.rx_packets");
+  malformed_ = &telemetry_->registry().GetCounter("runtime.malformed");
   pool_ = std::make_unique<MemoryPool>(kMaxPacketSize, config_.pool_buffers);
   // Queue 0: dispatcher RX; queues 1..N: per-worker TX contexts.
   nic_ = std::make_unique<SimulatedNic>(config_.num_workers + 1,
@@ -40,6 +73,7 @@ Persephone::Persephone(RuntimeConfig config) : config_(std::move(config)) {
   SchedulerConfig sched = config_.scheduler;
   sched.num_workers = config_.num_workers;
   scheduler_ = std::make_unique<DarcScheduler>(sched);
+  scheduler_->AttachTelemetry(telemetry_.get());
   classifier_ = std::make_unique<HeaderFieldClassifier>();
   channels_.reserve(config_.num_workers);
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
@@ -100,6 +134,16 @@ void Persephone::Stop() {
     t.join();
   }
   threads_.clear();
+  // Drain completion signals the dispatcher had not absorbed before the stop
+  // flag landed, so scheduler-side counts (the single source of truth for
+  // `completed`) match the work the workers actually finished.
+  const Nanos now = TscClock::Global().Now();
+  for (uint32_t w = 0; w < config_.num_workers; ++w) {
+    CompletionSignal signal;
+    while (channels_[w]->PopCompletion(&signal)) {
+      scheduler_->OnCompletion(w, signal.type, signal.service_time, now);
+    }
+  }
   running_.store(false, std::memory_order_release);
 }
 
@@ -109,20 +153,46 @@ WorkerUtilization Persephone::worker_utilization(uint32_t id) const {
     return u;
   }
   const WorkerCounters& counters = *worker_counters_[id];
-  const int64_t started = counters.started_at.load(std::memory_order_relaxed);
-  u.busy = static_cast<Nanos>(counters.busy.load(std::memory_order_relaxed));
+  // Consistent snapshot: read the epoch first, then busy, then derive wall
+  // from a clock read taken *after* busy. Mid-run, the worker may add busy
+  // time between the two reads; clamping wall to >= busy keeps the pair
+  // coherent (BusyFraction() in [0, 1]) instead of transiently > 100%.
+  const int64_t started = counters.started_at.load(std::memory_order_acquire);
+  u.busy = static_cast<Nanos>(counters.busy.load(std::memory_order_acquire));
   u.requests = counters.requests.load(std::memory_order_relaxed);
-  u.wall = started > 0 ? TscClock::Global().Now() - started : 0;
+  if (started > 0) {
+    const Nanos wall = TscClock::Global().Now() - started;
+    u.wall = wall > u.busy ? wall : u.busy;
+  }
   return u;
 }
 
 RuntimeStats Persephone::stats() const {
+  // Thin shim: rx/malformed are runtime-owned registry counters;
+  // completed/dropped delegate to the scheduler so the two deprecated
+  // surfaces can never disagree (they used to double count).
   RuntimeStats s;
-  s.rx_packets = rx_packets_.load(std::memory_order_relaxed);
-  s.malformed = malformed_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.rx_packets = rx_packets_->Value();
+  s.malformed = malformed_->Value();
+  const SchedulerStats sched = scheduler_->stats();
+  s.completed = sched.completed;
+  s.dropped = sched.dropped;
   return s;
+}
+
+TelemetrySnapshot Persephone::telemetry_snapshot() const {
+  TelemetrySnapshot snap = telemetry_->Snapshot();
+  scheduler_->ExportTelemetry(&snap);
+  snap.counters["nic.rx_drops"] += nic_->rx_drops();
+  for (uint32_t w = 0; w < config_.num_workers; ++w) {
+    const WorkerUtilization u = worker_utilization(w);
+    const std::string prefix = "worker." + std::to_string(w);
+    snap.counters[prefix + ".requests"] += u.requests;
+    snap.gauges[prefix + ".busy_nanos"] = u.busy;
+    snap.gauges[prefix + ".busy_permille"] =
+        static_cast<int64_t>(u.BusyFraction() * 1000.0);
+  }
+  return snap;
 }
 
 void Persephone::NetWorkerLoop() {
@@ -147,7 +217,7 @@ void Persephone::NetWorkerLoop() {
            ip->version_ihl == 0x45;
     }
     if (!ok) {
-      malformed_.fetch_add(1, std::memory_order_relaxed);
+      malformed_->Add();
       pool_->FreeGlobal(packet.data);
       continue;
     }
@@ -166,6 +236,9 @@ void Persephone::DispatcherLoop() {
     PinCurrentThread(0);  // shares the net worker's core, as in the paper
   }
   const TscClock& clock = TscClock::Global();
+  // 1-in-N lifecycle sampling; the decision is one branch per request, so
+  // the untraced hot path stays within the paper's dispatch budget.
+  TraceSampler sampler(telemetry_->sample_every());
   while (!stop_.load(std::memory_order_acquire)) {
     bool progressed = false;
     const Nanos now = clock.Now();
@@ -183,10 +256,10 @@ void Persephone::DispatcherLoop() {
     PacketRef packet;
     while (PollIngress(&packet)) {
       progressed = true;
-      rx_packets_.fetch_add(1, std::memory_order_relaxed);
+      rx_packets_->Add();
       const auto parsed = ParseRequestPacket(packet.data, packet.length);
       if (!parsed.has_value()) {
-        malformed_.fetch_add(1, std::memory_order_relaxed);
+        malformed_->Add();
         pool_->FreeGlobal(packet.data);
         continue;
       }
@@ -199,9 +272,20 @@ void Persephone::DispatcherLoop() {
       request.arrival = now;
       request.payload = packet.data;
       request.payload_length = packet.length;
+      if (sampler.Tick()) {
+        request.trace.sampled = 1;
+        // The NIC's hardware-style stamp captures RX-queue wait; fall back
+        // to the poll instant for frames delivered without one.
+        request.trace.Mark(TraceStage::kRx, packet.rx_timestamp != 0
+                                                ? packet.rx_timestamp
+                                                : now);
+        const Nanos classified = clock.Now();
+        request.trace.Mark(TraceStage::kClassified, classified);
+        request.trace.Mark(TraceStage::kEnqueued, classified);
+      }
       if (!scheduler_->Enqueue(request, now)) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-        pool_->FreeGlobal(packet.data);  // flow-control shed (§4.3.3)
+        // Flow-control shed (§4.3.3); the scheduler counts the drop.
+        pool_->FreeGlobal(packet.data);
       }
     }
 
@@ -213,6 +297,10 @@ void Persephone::DispatcherLoop() {
       order.arrival = assignment->request.arrival;
       order.payload = assignment->request.payload;
       order.payload_length = assignment->request.payload_length;
+      order.trace = assignment->request.trace;
+      if (order.trace.sampled != 0) {
+        order.trace.Mark(TraceStage::kDispatched, clock.Now());
+      }
       const bool pushed = channels_[assignment->worker]->PushOrder(order);
       assert(pushed && "worker has at most one outstanding order");
       (void)pushed;
@@ -243,6 +331,9 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
     }
     auto* frame = static_cast<std::byte*>(order.payload);
     const Nanos start = clock.Now();
+    if (order.trace.sampled != 0) {
+      order.trace.Mark(TraceStage::kHandlerStart, start);
+    }
 
     // Application processing: payload in, response payload out — into the
     // same buffer region (zero-copy TX reuse, §4.3.1). Handlers must finish
@@ -258,6 +349,9 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
             : 0;
     const uint32_t response_len = handlers_[order.type](
         request_payload, request_payload_len, response_area, capacity);
+    if (order.trace.sampled != 0) {
+      order.trace.Mark(TraceStage::kHandlerEnd, clock.Now());
+    }
 
     const uint32_t frame_len = FormatResponseInPlace(frame, response_len);
     if (!ctx.Transmit(PacketRef{frame, frame_len})) {
@@ -268,12 +362,21 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
     counters.busy.fetch_add(static_cast<uint64_t>(service),
                             std::memory_order_relaxed);
     counters.requests.fetch_add(1, std::memory_order_relaxed);
+    if (order.trace.sampled != 0) {
+      // Commit the completed lifecycle record into this worker's ring.
+      order.trace.Mark(TraceStage::kTx, start + service);
+      RequestTrace record;
+      record.request_id = order.request_id;
+      record.type = order.type;
+      record.worker = worker_id;
+      record.stamp = order.trace.stamp;
+      telemetry_->ring(worker_id).Push(record);
+    }
 
     CompletionSignal signal{order.request_id, order.type, service};
     const bool pushed = channel.PushCompletion(signal);
     assert(pushed);
     (void)pushed;
-    completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -27,6 +27,7 @@
 #include "src/core/scheduler.h"
 #include "src/net/nic.h"
 #include "src/runtime/channel.h"
+#include "src/telemetry/telemetry.h"
 
 namespace psp {
 
@@ -58,8 +59,20 @@ struct RuntimeConfig {
   // on the same hardware thread", §5.1). The net worker performs the paper's
   // layer-2 checks and forwards frames to the dispatcher over an SPSC ring.
   bool dedicated_net_worker = false;
+  // Observability: lifecycle-trace sampling + ring sizing (see
+  // src/telemetry/telemetry.h). Counters are always on.
+  TelemetryConfig telemetry;
+
+  // Empty string = valid; otherwise a description of the misconfiguration.
+  // Persephone's constructor calls this (plus scheduler.Validate with the
+  // effective worker count) and throws std::invalid_argument.
+  std::string Validate() const;
 };
 
+// DEPRECATED: value view kept for compatibility. The same counts live in the
+// unified TelemetrySnapshot ("runtime.*" / "scheduler.*" counters) returned
+// by Persephone::telemetry_snapshot(). completed/dropped are owned by the
+// scheduler (single source of truth); this shim just reads them back.
 struct RuntimeStats {
   uint64_t rx_packets = 0;
   uint64_t malformed = 0;
@@ -69,14 +82,20 @@ struct RuntimeStats {
 
 // Per-worker occupancy since Start(): busy time is accumulated while a
 // handler runs, so busy/wall exposes DARC's deliberate idling per core.
+// worker_utilization() snapshots busy and wall consistently (wall is derived
+// after busy is read, and never reported smaller than busy), so the fraction
+// is meaningful even mid-run.
 struct WorkerUtilization {
   Nanos busy = 0;
   Nanos wall = 0;
   uint64_t requests = 0;
 
   double BusyFraction() const {
-    return wall > 0 ? static_cast<double>(busy) / static_cast<double>(wall)
-                    : 0.0;
+    if (wall <= 0) {
+      return 0.0;
+    }
+    const double f = static_cast<double>(busy) / static_cast<double>(wall);
+    return f < 0.0 ? 0.0 : (f > 1.0 ? 1.0 : f);
   }
 };
 
@@ -112,6 +131,18 @@ class Persephone {
   MemoryPool& pool() { return *pool_; }
 
   const DarcScheduler& scheduler() const { return *scheduler_; }
+
+  // --- Observability ----------------------------------------------------------
+  // The unified introspection surface: counters, gauges, per-worker
+  // utilization, scheduler state and sampled lifecycle traces, in one
+  // self-contained snapshot. Safe to call while the server runs.
+  TelemetrySnapshot telemetry_snapshot() const;
+  Telemetry& telemetry() { return *telemetry_; }
+  const Telemetry& telemetry() const { return *telemetry_; }
+
+  // DEPRECATED shim over telemetry_snapshot()'s counters ("runtime.*",
+  // "scheduler.*"); completed/dropped delegate to the scheduler so the two
+  // surfaces cannot disagree.
   RuntimeStats stats() const;
   // Occupancy snapshot for worker `id` (valid after Start()).
   WorkerUtilization worker_utilization(uint32_t id) const;
@@ -136,6 +167,7 @@ class Persephone {
   }
 
   RuntimeConfig config_;
+  std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<MemoryPool> pool_;
   std::unique_ptr<SimulatedNic> nic_;
   std::unique_ptr<DarcScheduler> scheduler_;
@@ -154,10 +186,10 @@ class Persephone {
   };
   std::vector<std::unique_ptr<WorkerCounters>> worker_counters_;
 
-  std::atomic<uint64_t> rx_packets_{0};
-  std::atomic<uint64_t> malformed_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> dropped_{0};
+  // Registry-owned counters resolved once at construction; completed/dropped
+  // live in the scheduler (single source of truth, no double counting).
+  Counter* rx_packets_ = nullptr;
+  Counter* malformed_ = nullptr;
   uint64_t next_request_id_ = 0;
 };
 

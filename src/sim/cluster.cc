@@ -14,7 +14,10 @@ ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
       policy_(std::move(policy)),
       rng_(config.seed),
       metrics_(static_cast<Nanos>(config.warmup_fraction *
-                                  static_cast<double>(config.duration))) {
+                                  static_cast<double>(config.duration))),
+      telemetry_(std::make_unique<Telemetry>(config.telemetry,
+                                             /*num_rings=*/1)),
+      trace_sampler_(telemetry_->sample_every()) {
   assert(!workload_.phases.empty());
   for (const auto& t : workload_.AllTypes()) {
     metrics_.RegisterType(t.wire_id, t.name);
@@ -102,6 +105,9 @@ void ClusterEngine::InjectRequest(Nanos send_time, TypeId wire_type,
   req->remaining = service;
   req->send_time = send_time;
   req->flow_hash = static_cast<uint32_t>(rng_.Next());
+  req->ready_time = 0;
+  req->service_start = 0;
+  req->worker = 0;
   ++generated_;
 
   // Network flight, then the server's net-worker/dispatcher pipeline: a
@@ -110,6 +116,7 @@ void ClusterEngine::InjectRequest(Nanos send_time, TypeId wire_type,
   const Nanos ready =
       std::max(rx_time, dispatcher_busy_until_) + config_.dispatch_cost;
   dispatcher_busy_until_ = ready;
+  req->ready_time = ready;
   sim_.ScheduleAt(ready, [this, req] { policy_->OnArrival(req); });
 }
 
@@ -143,7 +150,41 @@ void ClusterEngine::CompleteRequest(SimRequest* request) {
   const Nanos receive_time = Now() + config_.net_one_way;
   metrics_.RecordCompletion(request->wire_type, request->send_time,
                             receive_time, request->service);
+  if (trace_sampler_.Tick()) {
+    // The simulator maps onto the same stage axis the threaded runtime uses.
+    // Its model collapses parse/classify/enqueue into dispatch_cost
+    // (classified == enqueued == ready) and the channel hop into the service
+    // span (dispatched == handler-start); tx happens at completion.
+    RequestTrace trace;
+    trace.request_id = request->id;
+    trace.type = request->wire_type;
+    trace.worker = request->worker;
+    trace.stamp[static_cast<size_t>(TraceStage::kRx)] =
+        request->send_time + config_.net_one_way;
+    trace.stamp[static_cast<size_t>(TraceStage::kClassified)] =
+        request->ready_time;
+    trace.stamp[static_cast<size_t>(TraceStage::kEnqueued)] =
+        request->ready_time;
+    const Nanos start =
+        request->service_start > 0 ? request->service_start : Now();
+    trace.stamp[static_cast<size_t>(TraceStage::kDispatched)] = start;
+    trace.stamp[static_cast<size_t>(TraceStage::kHandlerStart)] = start;
+    trace.stamp[static_cast<size_t>(TraceStage::kHandlerEnd)] = Now();
+    trace.stamp[static_cast<size_t>(TraceStage::kTx)] = Now();
+    telemetry_->ring(0).Push(trace);
+  }
   FreeRequest(request);
+}
+
+TelemetrySnapshot ClusterEngine::telemetry_snapshot() const {
+  TelemetrySnapshot snap = telemetry_->Snapshot();
+  snap.counters["engine.generated"] += generated_;
+  metrics_.ExportTelemetry(&snap);
+  snap.gauges["engine.num_workers"] = config_.num_workers;
+  snap.counters["policy.preemptions"] += policy_->preemptions();
+  snap.counters["policy.steals"] += policy_->steals();
+  policy_->ExportTelemetry(&snap);
+  return snap;
 }
 
 void ClusterEngine::DropRequest(SimRequest* request) {
@@ -188,6 +229,7 @@ bool WorkerBank::ClaimIdle(uint32_t worker) {
 }
 
 void WorkerBank::Run(uint32_t worker, SimRequest* request, Nanos extra_cost) {
+  engine_->NoteServiceStart(request, worker);
   const Nanos busy = extra_cost + request->service;
   busy_nanos_[worker] += static_cast<uint64_t>(busy);
   engine_->sim().ScheduleAfter(busy, [this, worker, request] {

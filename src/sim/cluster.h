@@ -15,6 +15,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/sim/workload.h"
+#include "src/telemetry/telemetry.h"
 
 namespace psp {
 
@@ -26,6 +27,12 @@ struct SimRequest {
   Nanos remaining = 0;     // remaining demand (preemptive policies)
   Nanos send_time = 0;     // client send instant
   uint32_t flow_hash = 0;  // RSS steering input
+  // Lifecycle stamps for telemetry (0 = not recorded). ready_time is set by
+  // the engine when the dispatcher pipeline hands the request to the policy;
+  // service_start/worker by WorkerBank::Run or NoteServiceStart.
+  Nanos ready_time = 0;
+  Nanos service_start = 0;
+  uint32_t worker = 0;
 };
 
 struct ClusterConfig {
@@ -38,6 +45,9 @@ struct ClusterConfig {
   Nanos completion_cost = 40;       // completion-signal handling on dispatcher
   uint64_t seed = 42;
   Nanos time_series_bucket = 0;     // 0 = no time series
+  // Observability: lifecycle-trace sampling + ring sizing, the same knobs as
+  // the threaded runtime (RuntimeConfig::telemetry).
+  TelemetryConfig telemetry;
 };
 
 class ClusterEngine;
@@ -58,6 +68,11 @@ class SchedulingPolicy {
   // Policy-specific counters surfaced in benches (e.g. preemptions, steals).
   virtual uint64_t preemptions() const { return 0; }
   virtual uint64_t steals() const { return 0; }
+
+  // Publishes policy internals into the unified snapshot (counters, gauges,
+  // reservation state, ...). Default: nothing beyond preemptions/steals,
+  // which the engine exports itself.
+  virtual void ExportTelemetry(TelemetrySnapshot* out) const { (void)out; }
 
  protected:
   ClusterEngine* engine_ = nullptr;
@@ -86,6 +101,13 @@ class ClusterEngine {
   uint32_t num_workers() const { return config_.num_workers; }
   Rng& rng() { return rng_; }
 
+  // Stamps the moment `request` begins service on `worker` (policies that
+  // bypass WorkerBank call this; WorkerBank::Run does it automatically).
+  void NoteServiceStart(SimRequest* request, uint32_t worker) {
+    request->service_start = Now();
+    request->worker = worker;
+  }
+
   // The request finished service now; routes the response to the client and
   // releases the request.
   void CompleteRequest(SimRequest* request);
@@ -99,6 +121,13 @@ class ClusterEngine {
   const WorkloadSpec& workload() const { return workload_; }
   SchedulingPolicy& policy() { return *policy_; }
   uint64_t generated() const { return generated_; }
+
+  // The unified introspection surface: the same TelemetrySnapshot API the
+  // threaded runtime exposes (Persephone::telemetry_snapshot), fed by the
+  // simulator's Metrics, the policy, and sampled lifecycle traces.
+  Telemetry& telemetry() { return *telemetry_; }
+  const Telemetry& telemetry() const { return *telemetry_; }
+  TelemetrySnapshot telemetry_snapshot() const;
 
   // Duration of the measured (post-warmup) sending window.
   Nanos MeasuredWindow() const {
@@ -120,6 +149,8 @@ class ClusterEngine {
   Simulation sim_;
   Rng rng_;
   Metrics metrics_;
+  std::unique_ptr<Telemetry> telemetry_;
+  TraceSampler trace_sampler_;
 
   // Arrival generation state.
   size_t phase_index_ = 0;

@@ -105,6 +105,22 @@ const std::string& Metrics::TypeName(TypeId wire_id) const {
   return slot == nullptr ? kUnnamed : slot->name;
 }
 
+void Metrics::ExportTelemetry(TelemetrySnapshot* out) const {
+  out->counters["engine.completed"] += total_completions_;
+  out->counters["engine.dropped"] += total_drops_;
+  out->histograms["engine.latency"].Merge(overall_latency_);
+  out->histograms["engine.slowdown_milli"].Merge(overall_slowdown_);
+  for (const TypeId wire_id : type_ids_) {
+    const PerType& slot = types_[index_.at(wire_id)];
+    out->type_names.emplace(wire_id, slot.name);
+    const std::string prefix = "engine.type." + slot.name;
+    out->counters[prefix + ".completed"] += slot.latency.Count();
+    out->counters[prefix + ".dropped"] += slot.drops;
+    out->histograms[prefix + ".latency"].Merge(slot.latency);
+    out->histograms[prefix + ".slowdown_milli"].Merge(slot.slowdown);
+  }
+}
+
 std::vector<Metrics::BucketStats> Metrics::TimeSeries(TypeId wire_id,
                                                       double pct) const {
   std::vector<BucketStats> out;

@@ -13,6 +13,7 @@
 #include "src/common/histogram.h"
 #include "src/common/time.h"
 #include "src/core/request.h"
+#include "src/telemetry/snapshot.h"
 
 namespace psp {
 
@@ -57,6 +58,12 @@ class Metrics {
 
   const std::vector<TypeId>& type_ids() const { return type_ids_; }
   const std::string& TypeName(TypeId wire_id) const;
+
+  // Publishes the experiment's results into the unified snapshot: overall +
+  // per-type completion/drop counters, latency and slowdown histograms, and
+  // the wire-id → name map. This is how the simulator joins the single
+  // TelemetrySnapshot API shared with the threaded runtime.
+  void ExportTelemetry(TelemetrySnapshot* out) const;
 
   // --- Time series ----------------------------------------------------------
   struct BucketStats {

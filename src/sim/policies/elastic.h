@@ -82,6 +82,7 @@ class ElasticDarcPolicy final : public SchedulingPolicy {
       auto* sim_request = static_cast<SimRequest*>(a->request.payload);
       const WorkerId worker = a->worker;
       const TypeIndex type = a->request.type;
+      engine_->NoteServiceStart(sim_request, worker);
       busy_accum_ += sim_request->service;
       ++outstanding_;
       engine_->sim().ScheduleAfter(

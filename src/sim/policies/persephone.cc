@@ -7,6 +7,7 @@ void PersephonePolicy::Attach(ClusterEngine* engine) {
   SchedulerConfig config = options_.scheduler;
   config.num_workers = engine->num_workers();
   scheduler_ = std::make_unique<DarcScheduler>(config);
+  scheduler_->AttachTelemetry(&engine->telemetry());
   for (const auto& t : engine->workload().AllTypes()) {
     scheduler_->RegisterType(t.wire_id, t.name, FromMicros(t.mean_us),
                              t.ratio);
@@ -67,10 +68,17 @@ void PersephonePolicy::Pump() {
     auto* sim_request = static_cast<SimRequest*>(assignment->request.payload);
     const WorkerId worker = assignment->worker;
     const TypeIndex type = assignment->request.type;
+    engine_->NoteServiceStart(sim_request, worker);
     engine_->sim().ScheduleAfter(sim_request->service,
                                  [this, worker, type, sim_request] {
                                    OnWorkerDone(worker, type, sim_request);
                                  });
+  }
+}
+
+void PersephonePolicy::ExportTelemetry(TelemetrySnapshot* out) const {
+  if (scheduler_ != nullptr) {
+    scheduler_->ExportTelemetry(out);
   }
 }
 

@@ -36,6 +36,10 @@ class PersephonePolicy final : public SchedulingPolicy {
 
   std::string Name() const override;
 
+  // Publishes the embedded DarcScheduler's counters, reservation gauges and
+  // per-type queue state into the unified snapshot.
+  void ExportTelemetry(TelemetrySnapshot* out) const override;
+
   DarcScheduler& scheduler() { return *scheduler_; }
   const DarcScheduler& scheduler() const { return *scheduler_; }
 

@@ -103,6 +103,10 @@ void TimeSharingPolicy::StartOn(uint32_t worker, SimRequest* request) {
           ? request->remaining
           : std::min(request->remaining,
                      options_.quantum + options_.preempt_delay);
+  if (request->service_start == 0) {
+    // First slice only: preempted requests keep their original start stamp.
+    engine_->NoteServiceStart(request, worker);
+  }
   state.current = request;
   state.slice = slice;
   state.slice_start = engine_->Now();

@@ -1,0 +1,73 @@
+#include "src/telemetry/lifecycle.h"
+
+namespace psp {
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kRx:
+      return "rx";
+    case TraceStage::kClassified:
+      return "classified";
+    case TraceStage::kEnqueued:
+      return "enqueued";
+    case TraceStage::kDispatched:
+      return "dispatched";
+    case TraceStage::kHandlerStart:
+      return "handler_start";
+    case TraceStage::kHandlerEnd:
+      return "handler_end";
+    case TraceStage::kTx:
+      return "tx";
+  }
+  return "?";
+}
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 8;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : mask_(RoundUpPow2(capacity) - 1),
+      slots_(new Slot[RoundUpPow2(capacity)]) {}
+
+void TraceRing::Push(const RequestTrace& record) {
+  const uint64_t index = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[index & mask_];
+  // Odd sequence = write in flight; readers that land here discard the slot.
+  slot.seq.store(2 * index + 1, std::memory_order_release);
+  slot.record = record;
+  slot.seq.store(2 * (index + 1), std::memory_order_release);
+  head_.store(index + 1, std::memory_order_release);
+}
+
+size_t TraceRing::Snapshot(std::vector<RequestTrace>* out) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t depth = capacity();
+  const uint64_t first = head > depth ? head - depth : 0;
+  size_t added = 0;
+  for (uint64_t index = first; index < head; ++index) {
+    const Slot& slot = slots_[index & mask_];
+    const uint64_t expected = 2 * (index + 1);
+    if (slot.seq.load(std::memory_order_acquire) != expected) {
+      continue;  // overwritten or mid-write
+    }
+    RequestTrace copy = slot.record;
+    // Re-validate: if the producer lapped us mid-copy the copy is torn.
+    if (slot.seq.load(std::memory_order_acquire) != expected) {
+      continue;
+    }
+    out->push_back(copy);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace psp

@@ -1,0 +1,85 @@
+// TelemetrySnapshot: the single introspection surface for both execution
+// engines. A snapshot is a point-in-time, self-contained value — named
+// counters/gauges/histograms plus the sampled lifecycle traces — assembled
+// by Persephone::telemetry_snapshot() (threaded runtime) and
+// ClusterEngine::telemetry_snapshot() (simulator). The legacy
+// Persephone::stats() / DarcScheduler::stats() accessors are thin shims over
+// the same counters.
+//
+// Exporters: ToTable() (human-readable), ToJson() (machine-readable), and
+// StageReport() — the per-type latency breakdown (queueing vs. service vs.
+// channel time) that backs the paper's §5 per-type tail-latency analysis.
+#ifndef PSP_SRC_TELEMETRY_SNAPSHOT_H_
+#define PSP_SRC_TELEMETRY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/time.h"
+#include "src/telemetry/lifecycle.h"
+
+namespace psp {
+
+// A timestamped annotation emitted by a subsystem (e.g. the scheduler's
+// reservation changes). Bounded; oldest entries are dropped first.
+struct TelemetryEvent {
+  Nanos at = 0;
+  std::string what;
+};
+
+// Per-type latency decomposition derived from the sampled lifecycle traces.
+// Span definitions (consecutive, so they sum to `total` when every stage was
+// stamped):
+//   preprocess = rx → enqueued        (parse + classify + typed-queue entry)
+//   queueing   = enqueued → dispatched (typed-queue wait; DARC's target)
+//   handoff    = dispatched → handler_start (dispatcher→worker channel)
+//   service    = handler_start → handler_end (application handler)
+//   reply      = handler_end → tx      (response formatting + TX)
+struct TypeStageBreakdown {
+  std::string name;
+  uint64_t traces = 0;
+  Histogram preprocess;
+  Histogram queueing;
+  Histogram handoff;
+  Histogram service;
+  Histogram reply;
+  Histogram total;  // rx → tx
+};
+
+struct TelemetrySnapshot {
+  // Monotonic counts, hierarchically named ("scheduler.dispatched").
+  std::map<std::string, uint64_t> counters;
+  // Point-in-time values ("worker.0.busy_permille").
+  std::map<std::string, int64_t> gauges;
+  // Value distributions recorded through the registry.
+  std::map<std::string, Histogram> histograms;
+  // Sampled per-request lifecycle records (merged across all rings).
+  std::vector<RequestTrace> traces;
+  // Subsystem event annotations (reservation changes, resizes, ...).
+  std::vector<TelemetryEvent> events;
+  // Maps RequestTrace::type keys to human-readable names.
+  std::map<uint32_t, std::string> type_names;
+
+  uint64_t counter(const std::string& name, uint64_t fallback = 0) const;
+  int64_t gauge(const std::string& name, int64_t fallback = 0) const;
+
+  // Folds `other` into this snapshot: counters add, gauges take the other's
+  // value, histograms merge, traces/events/type_names append.
+  void Merge(const TelemetrySnapshot& other);
+
+  // Aggregates the sampled traces into per-type stage histograms, keyed by
+  // the trace type key. Spans with missing stamps are skipped.
+  std::map<uint32_t, TypeStageBreakdown> StageBreakdown() const;
+
+  // --- Exporters ------------------------------------------------------------
+  std::string ToTable() const;
+  std::string ToJson() const;
+  std::string StageReport() const;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_TELEMETRY_SNAPSHOT_H_

@@ -1,0 +1,87 @@
+#include "src/telemetry/telemetry.h"
+
+namespace psp {
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+TimingHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<TimingHistogram>();
+  }
+  return *slot;
+}
+
+void MetricsRegistry::Export(TelemetrySnapshot* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    out->counters[name] += counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out->gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out->histograms[name].Merge(hist->SnapshotHistogram());
+  }
+}
+
+std::string TelemetryConfig::Validate() const {
+  if (enable_tracing && sample_every > 0 && trace_ring_capacity == 0) {
+    return "telemetry: trace_ring_capacity must be > 0 when tracing is on";
+  }
+  return "";
+}
+
+Telemetry::Telemetry(TelemetryConfig config, size_t num_rings)
+    : config_(config) {
+  if (num_rings == 0) {
+    num_rings = 1;
+  }
+  const size_t capacity =
+      config_.trace_ring_capacity > 0 ? config_.trace_ring_capacity : 1;
+  rings_.reserve(num_rings);
+  for (size_t i = 0; i < num_rings; ++i) {
+    rings_.push_back(std::make_unique<TraceRing>(capacity));
+  }
+}
+
+void Telemetry::RecordEvent(Nanos at, std::string what) {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  if (events_.size() >= kMaxEvents) {
+    events_.pop_front();
+  }
+  events_.push_back(TelemetryEvent{at, std::move(what)});
+}
+
+TelemetrySnapshot Telemetry::Snapshot() const {
+  TelemetrySnapshot snap;
+  registry_.Export(&snap);
+  for (const auto& ring : rings_) {
+    ring->Snapshot(&snap.traces);
+    snap.counters["telemetry.traces_recorded"] += ring->pushed();
+  }
+  {
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    snap.events.insert(snap.events.end(), events_.begin(), events_.end());
+  }
+  return snap;
+}
+
+}  // namespace psp

@@ -170,7 +170,7 @@ void WindowSensitivity() {
       auto& darc = static_cast<PersephonePolicy&>(engine.policy());
       engine.Run();
       table.AddRow({std::to_string(min_samples), Fmt(min_dev, 2),
-                    std::to_string(darc.scheduler().stats().reservation_updates),
+                    std::to_string(darc.scheduler().reservation_updates()),
                     FmtMicros(engine.metrics().TypeLatency(1, 99.9)),
                     FmtMicros(engine.metrics().TypeLatency(2, 99.9))});
     }

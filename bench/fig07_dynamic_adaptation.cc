@@ -14,8 +14,11 @@
 //                               cores; pending B requests drain on the
 //                               spillway core
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_util.h"
+#include "src/telemetry/slo.h"
+#include "src/telemetry/trace_export.h"
 
 namespace psp {
 namespace bench {
@@ -58,6 +61,13 @@ void Main() {
   config.duration = 4 * workload.phases[0].duration;
   config.warmup_fraction = 0;  // the timeline IS the result
   config.time_series_bucket = 100 * kMillisecond;
+  // Continuous observability: the windowed recorder captures the same
+  // dynamics machine-readably (per-type rates, queue depths, reserved shares,
+  // windowed slowdowns); the simulator samples every completion so the series
+  // is bit-deterministic for the seed.
+  config.telemetry.timeseries.enabled = true;
+  config.telemetry.timeseries.interval = 100 * kMillisecond;
+  config.telemetry.timeseries.slowdown_sample_every = 1;
 
   // --- DARC with live profiling --------------------------------------------
   PersephoneOptions options;
@@ -87,7 +97,7 @@ void Main() {
         core_timeline.push_back(
             CoreSample{t, s.reserved_workers_of(s.ResolveType(1)),
                        s.reserved_workers_of(s.ResolveType(2)),
-                       s.stats().reservation_updates});
+                       s.reservation_updates()});
       });
     }
     engine.Run();
@@ -104,6 +114,40 @@ void Main() {
                     std::to_string(sample.updates)});
     }
     cores.Print();
+
+    // The structured reservation-update series: every applied reservation,
+    // stamped with virtual time and the profiler window that triggered it —
+    // the exact moments the core timeline above only samples.
+    std::printf("\nDARC: reservation-update events (structured series)\n");
+    Table updates({"t_ms", "seq", "window", "A_cores", "B_cores"});
+    for (const ReservationUpdate& u : engine.telemetry().reservation_updates()) {
+      uint32_t a = 0;
+      uint32_t b = 0;
+      for (const ReservationShare& share : u.shares) {
+        if (share.name == "A") {
+          a = share.reserved_workers;
+        } else if (share.name == "B") {
+          b = share.reserved_workers;
+        }
+      }
+      updates.AddRow({std::to_string(u.at / kMillisecond),
+                      std::to_string(u.seq), std::to_string(u.window),
+                      std::to_string(a), std::to_string(b)});
+    }
+    updates.Print();
+
+    // Optional Perfetto export: PSP_TRACE_OUT=/path/trace.json then load the
+    // file in https://ui.perfetto.dev (docs/OBSERVABILITY.md).
+    if (const char* trace_out = std::getenv("PSP_TRACE_OUT")) {
+      const std::string json =
+          ExportCatapultTrace(engine.telemetry_snapshot());
+      if (WriteTextFile(trace_out, json)) {
+        std::printf("\nwrote Perfetto trace to %s (%zu bytes)\n", trace_out,
+                    json.size());
+      } else {
+        std::printf("\nfailed to write Perfetto trace to %s\n", trace_out);
+      }
+    }
     std::printf("\n");
   }
 

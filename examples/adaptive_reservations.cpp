@@ -61,8 +61,7 @@ int main(int argc, char** argv) {
                   s.darc_active() ? "on" : "boot",
                   s.reserved_workers_of(s.ResolveType(1)),
                   s.reserved_workers_of(s.ResolveType(2)),
-                  static_cast<unsigned long long>(
-                      s.stats().reservation_updates));
+                  static_cast<unsigned long long>(s.reservation_updates()));
     });
   }
   engine.Run();

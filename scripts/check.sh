@@ -1,18 +1,49 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configures a Debug build with PSP_SANITIZE=ON (ASan +
-# UBSan), builds everything, and runs the test suite under the sanitizers.
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+# Sanitizer gate. Modes:
+#   address (default) - Debug build with PSP_SANITIZE=address (ASan + UBSan),
+#                       full test suite.
+#   thread            - Debug build with PSP_SANITIZE=thread (TSan), run over
+#                       the concurrency-bearing tests: the threaded runtime
+#                       (dispatcher + workers + the telemetry sampler thread),
+#                       channels, rings, NIC and the telemetry subsystem.
+#   all               - both.
+# Usage: scripts/check.sh [address|thread|all] [build-dir]
 set -eu
-BUILD=${1:-build-asan}
+MODE=${1:-address}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-cmake -B "$BUILD" -S . \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DPSP_SANITIZE=ON
-cmake --build "$BUILD" -j "$(nproc)"
+run_address() {
+  local build=${1:-build-asan}
+  cmake -B "$build" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPSP_SANITIZE=address
+  cmake --build "$build" -j "$(nproc)"
+  # halt_on_error keeps UBSan findings fatal so ctest reports them as failures.
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+}
 
-# halt_on_error keeps UBSan findings fatal so ctest reports them as failures.
-UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-ASAN_OPTIONS=detect_leaks=1 \
-  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+run_thread() {
+  local build=${1:-build-tsan}
+  cmake -B "$build" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPSP_SANITIZE=thread
+  cmake --build "$build" -j "$(nproc)"
+  # The threaded-runtime tests exercise every cross-thread surface: SPSC
+  # channels, the NIC rings, worker completion signalling, and the
+  # time-series sampler thread closing intervals while the dispatcher
+  # records. Single-threaded sim/bench tests add nothing under TSan.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+      -R 'runtime_|telemetry_|common_rings_|net_nic_|common_memory_pool_'
+}
+
+case "$MODE" in
+  address) run_address "${2:-build-asan}" ;;
+  thread)  run_thread "${2:-build-tsan}" ;;
+  all)     run_address build-asan; run_thread build-tsan ;;
+  *) echo "usage: scripts/check.sh [address|thread|all] [build-dir]" >&2
+     exit 2 ;;
+esac

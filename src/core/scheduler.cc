@@ -36,6 +36,7 @@ DarcScheduler::DarcScheduler(const SchedulerConfig& config)
     throw std::invalid_argument(error);
   }
   free_.SetRange(0, config_.num_workers);
+  free_count_.store(config_.num_workers, std::memory_order_relaxed);
   all_workers_.SetRange(0, config_.num_workers);
   const uint32_t spill =
       std::min(std::max(config_.num_spillway, 1u), config_.num_workers);
@@ -79,7 +80,7 @@ TypeIndex DarcScheduler::ResolveType(TypeId wire_id) const {
   return kUnknownSlot;
 }
 
-void DarcScheduler::ActivateSeededReservation() {
+void DarcScheduler::ActivateSeededReservation(Nanos now) {
   // The UNKNOWN slot is excluded: ApplyReservation routes it to the spillway.
   std::vector<TypeDemand> demands;
   demands.reserve(names_.size());
@@ -90,22 +91,25 @@ void DarcScheduler::ActivateSeededReservation() {
   }
   if (config_.mode == PolicyMode::kDarcStatic) {
     ApplyReservation(ComputeStaticReservation(demands, config_.num_workers,
-                                              config_.static_reserved));
+                                              config_.static_reserved),
+                     now);
   } else {
     ApplyReservation(ComputeReservation(
-        demands, ReservationConfig{config_.num_workers, config_.delta,
-                                   config_.num_spillway}));
+                         demands,
+                         ReservationConfig{config_.num_workers, config_.delta,
+                                           config_.num_spillway}),
+                     now);
   }
 }
 
-void DarcScheduler::ResizeWorkers(uint32_t new_count) {
+void DarcScheduler::ResizeWorkers(uint32_t new_count, Nanos now) {
   assert(new_count > 0 && new_count <= kMaxWorkers);
   const uint32_t old_count = config_.num_workers;
   config_.num_workers = new_count;
   if (telemetry_ != nullptr) {
-    telemetry_->RecordEvent(0, "scheduler: resized workers " +
-                                   std::to_string(old_count) + " -> " +
-                                   std::to_string(new_count));
+    telemetry_->RecordEvent(now, "scheduler: resized workers " +
+                                     std::to_string(old_count) + " -> " +
+                                     std::to_string(new_count));
   }
 
   all_workers_.ClearAll();
@@ -125,8 +129,9 @@ void DarcScheduler::ResizeWorkers(uint32_t new_count) {
       free_.Clear(w);
     }
   }
+  free_count_.store(free_.Count(), std::memory_order_relaxed);
 
-  if (!darc_active_) {
+  if (!darc_active_.load(std::memory_order_relaxed)) {
     return;
   }
   // Re-derive the reservation for the new pool from the freshest profile.
@@ -159,19 +164,31 @@ void DarcScheduler::ResizeWorkers(uint32_t new_count) {
   }
   if (config_.mode == PolicyMode::kDarcStatic) {
     ApplyReservation(ComputeStaticReservation(demands, new_count,
-                                              config_.static_reserved));
+                                              config_.static_reserved),
+                     now);
   } else {
     ApplyReservation(ComputeReservation(
-        demands, ReservationConfig{new_count, config_.delta,
-                                   config_.num_spillway}));
+                         demands, ReservationConfig{new_count, config_.delta,
+                                                    config_.num_spillway}),
+                     now);
   }
 }
 
 bool DarcScheduler::Enqueue(const Request& request, Nanos now) {
-  (void)now;
   assert(request.type < queues_.size());
   if (!queues_[request.type].Push(request)) {
     counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) {
+      // Rate-limited (power-of-two drop counts) so a sustained overload
+      // doesn't flood the bounded event buffer.
+      const uint64_t drops = queues_[request.type].drops();
+      if ((drops & (drops - 1)) == 0) {
+        telemetry_->RecordEvent(
+            now, "scheduler: queue drop #" + std::to_string(drops) +
+                     " type " + names_[request.type] + " (depth " +
+                     std::to_string(queues_[request.type].Size()) + ")");
+      }
+    }
     return false;
   }
   counters_.enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -187,6 +204,8 @@ DarcScheduler::Assignment DarcScheduler::MakeAssignment(TypeIndex type,
   a.worker = worker;
   a.stolen = stolen;
   free_.Clear(worker);
+  free_count_.store(free_count_.load(std::memory_order_relaxed) - 1,
+                    std::memory_order_relaxed);
   counters_.dispatched.fetch_add(1, std::memory_order_relaxed);
   if (stolen) {
     counters_.stolen_dispatches.fetch_add(1, std::memory_order_relaxed);
@@ -207,7 +226,7 @@ std::optional<DarcScheduler::Assignment> DarcScheduler::NextAssignment(
       return DispatchFixedPriority(now);
     case PolicyMode::kDarc:
     case PolicyMode::kDarcStatic:
-      if (!darc_active_) {
+      if (!darc_active_.load(std::memory_order_relaxed)) {
         // Bootstrap windows run c-FCFS until the first profile lands (§3).
         return DispatchFcfs(now);
       }
@@ -309,10 +328,11 @@ std::optional<DarcScheduler::Assignment> DarcScheduler::DispatchFixedPriority(
 
 void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
                                  Nanos service_time, Nanos now) {
-  (void)now;
   assert(worker < kMaxWorkers);
-  if (worker < config_.num_workers) {
+  if (worker < config_.num_workers && !free_.Test(worker)) {
     free_.Set(worker);
+    free_count_.store(free_count_.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
   }
   // Workers at or beyond num_workers were retired by ResizeWorkers while
   // running; their completion still feeds the profiler but they never
@@ -324,18 +344,28 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
       config_.mode != PolicyMode::kDarcStatic) {
     return;
   }
-  if (!darc_active_) {
+  if (!darc_active_.load(std::memory_order_relaxed)) {
     // Bootstrap: transition out of c-FCFS once the first window has enough
     // samples.
     if (profiler_.window_samples() >= config_.profiler.min_window_samples) {
       if (auto demands = profiler_.CheckUpdate(/*force=*/true)) {
+        NoteWindowRollover(now);
+        if (telemetry_ != nullptr) {
+          telemetry_->RecordEvent(
+              now, "scheduler: bootstrap complete, leaving c-FCFS");
+        }
         if (config_.mode == PolicyMode::kDarcStatic) {
-          ApplyReservation(ComputeStaticReservation(
-              *demands, config_.num_workers, config_.static_reserved));
+          ApplyReservation(
+              ComputeStaticReservation(*demands, config_.num_workers,
+                                       config_.static_reserved),
+              now);
         } else {
-          ApplyReservation(ComputeReservation(
-              *demands, ReservationConfig{config_.num_workers, config_.delta,
-                                          config_.num_spillway}));
+          ApplyReservation(
+              ComputeReservation(*demands, ReservationConfig{
+                                               config_.num_workers,
+                                               config_.delta,
+                                               config_.num_spillway}),
+              now);
         }
       }
     }
@@ -345,10 +375,23 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
     return;  // static reservations never adapt
   }
   if (auto demands = profiler_.CheckUpdate()) {
+    NoteWindowRollover(now);
     ApplyReservation(ComputeReservation(
-        *demands, ReservationConfig{config_.num_workers, config_.delta,
-                                    config_.num_spillway}));
+                         *demands,
+                         ReservationConfig{config_.num_workers, config_.delta,
+                                           config_.num_spillway}),
+                     now);
   }
+}
+
+void DarcScheduler::NoteWindowRollover(Nanos now) {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  telemetry_->RecordEvent(
+      now, "profiler: window #" +
+               std::to_string(profiler_.windows_completed()) +
+               " rolled, recomputing reservation");
 }
 
 SchedulerStats DarcScheduler::stats() const {
@@ -378,7 +421,8 @@ void DarcScheduler::ExportTelemetry(TelemetrySnapshot* out) const {
   out->counters["scheduler.stolen_dispatches"] +=
       counters_.stolen_dispatches.load(std::memory_order_relaxed);
   out->gauges["scheduler.idle_workers"] = idle_workers();
-  out->gauges["scheduler.darc_active"] = darc_active_ ? 1 : 0;
+  out->gauges["scheduler.darc_active"] =
+      darc_active_.load(std::memory_order_relaxed) ? 1 : 0;
   for (TypeIndex t = 0; t < names_.size(); ++t) {
     const std::string prefix = "scheduler.type." + names_[t];
     out->gauges[prefix + ".queue_depth"] =
@@ -389,7 +433,7 @@ void DarcScheduler::ExportTelemetry(TelemetrySnapshot* out) const {
   }
 }
 
-void DarcScheduler::ApplyReservation(Reservation reservation) {
+void DarcScheduler::ApplyReservation(Reservation reservation, Nanos now) {
   // Route the UNKNOWN slot (and any type the reservation does not cover) to
   // the spillway group: find or synthesise a group covering spillway cores.
   reservation.group_of_type.resize(names_.size(), 0);
@@ -413,12 +457,23 @@ void DarcScheduler::ApplyReservation(Reservation reservation) {
   reservation.group_of_type[kUnknownSlot] = spill_group;
 
   reservation_ = std::move(reservation);
-  darc_active_ = true;
-  counters_.reservation_updates.fetch_add(1, std::memory_order_relaxed);
+  darc_active_.store(true, std::memory_order_relaxed);
+  const uint64_t update_seq =
+      counters_.reservation_updates.fetch_add(1, std::memory_order_relaxed) +
+      1;
+
+  // Per-type reserved-group core counts from the freshly applied reservation.
+  std::vector<uint32_t> reserved_now(names_.size(), 0);
+  for (TypeIndex t = 0; t < names_.size(); ++t) {
+    const uint32_t gi = reservation_.group_of_type[t];
+    if (gi < reservation_.groups.size()) {
+      reserved_now[t] = reservation_.groups[gi].reserved_count;
+    }
+  }
+
   if (telemetry_ != nullptr) {
-    std::string what = "scheduler: reservation update #" +
-                       std::to_string(counters_.reservation_updates.load(
-                           std::memory_order_relaxed));
+    std::string what =
+        "scheduler: reservation update #" + std::to_string(update_seq);
     for (size_t gi = 0; gi < reservation_.groups.size(); ++gi) {
       const ReservedGroup& group = reservation_.groups[gi];
       what += gi == 0 ? " [" : " | ";
@@ -428,10 +483,48 @@ void DarcScheduler::ApplyReservation(Reservation reservation) {
         }
         what += names_[group.members[m]];
       }
-      what += ":" + std::to_string(group.reserved_count);
+      what += ':';
+      what += std::to_string(group.reserved_count);
     }
     what += "]";
-    telemetry_->RecordEvent(0, std::move(what));
+    telemetry_->RecordEvent(now, std::move(what));
+
+    // Per-type transition events (only for types whose share changed) make
+    // reservation shifts grep-able in the event log without parsing shares.
+    for (TypeIndex t = 1; t < names_.size(); ++t) {
+      const uint32_t before =
+          t < published_reserved_.size() ? published_reserved_[t] : 0;
+      if (before != reserved_now[t]) {
+        std::string msg = "scheduler: type ";
+        msg += names_[t];
+        msg += " reserved cores ";
+        msg += std::to_string(before);
+        msg += " -> ";
+        msg += std::to_string(reserved_now[t]);
+        telemetry_->RecordEvent(now, std::move(msg));
+      }
+    }
+
+    // Structured, machine-readable counterpart (drives the time-series
+    // recorder's reservation track and the trace exporter's counter tracks).
+    ReservationUpdate update;
+    update.at = now;
+    update.seq = update_seq;
+    update.window = profiler_.windows_completed();
+    update.shares.reserve(names_.size());
+    for (TypeIndex t = 0; t < names_.size(); ++t) {
+      ReservationShare share;
+      share.type = t;
+      share.name = names_[t];
+      share.reserved_workers = reserved_now[t];
+      update.shares.push_back(std::move(share));
+    }
+    telemetry_->RecordReservationUpdate(std::move(update));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(published_mutex_);
+    published_reserved_ = std::move(reserved_now);
   }
   RebuildPriorityOrder();
 }
@@ -461,14 +554,14 @@ void DarcScheduler::RebuildPriorityOrder() {
 }
 
 uint32_t DarcScheduler::reserved_workers_of(TypeIndex t) const {
-  if (!darc_active_ || t >= reservation_.group_of_type.size()) {
+  if (!darc_active_.load(std::memory_order_relaxed)) {
     return 0;
   }
-  const uint32_t gi = reservation_.group_of_type[t];
-  if (gi >= reservation_.groups.size()) {
+  std::lock_guard<std::mutex> lock(published_mutex_);
+  if (t >= published_reserved_.size()) {
     return 0;
   }
-  return reservation_.groups[gi].reserved_count;
+  return published_reserved_[t];
 }
 
 }  // namespace psp

@@ -13,6 +13,7 @@
 #define PSP_SRC_CORE_SCHEDULER_H_
 
 #include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -89,14 +90,16 @@ class DarcScheduler {
   const std::string& type_name(TypeIndex t) const { return names_[t]; }
 
   // Applies the seeded profiles immediately (skips the c-FCFS bootstrap
-  // window). Requires every registered type to carry seed hints.
-  void ActivateSeededReservation();
+  // window). Requires every registered type to carry seed hints. `now`
+  // timestamps the resulting reservation-update event.
+  void ActivateSeededReservation(Nanos now = 0);
 
   // Datacenter core-allocator hook (§6): grows or shrinks the worker pool at
   // runtime and recomputes the reservation for the new size. Shrinking
   // retires the highest-numbered workers: any request already running there
   // completes normally, after which the worker is never assigned again.
-  void ResizeWorkers(uint32_t new_count);
+  // `now` timestamps the resize + reservation-update events.
+  void ResizeWorkers(uint32_t new_count, Nanos now = 0);
 
   // --- Data path -----------------------------------------------------------
 
@@ -120,31 +123,59 @@ class DarcScheduler {
 
   // --- Telemetry / introspection -------------------------------------------
 
-  // Hooks the scheduler up to an engine's telemetry: reservation changes and
-  // worker-pool resizes are recorded as timestamped events. Counters are
-  // kept internally (always on) and published through ExportTelemetry.
+  // Hooks the scheduler up to an engine's telemetry: reservation changes,
+  // worker-pool resizes, profiler window rollovers and queue drops are
+  // recorded as timestamped events, and each applied reservation is also
+  // published as a structured ReservationUpdate (machine-readable shares).
+  // Counters are kept internally (always on) and published through
+  // ExportTelemetry.
   void AttachTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
   // Publishes the scheduler's counters ("scheduler.*") and per-type queue
   // gauges into `out`. Safe to call from any thread while the data path runs.
   void ExportTelemetry(TelemetrySnapshot* out) const;
 
-  bool darc_active() const { return darc_active_; }
+  bool darc_active() const {
+    return darc_active_.load(std::memory_order_relaxed);
+  }
   const Reservation& reservation() const { return reservation_; }
   // DEPRECATED shim over the same counters ExportTelemetry publishes;
   // returns a snapshot by value (counters are atomics internally).
-  SchedulerStats stats() const;
+  [[deprecated(
+      "read the unified TelemetrySnapshot (scheduler.* counters) via "
+      "ExportTelemetry / telemetry_snapshot(), or the dedicated accessors "
+      "(reservation_updates(), queue_drops(), ...)")]] SchedulerStats
+  stats() const;
   const Profiler& profiler() const { return profiler_; }
+  // Applied reservation count; cheap enough to poll (one relaxed load).
+  uint64_t reservation_updates() const {
+    return counters_.reservation_updates.load(std::memory_order_relaxed);
+  }
+  uint64_t completed() const {
+    return counters_.completed.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return counters_.dropped.load(std::memory_order_relaxed);
+  }
+  uint64_t stolen_dispatches() const {
+    return counters_.stolen_dispatches.load(std::memory_order_relaxed);
+  }
   uint64_t queue_drops(TypeIndex t) const { return queues_[t].drops(); }
   size_t queue_depth(TypeIndex t) const { return queues_[t].Size(); }
+  // Reserved-core count of `t`'s group, from a copy published under a mutex
+  // at every reservation change — safe to call from any thread while the
+  // data path runs (the live Reservation vectors are dispatcher-private).
   uint32_t reserved_workers_of(TypeIndex t) const;
-  bool AllWorkersIdle() const { return free_.Count() == config_.num_workers; }
-  uint32_t idle_workers() const { return free_.Count(); }
+  bool AllWorkersIdle() const { return idle_workers() == config_.num_workers; }
+  uint32_t idle_workers() const {
+    return free_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr TypeIndex kUnknownSlot = 0;
 
-  void ApplyReservation(Reservation reservation);
+  void ApplyReservation(Reservation reservation, Nanos now);
+  void NoteWindowRollover(Nanos now);
   void RebuildPriorityOrder();
   std::optional<Assignment> DispatchDarc(Nanos now);
   std::optional<Assignment> DispatchFcfs(Nanos now);
@@ -178,11 +209,22 @@ class DarcScheduler {
   std::vector<TypeIndex> priority_order_;
 
   Reservation reservation_;
-  bool darc_active_ = false;           // false while bootstrapping in c-FCFS
+  // false while bootstrapping in c-FCFS; relaxed-atomic so introspection can
+  // read it while the data path runs.
+  std::atomic<bool> darc_active_{false};
   WorkerSet free_;
   WorkerSet all_workers_;
   WorkerSet spillway_;
+  // Mirror of free_.Count(), maintained at every Set/Clear site so
+  // idle_workers() is one relaxed load instead of a racy bitset scan.
+  std::atomic<uint32_t> free_count_{0};
   AtomicCounters counters_;
+
+  // Cross-thread introspection copy of the applied reservation: per-type
+  // reserved-group core counts, rewritten under the mutex by
+  // ApplyReservation (cold path) and read by reserved_workers_of.
+  mutable std::mutex published_mutex_;
+  std::vector<uint32_t> published_reserved_;
 };
 
 }  // namespace psp

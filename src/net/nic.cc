@@ -16,7 +16,7 @@ SimulatedNic::SimulatedNic(uint32_t num_queues, size_t queue_depth,
 bool SimulatedNic::DeliverFromWire(PacketRef packet) {
   const auto parsed = ParseRequestPacket(packet.data, packet.length);
   if (!parsed.has_value()) {
-    ++rx_drops_;
+    rx_drops_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   const uint32_t queue = RssQueueForFlow(parsed->flow, num_queues_);
@@ -28,7 +28,7 @@ bool SimulatedNic::DeliverToQueue(uint32_t queue, PacketRef packet) {
   // telemetry reads this as the lifecycle rx stamp.
   packet.rx_timestamp = TscClock::Global().Now();
   if (queue >= num_queues_ || !queues_[queue]->rx().TryPush(packet)) {
-    ++rx_drops_;
+    rx_drops_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return true;

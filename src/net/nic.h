@@ -9,6 +9,7 @@
 #ifndef PSP_SRC_NET_NIC_H_
 #define PSP_SRC_NET_NIC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -58,7 +59,9 @@ class SimulatedNic {
   uint32_t num_queues() const { return num_queues_; }
   MemoryPool* pool() { return pool_; }
 
-  uint64_t rx_drops() const { return rx_drops_; }
+  uint64_t rx_drops() const {
+    return rx_drops_.load(std::memory_order_relaxed);
+  }
 
  private:
   uint32_t num_queues_;
@@ -69,7 +72,9 @@ class SimulatedNic {
   // lock-free.
   std::vector<std::unique_ptr<SpscRing<PacketRef>>> egress_;
   uint32_t egress_cursor_ = 0;
-  uint64_t rx_drops_ = 0;
+  // Relaxed atomic: bumped by the ingress thread, read by telemetry snapshots
+  // taken from other threads while traffic flows.
+  std::atomic<uint64_t> rx_drops_{0};
 };
 
 // A thread's handle on the NIC: its RX/TX queue plus a private buffer cache.

@@ -25,10 +25,13 @@ struct WorkOrder {
 };
 
 // Worker -> dispatcher: request done; profiled service time attached so the
-// dispatcher can update the type's profile (§4.3.3).
+// dispatcher can update the type's profile (§4.3.3). The original arrival
+// stamp rides along so the dispatcher can compute the end-to-end sojourn for
+// the time-series recorder without a lookup table.
 struct CompletionSignal {
   uint64_t request_id = 0;
   TypeIndex type = kInvalidTypeIndex;
+  Nanos arrival = 0;
   Nanos service_time = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "src/runtime/persephone.h"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #if defined(__linux__)
@@ -87,6 +88,19 @@ Persephone::Persephone(RuntimeConfig config) : config_(std::move(config)) {
   handlers_.push_back([](const std::byte*, uint32_t, std::byte*, uint32_t) {
     return 0u;
   });
+
+  // Continuous observability: one time-series per registered type (keyed by
+  // TypeIndex, so slot == TypeIndex), engine gauges stamped at every interval
+  // close, and full runtime snapshots embedded in flight-recorder dumps.
+  if (telemetry_->timeseries() != nullptr) {
+    series_slots_.push_back(
+        telemetry_->RegisterSeries(scheduler_->unknown_type(), "UNKNOWN"));
+    ts_prev_busy_.resize(config_.num_workers);
+    telemetry_->timeseries()->set_gauge_sampler(
+        [this](IntervalRecord* rec) { SampleTimeSeriesGauges(rec); });
+    telemetry_->set_flight_snapshot_provider(
+        [this] { return telemetry_snapshot(); });
+  }
 }
 
 Persephone::~Persephone() { Stop(); }
@@ -99,6 +113,11 @@ TypeIndex Persephone::RegisterType(TypeId wire_id, std::string name,
       wire_id, std::move(name), expected_mean, expected_ratio);
   handlers_.resize(std::max<size_t>(handlers_.size(), index + 1));
   handlers_[index] = std::move(handler);
+  if (telemetry_->timeseries() != nullptr) {
+    series_slots_.resize(std::max<size_t>(series_slots_.size(), index + 1));
+    series_slots_[index] =
+        telemetry_->RegisterSeries(index, scheduler_->type_name(index));
+  }
   return index;
 }
 
@@ -113,7 +132,7 @@ void Persephone::Start() {
   // otherwise DARC bootstraps through its c-FCFS profiling window.
   if (config_.scheduler.mode != PolicyMode::kCFcfs &&
       scheduler_->profiler().HasDemands()) {
-    scheduler_->ActivateSeededReservation();
+    scheduler_->ActivateSeededReservation(TscClock::Global().Now());
   }
   if (config_.dedicated_net_worker) {
     threads_.emplace_back([this] { NetWorkerLoop(); });
@@ -121,6 +140,9 @@ void Persephone::Start() {
   threads_.emplace_back([this] { DispatcherLoop(); });
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
     threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  if (telemetry_->timeseries() != nullptr) {
+    threads_.emplace_back([this] { SamplerLoop(); });
   }
   running_.store(true, std::memory_order_release);
 }
@@ -138,12 +160,20 @@ void Persephone::Stop() {
   // flag landed, so scheduler-side counts (the single source of truth for
   // `completed`) match the work the workers actually finished.
   const Nanos now = TscClock::Global().Now();
+  TimeSeriesRecorder* const ts = telemetry_->timeseries();
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
     CompletionSignal signal;
     while (channels_[w]->PopCompletion(&signal)) {
       scheduler_->OnCompletion(w, signal.type, signal.service_time, now);
+      if (ts != nullptr) {
+        ts->RecordCompletion(series_slots_[signal.type], now - signal.arrival,
+                             signal.service_time, now);
+      }
     }
   }
+  // Close the final (partial) interval so short runs still produce a series,
+  // and flush any SLO alert raised by it.
+  telemetry_->AdvanceTimeSeries(now, /*flush=*/true);
   running_.store(false, std::memory_order_release);
 }
 
@@ -174,9 +204,8 @@ RuntimeStats Persephone::stats() const {
   RuntimeStats s;
   s.rx_packets = rx_packets_->Value();
   s.malformed = malformed_->Value();
-  const SchedulerStats sched = scheduler_->stats();
-  s.completed = sched.completed;
-  s.dropped = sched.dropped;
+  s.completed = scheduler_->completed();
+  s.dropped = scheduler_->dropped();
   return s;
 }
 
@@ -239,6 +268,9 @@ void Persephone::DispatcherLoop() {
   // 1-in-N lifecycle sampling; the decision is one branch per request, so
   // the untraced hot path stays within the paper's dispatch budget.
   TraceSampler sampler(telemetry_->sample_every());
+  // Time-series hooks: nullptr when disabled, then the hot path pays nothing
+  // beyond one pointer test per event.
+  TimeSeriesRecorder* const ts = telemetry_->timeseries();
   while (!stop_.load(std::memory_order_acquire)) {
     bool progressed = false;
     const Nanos now = clock.Now();
@@ -248,6 +280,11 @@ void Persephone::DispatcherLoop() {
       CompletionSignal signal;
       while (channels_[w]->PopCompletion(&signal)) {
         scheduler_->OnCompletion(w, signal.type, signal.service_time, now);
+        if (ts != nullptr) {
+          ts->RecordCompletion(series_slots_[signal.type],
+                               now - signal.arrival, signal.service_time,
+                               now);
+        }
         progressed = true;
       }
     }
@@ -283,8 +320,16 @@ void Persephone::DispatcherLoop() {
         request.trace.Mark(TraceStage::kClassified, classified);
         request.trace.Mark(TraceStage::kEnqueued, classified);
       }
+      // Series semantics match the simulator: arrivals = offered load
+      // (recorded whether or not flow control sheds the request).
+      if (ts != nullptr) {
+        ts->RecordArrival(series_slots_[request.type], now);
+      }
       if (!scheduler_->Enqueue(request, now)) {
         // Flow-control shed (§4.3.3); the scheduler counts the drop.
+        if (ts != nullptr) {
+          ts->RecordDrop(series_slots_[request.type], now);
+        }
         pool_->FreeGlobal(packet.data);
       }
     }
@@ -310,6 +355,53 @@ void Persephone::DispatcherLoop() {
     if (!progressed) {
       IdlePause();
     }
+  }
+}
+
+void Persephone::SamplerLoop() {
+  // Watchdog cadence: a quarter of the interval width (floor 1 ms) keeps
+  // closes timely without measurable CPU cost. The dispatcher also closes
+  // intervals inline on the hot path, so this thread mostly matters during
+  // idle stretches and for flight-recorder dumps.
+  const Nanos interval = telemetry_->config().timeseries.interval;
+  Nanos tick = interval / 4;
+  if (tick < kMillisecond) {
+    tick = kMillisecond;
+  }
+  const TscClock& clock = TscClock::Global();
+  while (!stop_.load(std::memory_order_acquire)) {
+    telemetry_->AdvanceTimeSeries(clock.Now());
+    std::this_thread::sleep_for(std::chrono::nanoseconds(tick));
+  }
+}
+
+void Persephone::SampleTimeSeriesGauges(IntervalRecord* rec) {
+  // Runs under the recorder's roll lock (so ts_prev_busy_ needs no further
+  // guarding); everything read here is a relaxed atomic or mutex-published.
+  for (TypeIntervalStats& stats : rec->types) {
+    const auto type = static_cast<TypeIndex>(stats.type);
+    if (type >= scheduler_->num_types()) {
+      continue;
+    }
+    stats.queue_depth = static_cast<int64_t>(scheduler_->queue_depth(type));
+    stats.reserved_workers = scheduler_->reserved_workers_of(type);
+  }
+  rec->worker_busy_permille.resize(config_.num_workers, 0);
+  const Nanos now = TscClock::Global().Now();
+  for (uint32_t w = 0; w < config_.num_workers; ++w) {
+    BusyMark& prev = ts_prev_busy_[w];
+    const Nanos busy = static_cast<Nanos>(
+        worker_counters_[w]->busy.load(std::memory_order_relaxed));
+    const Nanos busy_delta = busy - prev.busy;
+    const Nanos wall_delta = now - prev.at;
+    int64_t permille = 0;
+    if (prev.at > 0 && wall_delta > 0) {
+      permille = busy_delta * 1000 / wall_delta;
+      permille = permille < 0 ? 0 : (permille > 1000 ? 1000 : permille);
+    }
+    rec->worker_busy_permille[w] = permille;
+    prev.busy = busy;
+    prev.at = now;
   }
 }
 
@@ -373,7 +465,8 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
       telemetry_->ring(worker_id).Push(record);
     }
 
-    CompletionSignal signal{order.request_id, order.type, service};
+    CompletionSignal signal{order.request_id, order.type, order.arrival,
+                            service};
     const bool pushed = channel.PushCompletion(signal);
     assert(pushed);
     (void)pushed;

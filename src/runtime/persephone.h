@@ -143,7 +143,10 @@ class Persephone {
   // DEPRECATED shim over telemetry_snapshot()'s counters ("runtime.*",
   // "scheduler.*"); completed/dropped delegate to the scheduler so the two
   // surfaces cannot disagree.
-  RuntimeStats stats() const;
+  [[deprecated(
+      "read the unified TelemetrySnapshot (runtime.* / scheduler.* counters) "
+      "via telemetry_snapshot()")]] RuntimeStats
+  stats() const;
   // Occupancy snapshot for worker `id` (valid after Start()).
   WorkerUtilization worker_utilization(uint32_t id) const;
   uint32_t num_workers() const { return config_.num_workers; }
@@ -152,6 +155,13 @@ class Persephone {
   void NetWorkerLoop();
   void DispatcherLoop();
   void WorkerLoop(uint32_t worker_id);
+  // Low-overhead time-series watchdog (only spawned when the recorder is
+  // enabled): closes due intervals during idle stretches and triggers any
+  // pending SLO flight-recorder dump. Sleeps, never busy-polls.
+  void SamplerLoop();
+  // Stamps queue depths, reserved shares and per-worker busy fractions into
+  // a closing interval (recorder gauge hook; runs under the roll lock).
+  void SampleTimeSeriesGauges(IntervalRecord* rec);
   // Pulls the next ingress frame from whichever path is configured (direct
   // NIC poll, or the net worker's forwarding ring).
   bool PollIngress(PacketRef* out) {
@@ -191,6 +201,16 @@ class Persephone {
   Counter* rx_packets_ = nullptr;
   Counter* malformed_ = nullptr;
   uint64_t next_request_id_ = 0;
+
+  // Time-series recorder slot per TypeIndex (empty when the recorder is off).
+  std::vector<size_t> series_slots_;
+  // Previous busy/wall marks per worker for interval busy-fraction deltas;
+  // only touched by the gauge hook (serialised by the recorder's roll lock).
+  struct BusyMark {
+    Nanos busy = 0;
+    Nanos at = 0;
+  };
+  std::vector<BusyMark> ts_prev_busy_;
 };
 
 }  // namespace psp

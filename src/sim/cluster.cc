@@ -25,6 +25,20 @@ ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
   if (config_.time_series_bucket > 0) {
     metrics_.EnableTimeSeries(config_.time_series_bucket);
   }
+  // Continuous observability: one recorder series per workload type (keyed
+  // by wire id — everything the simulator feeds in is virtual time, so the
+  // resulting series are bit-deterministic for a fixed seed).
+  if (telemetry_->timeseries() != nullptr) {
+    for (const auto& t : workload_.AllTypes()) {
+      series_slot_by_wire_.emplace(t.wire_id,
+                                   telemetry_->RegisterSeries(t.wire_id,
+                                                              t.name));
+    }
+    telemetry_->timeseries()->set_gauge_sampler(
+        [this](IntervalRecord* rec) { policy_->SampleTimeSeriesGauges(rec); });
+    telemetry_->set_flight_snapshot_provider(
+        [this] { return telemetry_snapshot(); });
+  }
   policy_->Attach(this);
 }
 
@@ -117,7 +131,15 @@ void ClusterEngine::InjectRequest(Nanos send_time, TypeId wire_type,
       std::max(rx_time, dispatcher_busy_until_) + config_.dispatch_cost;
   dispatcher_busy_until_ = ready;
   req->ready_time = ready;
-  sim_.ScheduleAt(ready, [this, req] { policy_->OnArrival(req); });
+  sim_.ScheduleAt(ready, [this, req] {
+    if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
+      const size_t slot = SeriesSlotFor(req->wire_type);
+      if (slot != SIZE_MAX) {
+        ts->RecordArrival(slot, Now());
+      }
+    }
+    policy_->OnArrival(req);
+  });
 }
 
 void ClusterEngine::ScheduleTraceArrival(size_t index) {
@@ -139,7 +161,21 @@ void ClusterEngine::Run() {
     StartPhase(0, 0);
     ScheduleNextArrival();
   }
+  // Pre-scheduled virtual-time rollovers: close every due interval (and run
+  // any pending flight-recorder dump) at exact grid points, so idle stretches
+  // still produce empty intervals and the series is deterministic.
+  if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
+    const Nanos interval = ts->config().interval;
+    for (Nanos t = interval; t <= config_.duration; t += interval) {
+      sim_.ScheduleAt(t, [this, t] { telemetry_->AdvanceTimeSeries(t); });
+    }
+  }
   sim_.RunToCompletion();
+  // Completions tail off past the sending window: flush the final partial
+  // interval so the series covers the whole run.
+  if (telemetry_->timeseries() != nullptr) {
+    telemetry_->AdvanceTimeSeries(Now(), /*flush=*/true);
+  }
 }
 
 void ClusterEngine::CompleteRequest(SimRequest* request) {
@@ -150,6 +186,13 @@ void ClusterEngine::CompleteRequest(SimRequest* request) {
   const Nanos receive_time = Now() + config_.net_one_way;
   metrics_.RecordCompletion(request->wire_type, request->send_time,
                             receive_time, request->service);
+  if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
+    const size_t slot = SeriesSlotFor(request->wire_type);
+    if (slot != SIZE_MAX) {
+      ts->RecordCompletion(slot, receive_time - request->send_time,
+                           request->service, Now());
+    }
+  }
   if (trace_sampler_.Tick()) {
     // The simulator maps onto the same stage axis the threaded runtime uses.
     // Its model collapses parse/classify/enqueue into dispatch_cost
@@ -189,6 +232,12 @@ TelemetrySnapshot ClusterEngine::telemetry_snapshot() const {
 
 void ClusterEngine::DropRequest(SimRequest* request) {
   metrics_.RecordDrop(request->wire_type);
+  if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
+    const size_t slot = SeriesSlotFor(request->wire_type);
+    if (slot != SIZE_MAX) {
+      ts->RecordDrop(slot, Now());
+    }
+  }
   FreeRequest(request);
 }
 

@@ -7,6 +7,7 @@
 #define PSP_SRC_SIM_CLUSTER_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,6 +74,12 @@ class SchedulingPolicy {
   // reservation state, ...). Default: nothing beyond preemptions/steals,
   // which the engine exports itself.
   virtual void ExportTelemetry(TelemetrySnapshot* out) const { (void)out; }
+
+  // Stamps policy-side gauges (queue depths, reserved shares) into a closing
+  // time-series interval; entries are keyed by wire type id
+  // (TypeIntervalStats::type). Called under the recorder's roll lock — must
+  // not call back into the recorder. Default: leaves the -1 sentinels.
+  virtual void SampleTimeSeriesGauges(IntervalRecord* rec) { (void)rec; }
 
  protected:
   ClusterEngine* engine_ = nullptr;
@@ -143,6 +150,13 @@ class ClusterEngine {
   void InjectRequest(Nanos send_time, TypeId wire_type, uint32_t phase_slot,
                      Nanos service);
 
+  // Time-series recorder slot for `wire`; SIZE_MAX when the recorder is off
+  // or the type never registered (trace replay with unnamed types).
+  size_t SeriesSlotFor(TypeId wire) const {
+    const auto it = series_slot_by_wire_.find(wire);
+    return it == series_slot_by_wire_.end() ? SIZE_MAX : it->second;
+  }
+
   WorkloadSpec workload_;
   ClusterConfig config_;
   std::unique_ptr<SchedulingPolicy> policy_;
@@ -151,6 +165,7 @@ class ClusterEngine {
   Metrics metrics_;
   std::unique_ptr<Telemetry> telemetry_;
   TraceSampler trace_sampler_;
+  std::map<TypeId, size_t> series_slot_by_wire_;
 
   // Arrival generation state.
   size_t phase_index_ = 0;

@@ -13,7 +13,7 @@ void PersephonePolicy::Attach(ClusterEngine* engine) {
                              t.ratio);
   }
   if (options_.seed_profiles) {
-    scheduler_->ActivateSeededReservation();
+    scheduler_->ActivateSeededReservation(engine->Now());
   }
 }
 
@@ -79,6 +79,18 @@ void PersephonePolicy::Pump() {
 void PersephonePolicy::ExportTelemetry(TelemetrySnapshot* out) const {
   if (scheduler_ != nullptr) {
     scheduler_->ExportTelemetry(out);
+  }
+}
+
+void PersephonePolicy::SampleTimeSeriesGauges(IntervalRecord* rec) {
+  if (scheduler_ == nullptr) {
+    return;
+  }
+  for (TypeIntervalStats& stats : rec->types) {
+    const TypeIndex type =
+        scheduler_->ResolveType(static_cast<TypeId>(stats.type));
+    stats.queue_depth = static_cast<int64_t>(scheduler_->queue_depth(type));
+    stats.reserved_workers = scheduler_->reserved_workers_of(type);
   }
 }
 

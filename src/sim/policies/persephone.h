@@ -40,6 +40,11 @@ class PersephonePolicy final : public SchedulingPolicy {
   // per-type queue state into the unified snapshot.
   void ExportTelemetry(TelemetrySnapshot* out) const override;
 
+  // Stamps per-type queue depths and reserved shares into a closing
+  // time-series interval (entries are keyed by wire id; resolved through the
+  // scheduler's registry).
+  void SampleTimeSeriesGauges(IntervalRecord* rec) override;
+
   DarcScheduler& scheduler() { return *scheduler_; }
   const DarcScheduler& scheduler() const { return *scheduler_; }
 

@@ -42,8 +42,17 @@ void TraceRing::Push(const RequestTrace& record) {
   const uint64_t index = head_.load(std::memory_order_relaxed);
   Slot& slot = slots_[index & mask_];
   // Odd sequence = write in flight; readers that land here discard the slot.
-  slot.seq.store(2 * index + 1, std::memory_order_release);
-  slot.record = record;
+  // The release fence keeps the field stores from hoisting above the odd
+  // mark; the final release store keeps them from sinking below the even
+  // mark (the standard seqlock-with-fences recipe).
+  slot.seq.store(2 * index + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.request_id.store(record.request_id, std::memory_order_relaxed);
+  slot.type.store(record.type, std::memory_order_relaxed);
+  slot.worker.store(record.worker, std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumTraceStages; ++i) {
+    slot.stamp[i].store(record.stamp[i], std::memory_order_relaxed);
+  }
   slot.seq.store(2 * (index + 1), std::memory_order_release);
   head_.store(index + 1, std::memory_order_release);
 }
@@ -59,9 +68,17 @@ size_t TraceRing::Snapshot(std::vector<RequestTrace>* out) const {
     if (slot.seq.load(std::memory_order_acquire) != expected) {
       continue;  // overwritten or mid-write
     }
-    RequestTrace copy = slot.record;
-    // Re-validate: if the producer lapped us mid-copy the copy is torn.
-    if (slot.seq.load(std::memory_order_acquire) != expected) {
+    RequestTrace copy;
+    copy.request_id = slot.request_id.load(std::memory_order_relaxed);
+    copy.type = slot.type.load(std::memory_order_relaxed);
+    copy.worker = slot.worker.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumTraceStages; ++i) {
+      copy.stamp[i] = slot.stamp[i].load(std::memory_order_relaxed);
+    }
+    // Re-validate: if the producer lapped us mid-copy the copy is torn. The
+    // acquire fence pins the field loads above this second seq read.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != expected) {
       continue;
     }
     out->push_back(copy);

@@ -130,9 +130,16 @@ class TraceRing {
   size_t capacity() const { return mask_ + 1; }
 
  private:
+  // Record fields are individually relaxed atomics (not a plain struct):
+  // readers race with the producer by design, and the seqlock re-validation
+  // discards torn copies — atomic fields make that a defined-behaviour,
+  // TSan-clean race instead of a formal data race on plain memory.
   struct Slot {
     std::atomic<uint64_t> seq{0};
-    RequestTrace record;
+    std::atomic<uint64_t> request_id{0};
+    std::atomic<uint32_t> type{0};
+    std::atomic<uint32_t> worker{0};
+    std::array<std::atomic<Nanos>, kNumTraceStages> stamp{};
   };
 
   size_t mask_;

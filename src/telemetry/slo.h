@@ -1,0 +1,128 @@
+// SLO monitor + flight recorder: per-type slowdown targets evaluated as
+// burn rates over a rolling window of time-series intervals. When a type
+// burns its violation budget faster than allowed, an alert fires and the
+// engine dumps a flight record — the last N intervals plus the current
+// telemetry snapshot (which carries the recent sampled lifecycle traces) —
+// to a file, so the state that led to the violation is preserved even if the
+// process keeps running.
+//
+// The monitor consumes *closed intervals* (TimeSeriesRecorder's on_interval
+// feed), never per-request data, so its cost is a few comparisons per
+// interval — nothing on the dispatch hot path. Violation counting itself
+// happens in the recorder (one multiply + compare per completion).
+#ifndef PSP_SRC_TELEMETRY_SLO_H_
+#define PSP_SRC_TELEMETRY_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/telemetry/snapshot.h"
+
+namespace psp {
+
+// One per-type objective. Targets are matched to recorder series by *name*
+// (the human-stable key across both engines; TypeIndex and wire ids differ).
+struct SloTarget {
+  std::string type_name;
+  // A completion violates when latency / service > slowdown. The paper
+  // states objectives the same way (e.g. "10x slowdown", §5).
+  double slowdown = 10.0;
+  // Fraction of completions allowed to violate; burn rate 1.0 means the type
+  // is consuming exactly this budget.
+  double budget_fraction = 0.01;
+};
+
+struct SloConfig {
+  std::vector<SloTarget> targets;  // empty = monitoring disabled
+  // Rolling evaluation window, in closed time-series intervals.
+  size_t window_intervals = 8;
+  // Alert when (violations / completions) / budget_fraction >= this.
+  double burn_rate_alert = 1.0;
+  // Don't evaluate windows with fewer completions (startup noise guard).
+  uint64_t min_window_completions = 100;
+  // Re-alerting for the same type is suppressed for this many intervals.
+  size_t cooldown_intervals = 16;
+  // Flight recorder: where to dump on alert ("" disables dumps) and how many
+  // trailing intervals the dump carries.
+  std::string flight_path;
+  size_t flight_intervals = 64;
+
+  // Empty string = valid; otherwise a description of the problem.
+  std::string Validate() const;
+};
+
+struct SloAlert {
+  Nanos at = 0;           // end of the interval that tripped the alert
+  uint64_t interval_seq = 0;
+  std::string type_name;
+  double burn_rate = 0;
+  uint64_t window_completions = 0;
+  uint64_t window_violations = 0;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  const SloConfig& config() const { return config_; }
+
+  // Looks up the slowdown target for a series name; 0 when none is set.
+  // Engines use this to arm the recorder's violation counting.
+  double TargetSlowdownFor(const std::string& type_name) const;
+
+  // Feeds one closed interval; returns the alerts it fired. Type matching is
+  // by series name, resolved through `names` (type key -> name).
+  std::vector<SloAlert> OnInterval(
+      const IntervalRecord& interval,
+      const std::map<uint32_t, std::string>& names);
+
+  // All alerts fired so far (bounded; oldest dropped first).
+  std::vector<SloAlert> alerts() const;
+  uint64_t alerts_total() const;
+
+  // Alerts fired since the last call (the flight-recorder dump feed). The
+  // dump itself runs outside the recorder's roll lock, so alerts raised by a
+  // writer-side inline interval close are picked up at the engine's next
+  // sampler tick / virtual-time rollover.
+  std::vector<SloAlert> TakeUndumped();
+
+ private:
+  struct TargetState {
+    SloTarget target;
+    // Per-interval (completions, violations) pairs for the rolling window.
+    std::deque<std::pair<uint64_t, uint64_t>> window;
+    uint64_t window_completions = 0;
+    uint64_t window_violations = 0;
+    uint64_t cooldown_until_seq = 0;
+  };
+
+  static constexpr size_t kMaxAlerts = 256;
+
+  SloConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<TargetState> targets_;
+  std::deque<SloAlert> alerts_;
+  std::deque<SloAlert> undumped_;
+  uint64_t alerts_total_ = 0;
+};
+
+// Serialises a flight record: the alerts, the trailing intervals (CSV, same
+// schema as TimeSeriesRecorder::ToCsv) and the full snapshot JSON (which
+// includes the recent sampled traces), in one self-describing JSON object.
+std::string BuildFlightRecord(const std::vector<SloAlert>& alerts,
+                              const std::vector<IntervalRecord>& intervals,
+                              const TelemetrySnapshot& snapshot);
+
+// Best-effort whole-file write; returns false on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& contents);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_TELEMETRY_SLO_H_

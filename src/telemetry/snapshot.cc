@@ -90,6 +90,11 @@ void TelemetrySnapshot::Merge(const TelemetrySnapshot& other) {
   }
   traces.insert(traces.end(), other.traces.begin(), other.traces.end());
   events.insert(events.end(), other.events.begin(), other.events.end());
+  timeseries.insert(timeseries.end(), other.timeseries.begin(),
+                    other.timeseries.end());
+  reservation_updates.insert(reservation_updates.end(),
+                             other.reservation_updates.begin(),
+                             other.reservation_updates.end());
   for (const auto& [type, name] : other.type_names) {
     type_names.emplace(type, name);
   }
@@ -210,6 +215,82 @@ std::string TelemetrySnapshot::ToJson() const {
     first = false;
     out += "{\"at\":" + std::to_string(e.at) + ",\"what\":\"" +
            JsonEscape(e.what) + "\"}";
+  }
+  out += "],\"timeseries\":[";
+  first = true;
+  for (const IntervalRecord& r : timeseries) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"seq\":" + std::to_string(r.seq) +
+           ",\"start\":" + std::to_string(r.start) +
+           ",\"end\":" + std::to_string(r.end) +
+           ",\"reservation_updates\":" + std::to_string(r.reservation_updates);
+    char rate[80];
+    std::snprintf(rate, sizeof(rate),
+                  ",\"arrival_rps\":%.1f,\"completion_rps\":%.1f",
+                  r.arrival_rate_rps, r.completion_rate_rps);
+    out += rate;
+    out += ",\"types\":[";
+    bool first_type = true;
+    for (const TypeIntervalStats& t : r.types) {
+      if (!first_type) {
+        out += ',';
+      }
+      first_type = false;
+      const auto it = type_names.find(t.type);
+      const std::string name = it != type_names.end()
+                                   ? it->second
+                                   : "type-" + std::to_string(t.type);
+      out += "{\"type\":" + std::to_string(t.type) + ",\"name\":\"" +
+             JsonEscape(name) + "\",\"arrivals\":" +
+             std::to_string(t.arrivals) +
+             ",\"completions\":" + std::to_string(t.completions) +
+             ",\"drops\":" + std::to_string(t.drops) +
+             ",\"slo_violations\":" + std::to_string(t.slo_violations) +
+             ",\"queue_depth\":" + std::to_string(t.queue_depth) +
+             ",\"reserved_workers\":" + std::to_string(t.reserved_workers) +
+             ",\"slowdown_samples\":" + std::to_string(t.slowdown_samples) +
+             ",\"slowdown_p50_milli\":" +
+             std::to_string(t.slowdown_p50_milli) +
+             ",\"slowdown_p99_milli\":" +
+             std::to_string(t.slowdown_p99_milli) +
+             ",\"slowdown_p999_milli\":" +
+             std::to_string(t.slowdown_p999_milli) + '}';
+    }
+    out += "],\"worker_busy_permille\":[";
+    bool first_worker = true;
+    for (const int64_t b : r.worker_busy_permille) {
+      if (!first_worker) {
+        out += ',';
+      }
+      first_worker = false;
+      out += std::to_string(b);
+    }
+    out += "]}";
+  }
+  out += "],\"reservation_updates\":[";
+  first = true;
+  for (const ReservationUpdate& u : reservation_updates) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"at\":" + std::to_string(u.at) +
+           ",\"seq\":" + std::to_string(u.seq) +
+           ",\"window\":" + std::to_string(u.window) + ",\"shares\":[";
+    bool first_share = true;
+    for (const ReservationShare& s : u.shares) {
+      if (!first_share) {
+        out += ',';
+      }
+      first_share = false;
+      out += "{\"type\":" + std::to_string(s.type) + ",\"name\":\"" +
+             JsonEscape(s.name) + "\",\"reserved_workers\":" +
+             std::to_string(s.reserved_workers) + '}';
+    }
+    out += "]}";
   }
   out += "],\"stage_breakdown\":{";
   first = true;

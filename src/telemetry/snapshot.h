@@ -30,6 +30,57 @@ struct TelemetryEvent {
   std::string what;
 };
 
+// One type's share in a reservation. `type` is the engine's trace type key
+// (dense TypeIndex); `name` makes the record self-describing across engines.
+struct ReservationShare {
+  uint32_t type = 0;
+  std::string name;
+  uint32_t reserved_workers = 0;
+};
+
+// A structured DARC reservation update (Algorithm 2 output applied by the
+// scheduler). Unlike the free-text TelemetryEvent the scheduler also emits,
+// this carries machine-readable shares so figures can plot convergence.
+struct ReservationUpdate {
+  Nanos at = 0;
+  uint64_t seq = 0;     // scheduler's reservation_updates ordinal (1-based)
+  uint64_t window = 0;  // profiler windows completed when it was applied
+  std::vector<ReservationShare> shares;
+};
+
+// Per-type stats over one time-series interval. Counts are interval deltas;
+// gauges (queue_depth, reserved_workers) are sampled at interval close, -1
+// when the engine provided no sampler. Slowdown percentiles are in milli
+// units (1000 = 1.0x, matching sim/metrics.h's kSlowdownScale) and come from
+// the windowed histogram; 0 when no completion was sampled in the interval.
+struct TypeIntervalStats {
+  uint32_t type = 0;  // engine type key, resolvable via type_names
+  uint64_t arrivals = 0;
+  uint64_t completions = 0;
+  uint64_t drops = 0;
+  uint64_t slo_violations = 0;
+  int64_t queue_depth = -1;
+  int64_t reserved_workers = -1;
+  uint64_t slowdown_samples = 0;
+  int64_t slowdown_p50_milli = 0;
+  int64_t slowdown_p99_milli = 0;
+  int64_t slowdown_p999_milli = 0;
+};
+
+// One closed interval of the time-series recorder.
+struct IntervalRecord {
+  uint64_t seq = 0;  // 0-based, monotonically increasing across the run
+  Nanos start = 0;
+  Nanos end = 0;
+  uint64_t reservation_updates = 0;  // updates applied within the interval
+  double arrival_rate_rps = 0;       // all types combined
+  double completion_rate_rps = 0;
+  std::vector<TypeIntervalStats> types;  // recorder slot order
+  // Per-worker busy fraction over the interval, in permille; empty when the
+  // engine provided no sampler (e.g. a bare recorder in unit tests).
+  std::vector<int64_t> worker_busy_permille;
+};
+
 // Per-type latency decomposition derived from the sampled lifecycle traces.
 // Span definitions (consecutive, so they sum to `total` when every stage was
 // stamped):
@@ -60,6 +111,11 @@ struct TelemetrySnapshot {
   std::vector<RequestTrace> traces;
   // Subsystem event annotations (reservation changes, resizes, ...).
   std::vector<TelemetryEvent> events;
+  // Closed time-series intervals (oldest first); empty when the recorder is
+  // disabled. See src/telemetry/timeseries.h.
+  std::vector<IntervalRecord> timeseries;
+  // Structured DARC reservation updates in application order.
+  std::vector<ReservationUpdate> reservation_updates;
   // Maps RequestTrace::type keys to human-readable names.
   std::map<uint32_t, std::string> type_names;
 
@@ -67,7 +123,8 @@ struct TelemetrySnapshot {
   int64_t gauge(const std::string& name, int64_t fallback = 0) const;
 
   // Folds `other` into this snapshot: counters add, gauges take the other's
-  // value, histograms merge, traces/events/type_names append.
+  // value, histograms merge, traces/events/timeseries/reservation_updates/
+  // type_names append.
   void Merge(const TelemetrySnapshot& other);
 
   // Aggregates the sampled traces into per-type stage histograms, keyed by

@@ -46,6 +46,16 @@ std::string TelemetryConfig::Validate() const {
   if (enable_tracing && sample_every > 0 && trace_ring_capacity == 0) {
     return "telemetry: trace_ring_capacity must be > 0 when tracing is on";
   }
+  if (const std::string error = timeseries.Validate(); !error.empty()) {
+    return error;
+  }
+  if (const std::string error = slo.Validate(); !error.empty()) {
+    return error;
+  }
+  if (!slo.targets.empty() && !timeseries.enabled) {
+    return "telemetry: SLO targets require timeseries.enabled (violation "
+           "counts live in the time-series recorder)";
+  }
   return "";
 }
 
@@ -60,6 +70,15 @@ Telemetry::Telemetry(TelemetryConfig config, size_t num_rings)
   for (size_t i = 0; i < num_rings; ++i) {
     rings_.push_back(std::make_unique<TraceRing>(capacity));
   }
+  if (config_.timeseries.enabled) {
+    timeseries_ = std::make_unique<TimeSeriesRecorder>(config_.timeseries);
+    if (!config_.slo.targets.empty()) {
+      slo_ = std::make_unique<SloMonitor>(config_.slo);
+      timeseries_->set_on_interval([this](const IntervalRecord& rec) {
+        slo_->OnInterval(rec, series_names_);
+      });
+    }
+  }
 }
 
 void Telemetry::RecordEvent(Nanos at, std::string what) {
@@ -68,6 +87,67 @@ void Telemetry::RecordEvent(Nanos at, std::string what) {
     events_.pop_front();
   }
   events_.push_back(TelemetryEvent{at, std::move(what)});
+}
+
+size_t Telemetry::RegisterSeries(uint32_t type_key, const std::string& name) {
+  if (!timeseries_) {
+    return SIZE_MAX;
+  }
+  const size_t slot = timeseries_->RegisterSeries(type_key, name);
+  series_names_.emplace(type_key, name);
+  if (slo_) {
+    const double target = slo_->TargetSlowdownFor(name);
+    if (target > 0) {
+      timeseries_->SetSlowdownTarget(slot, target);
+    }
+  }
+  return slot;
+}
+
+void Telemetry::RecordReservationUpdate(ReservationUpdate update) {
+  if (timeseries_) {
+    timeseries_->NoteReservationUpdate(update.at);
+  }
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  if (reservation_updates_.size() >= kMaxReservationUpdates) {
+    reservation_updates_.pop_front();
+  }
+  reservation_updates_.push_back(std::move(update));
+}
+
+std::vector<ReservationUpdate> Telemetry::reservation_updates() const {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  return std::vector<ReservationUpdate>(reservation_updates_.begin(),
+                                        reservation_updates_.end());
+}
+
+void Telemetry::AdvanceTimeSeries(Nanos now, bool flush) {
+  if (!timeseries_) {
+    return;
+  }
+  timeseries_->Roll(now, flush);
+  MaybeDumpFlight();
+}
+
+void Telemetry::MaybeDumpFlight() {
+  if (!slo_ || config_.slo.flight_path.empty()) {
+    return;
+  }
+  const std::vector<SloAlert> pending = slo_->TakeUndumped();
+  if (pending.empty()) {
+    return;
+  }
+  // Build the dump outside any recorder/monitor lock: the snapshot provider
+  // reads the recorder's history itself.
+  const TelemetrySnapshot snap =
+      flight_provider_ ? flight_provider_() : Snapshot();
+  const std::string body = BuildFlightRecord(
+      pending, timeseries_->Recent(config_.slo.flight_intervals), snap);
+  if (WriteTextFile(config_.slo.flight_path, body)) {
+    registry_.GetCounter("slo.flight_dumps").Add();
+  } else {
+    registry_.GetCounter("slo.flight_dump_failures").Add();
+  }
 }
 
 TelemetrySnapshot Telemetry::Snapshot() const {
@@ -80,6 +160,20 @@ TelemetrySnapshot Telemetry::Snapshot() const {
   {
     std::lock_guard<std::mutex> lock(events_mutex_);
     snap.events.insert(snap.events.end(), events_.begin(), events_.end());
+    snap.reservation_updates.insert(snap.reservation_updates.end(),
+                                    reservation_updates_.begin(),
+                                    reservation_updates_.end());
+  }
+  if (timeseries_) {
+    snap.timeseries = timeseries_->History();
+    snap.counters["telemetry.intervals_closed"] +=
+        timeseries_->intervals_closed();
+    for (const auto& [key, name] : series_names_) {
+      snap.type_names.emplace(key, name);
+    }
+  }
+  if (slo_) {
+    snap.counters["slo.alerts_total"] += slo_->alerts_total();
   }
   return snap;
 }

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,7 +25,9 @@
 #include "src/common/histogram.h"
 #include "src/common/time.h"
 #include "src/telemetry/lifecycle.h"
+#include "src/telemetry/slo.h"
 #include "src/telemetry/snapshot.h"
+#include "src/telemetry/timeseries.h"
 
 namespace psp {
 
@@ -99,6 +102,11 @@ struct TelemetryConfig {
   uint32_t sample_every = 64;
   // Records retained per thread ring (rounded up to a power of two).
   size_t trace_ring_capacity = 4096;
+  // Continuous windowed time-series (off by default; see timeseries.h).
+  TimeSeriesConfig timeseries;
+  // SLO targets + flight recorder (inactive without targets; requires the
+  // time-series recorder to be enabled — violation counts live there).
+  SloConfig slo;
 
   // Empty string = valid; otherwise a description of the problem.
   std::string Validate() const;
@@ -130,17 +138,61 @@ class Telemetry {
   // Appends a timestamped annotation (bounded; oldest dropped first).
   void RecordEvent(Nanos at, std::string what);
 
-  // Point-in-time view: registry instruments + all ring contents + events.
+  // --- Continuous observability (PR 2) --------------------------------------
+
+  // nullptr when config.timeseries.enabled is false.
+  TimeSeriesRecorder* timeseries() { return timeseries_.get(); }
+  const TimeSeriesRecorder* timeseries() const { return timeseries_.get(); }
+  // nullptr when no SLO targets are configured.
+  SloMonitor* slo() { return slo_.get(); }
+  const SloMonitor* slo() const { return slo_.get(); }
+
+  // Registers a per-type series (no-op returning SIZE_MAX when the recorder
+  // is off) and arms its violation threshold if an SLO target names it.
+  size_t RegisterSeries(uint32_t type_key, const std::string& name);
+
+  // Appends a structured reservation update (bounded like events) and counts
+  // it into the current time-series interval.
+  void RecordReservationUpdate(ReservationUpdate update);
+  std::vector<ReservationUpdate> reservation_updates() const;
+
+  // Closes due time-series intervals at `now` (flush = also the partial
+  // one), then performs any pending flight-recorder dump. Engines call this
+  // from their sampler thread (runtime) or virtual-time rollover events
+  // (sim); the recorder also self-closes inline on the writer side, so this
+  // is the watchdog for idle stretches plus the dump trigger.
+  void AdvanceTimeSeries(Nanos now, bool flush = false);
+
+  // Supplies the snapshot embedded in flight-recorder dumps (engines pass
+  // their full telemetry_snapshot(), which includes scheduler/worker state;
+  // default: this object's own Snapshot()). Called off the roll lock.
+  void set_flight_snapshot_provider(
+      std::function<TelemetrySnapshot()> provider) {
+    flight_provider_ = std::move(provider);
+  }
+
+  // Point-in-time view: registry instruments + all ring contents + events +
+  // time-series history + reservation updates.
   TelemetrySnapshot Snapshot() const;
 
  private:
   static constexpr size_t kMaxEvents = 1024;
+  static constexpr size_t kMaxReservationUpdates = 4096;
+
+  void MaybeDumpFlight();
 
   TelemetryConfig config_;
   MetricsRegistry registry_;
   std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::unique_ptr<TimeSeriesRecorder> timeseries_;
+  std::unique_ptr<SloMonitor> slo_;
+  std::function<TelemetrySnapshot()> flight_provider_;
   mutable std::mutex events_mutex_;
   std::deque<TelemetryEvent> events_;
+  std::deque<ReservationUpdate> reservation_updates_;
+  // Series-name resolution for the SLO monitor (type key -> name), built at
+  // RegisterSeries time; read-only afterwards.
+  std::map<uint32_t, std::string> series_names_;
 };
 
 }  // namespace psp

@@ -1,0 +1,50 @@
+// Chrome/Perfetto trace exporter: converts a TelemetrySnapshot — sampled
+// lifecycle traces, scheduler events (reservation updates, window rollovers,
+// queue drops), and time-series intervals — into catapult trace-event JSON
+// loadable by ui.perfetto.dev or chrome://tracing.
+//
+// Track layout (one process):
+//   tid 0           "scheduler": instant events (ph "i") for every
+//                   TelemetryEvent, plus counter tracks (ph "C") for per-type
+//                   queue depths and applied reservation shares — the series
+//                   that makes DARC convergence (Fig. 7) visible.
+//   tid 1 + worker  "worker N": one complete slice (ph "X") per sampled
+//                   request's service span, with the per-stage latency
+//                   decomposition (queueing, handoff, ...) in args.
+//   async spans     one b/e pair per sampled request (rx → tx), named by
+//                   type, so end-to-end sojourns are visible above the
+//                   worker tracks.
+// Every event carries ph/ts/pid/tid; events are sorted by ts, so timestamps
+// are monotonic per track (tests/trace_export_test.cc holds the exporter to
+// that format contract).
+#ifndef PSP_SRC_TELEMETRY_TRACE_EXPORT_H_
+#define PSP_SRC_TELEMETRY_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/time.h"
+#include "src/telemetry/snapshot.h"
+
+namespace psp {
+
+struct TraceExportOptions {
+  // Subtracted from every timestamp before the ns -> µs conversion. 0 = auto
+  // (the earliest timestamp in the snapshot), which keeps runtime TSC values
+  // readable; the simulator's virtual clock already starts at 0.
+  Nanos origin = 0;
+  uint32_t pid = 1;
+  // Counter tracks from time-series intervals + reservation updates.
+  bool include_counters = true;
+  // Per-request async (b/e) spans; disable for very large snapshots.
+  bool include_async_spans = true;
+};
+
+// Returns the complete trace JSON ({"traceEvents":[...]}). Deterministic for
+// a deterministic snapshot (stable ordering, fixed float formatting).
+std::string ExportCatapultTrace(const TelemetrySnapshot& snapshot,
+                                const TraceExportOptions& options = {});
+
+}  // namespace psp
+
+#endif  // PSP_SRC_TELEMETRY_TRACE_EXPORT_H_

@@ -82,7 +82,7 @@ TEST_F(HighBimodalScheduler, ShortsStealLongCoresWhenTheirCoreIsBusy) {
   EXPECT_EQ(a1->worker, 0u);
   EXPECT_NE(a2->worker, 0u);  // stolen from the long partition
   EXPECT_TRUE(a2->stolen);
-  EXPECT_EQ(scheduler_.stats().stolen_dispatches, 1u);
+  EXPECT_EQ(scheduler_.stolen_dispatches(), 1u);
 }
 
 TEST_F(HighBimodalScheduler, ShortsDispatchBeforeEarlierLongs) {
@@ -156,7 +156,7 @@ TEST(SchedulerFlowControl, DropsOnlyOverloadedType) {
   EXPECT_EQ(scheduler.queue_drops(a), 6u);
   EXPECT_TRUE(scheduler.Enqueue(Req(100, b, 0), 0));
   EXPECT_EQ(scheduler.queue_drops(b), 0u);
-  EXPECT_EQ(scheduler.stats().dropped, 6u);
+  EXPECT_EQ(scheduler.dropped(), 6u);
 }
 
 // --- c-FCFS mode ---------------------------------------------------------------
@@ -264,7 +264,7 @@ TEST(SchedulerBootstrap, StartsInCFcfsThenTransitionsToDarc) {
     scheduler.OnCompletion(a->worker, t, service, now);
   }
   EXPECT_TRUE(scheduler.darc_active());
-  EXPECT_GE(scheduler.stats().reservation_updates, 1u);
+  EXPECT_GE(scheduler.reservation_updates(), 1u);
   // Longs dominate demand (10% × 100 µs vs 90% × 1 µs) → shorts got the
   // minimum 1 core, longs the rest.
   EXPECT_EQ(scheduler.reserved_workers_of(s), 1u);
@@ -299,7 +299,7 @@ TEST(SchedulerAdaptation, ReservationFollowsWorkloadChange) {
   // After the window: A (now long) holds most cores; B (now short) got few.
   EXPECT_GT(scheduler.reserved_workers_of(a), 4u);
   EXPECT_LE(scheduler.reserved_workers_of(b), 2u);
-  EXPECT_GE(scheduler.stats().reservation_updates, 2u);
+  EXPECT_GE(scheduler.reservation_updates(), 2u);
 }
 
 // --- Invariants under randomized load -----------------------------------------------
@@ -363,8 +363,8 @@ TEST_P(SchedulerPropertyTest, ConservationAndSanity) {
     queued += scheduler.queue_depth(t);
   }
   EXPECT_EQ(enqueued, completed + queued + outstanding_assignments);
-  EXPECT_EQ(scheduler.stats().dropped, dropped);
-  EXPECT_EQ(scheduler.stats().completed, completed);
+  EXPECT_EQ(scheduler.dropped(), dropped);
+  EXPECT_EQ(scheduler.completed(), completed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
@@ -446,7 +446,7 @@ TEST(SchedulerNoStealing, ShortsConfinedToReservedCores) {
   EXPECT_EQ(a1->worker, 0u);
   EXPECT_FALSE(scheduler.NextAssignment(0).has_value());
   EXPECT_EQ(scheduler.queue_depth(s), 1u);
-  EXPECT_EQ(scheduler.stats().stolen_dispatches, 0u);
+  EXPECT_EQ(scheduler.stolen_dispatches(), 0u);
 }
 
 

@@ -29,7 +29,7 @@ TEST(WorkerChannel, OrderRoundTrip) {
 
 TEST(WorkerChannel, CompletionRoundTrip) {
   WorkerChannel channel(8);
-  CompletionSignal in{7, 2, 12345};
+  CompletionSignal in{7, 2, /*arrival=*/100, 12345};
   EXPECT_TRUE(channel.PushCompletion(in));
   CompletionSignal out;
   ASSERT_TRUE(channel.PopCompletion(&out));
@@ -59,7 +59,7 @@ TEST(WorkerChannel, CrossThreadPingPong) {
       while (!channel.PopOrder(&order)) {
         std::this_thread::yield();
       }
-      CompletionSignal signal{order.request_id, order.type,
+      CompletionSignal signal{order.request_id, order.type, order.arrival,
                               static_cast<Nanos>(order.request_id * 2)};
       while (!channel.PushCompletion(signal)) {
         std::this_thread::yield();

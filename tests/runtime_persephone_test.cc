@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "src/apps/kvstore.h"
 #include "src/apps/synthetic.h"
@@ -41,12 +44,14 @@ TEST(Runtime, EchoesSyntheticRequestsEndToEnd) {
 
   EXPECT_EQ(report.sent, 1500u);
   // Everything sent must come back (no drops at this trivial load).
-  EXPECT_EQ(report.received + report.send_drops + server.stats().dropped,
+  const TelemetrySnapshot snap = server.telemetry_snapshot();
+  EXPECT_EQ(report.received + report.send_drops +
+                snap.counter("scheduler.dropped"),
             report.sent);
   EXPECT_GT(report.overall.Count(), 0u);
   // Client-observed latency must be at least the service time.
   EXPECT_GE(report.latency.at(2).Min(), FromMicros(45));
-  EXPECT_EQ(server.stats().malformed, 0u);
+  EXPECT_EQ(snap.counter("runtime.malformed"), 0u);
 }
 
 TEST(Runtime, DarcActivatesWithSeededProfiles) {
@@ -92,11 +97,13 @@ TEST(Runtime, MalformedFramesAreCountedAndDropped) {
   // Wait for the dispatcher to chew on it.
   const TscClock& clock = TscClock::Global();
   const Nanos deadline = clock.Now() + 200 * kMillisecond;
-  while (server.stats().malformed == 0 && clock.Now() < deadline) {
+  Counter& malformed =
+      server.telemetry().registry().GetCounter("runtime.malformed");
+  while (malformed.Value() == 0 && clock.Now() < deadline) {
     std::this_thread::yield();
   }
   server.Stop();
-  EXPECT_EQ(server.stats().malformed, 1u);
+  EXPECT_EQ(malformed.Value(), 1u);
   // The buffer went back to the pool: nothing leaked.
   EXPECT_EQ(server.pool().AvailableApprox(), server.pool().num_buffers());
 }
@@ -203,7 +210,7 @@ TEST(Runtime, DedicatedNetWorkerPath) {
   const LoadGenReport report = gen.Run();
   server.Stop();
   EXPECT_EQ(report.received, 300u);
-  EXPECT_EQ(server.stats().malformed, 0u);
+  EXPECT_EQ(server.telemetry_snapshot().counter("runtime.malformed"), 0u);
 
   // Garbage frames are rejected by the net worker's L2 checks.
   RuntimeConfig config2 = SmallRuntime();
@@ -216,11 +223,13 @@ TEST(Runtime, DedicatedNetWorkerPath) {
   ASSERT_TRUE(server2.nic().DeliverToQueue(0, PacketRef{buf, 64}));
   const TscClock& clock = TscClock::Global();
   const Nanos deadline = clock.Now() + 200 * kMillisecond;
-  while (server2.stats().malformed == 0 && clock.Now() < deadline) {
+  Counter& malformed2 =
+      server2.telemetry().registry().GetCounter("runtime.malformed");
+  while (malformed2.Value() == 0 && clock.Now() < deadline) {
     std::this_thread::yield();
   }
   server2.Stop();
-  EXPECT_EQ(server2.stats().malformed, 1u);
+  EXPECT_EQ(malformed2.Value(), 1u);
 }
 
 
@@ -290,12 +299,17 @@ TEST(Runtime, TelemetryTracesDecomposeEndToEndLatency) {
               FromMicros(4));
   }
 
-  // One surface: snapshot counters agree with the deprecated stats() shims.
+  // One surface: snapshot counters agree with the deprecated stats() shims
+  // (the shims stay until the next major cleanup; this is the one place that
+  // intentionally still calls them).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const RuntimeStats stats = server.stats();
+  EXPECT_EQ(server.scheduler().stats().completed, stats.completed);
+#pragma GCC diagnostic pop
   EXPECT_EQ(snap.counter("runtime.rx_packets"), stats.rx_packets);
   EXPECT_EQ(snap.counter("scheduler.completed"), stats.completed);
   EXPECT_EQ(snap.counter("scheduler.dropped"), stats.dropped);
-  EXPECT_EQ(server.scheduler().stats().completed, stats.completed);
   EXPECT_EQ(stats.completed, 200u);
   // Per-type naming flows through for the stage report.
   const auto breakdown = snap.StageBreakdown();
@@ -322,6 +336,75 @@ TEST(Runtime, TelemetrySamplingThinsTraces) {
   // batching but require real thinning.
   EXPECT_GE(snap.counter("telemetry.traces_recorded"), 5u);
   EXPECT_LE(snap.counter("telemetry.traces_recorded"), 30u);
+}
+
+TEST(Runtime, TimeSeriesRecorderAndSloOnLiveRuntime) {
+  // The continuous layer on the threaded runtime: the sampler thread closes
+  // intervals while the dispatcher records, the gauge hook stamps worker
+  // busy fractions, and an (intentionally unmeetable) SLO trips the flight
+  // recorder. This is also the TSan coverage for the sampler interleaving
+  // (scripts/check.sh thread).
+  const std::string flight = "/tmp/psp_runtime_flight_test.json";
+  std::remove(flight.c_str());
+
+  RuntimeConfig config = SmallRuntime();
+  config.telemetry.timeseries.enabled = true;
+  config.telemetry.timeseries.interval = 50 * kMillisecond;
+  // slowdown 1.0x is unmeetable (sojourn > service always): every
+  // completion violates, so the burn-rate alert fires deterministically.
+  config.telemetry.slo.targets.push_back(SloTarget{"SHORT", 1.0, 0.01});
+  config.telemetry.slo.flight_path = flight;
+  Persephone server(config);
+  server.RegisterType(1, "SHORT", MakeSpinHandler(), FromMicros(2), 0.9);
+  server.RegisterType(2, "LONG", MakeSpinHandler(), FromMicros(50), 0.1);
+  server.Start();
+
+  LoadGenConfig lg;
+  lg.rate_rps = 3000;
+  lg.total_requests = 1500;
+  LoadGenerator gen(&server,
+                    {MakeSpinSpec(1, "SHORT", 0.9, FromMicros(2)),
+                     MakeSpinSpec(2, "LONG", 0.1, FromMicros(50))},
+                    lg);
+  const LoadGenReport report = gen.Run();
+  server.Stop();  // drains, then flushes the partial interval
+
+  const TelemetrySnapshot snap = server.telemetry_snapshot();
+  ASSERT_FALSE(snap.timeseries.empty());
+
+  // Interval deltas must reconcile exactly with the run totals: arrivals
+  // count offered load at dispatcher ingest, completions what came back.
+  uint64_t arrivals = 0;
+  uint64_t completions = 0;
+  bool saw_busy = false;
+  for (const IntervalRecord& rec : snap.timeseries) {
+    for (const TypeIntervalStats& t : rec.types) {
+      arrivals += t.arrivals;
+      completions += t.completions;
+      EXPECT_GE(t.queue_depth, 0);       // gauge hook attached
+      EXPECT_GE(t.reserved_workers, 0);  // seeded DARC: shares published
+    }
+    for (const int64_t permille : rec.worker_busy_permille) {
+      EXPECT_GE(permille, 0);
+      EXPECT_LE(permille, 1000);
+      saw_busy = true;
+    }
+  }
+  EXPECT_EQ(arrivals, report.sent - report.send_drops);
+  EXPECT_EQ(completions, snap.counter("scheduler.completed"));
+  EXPECT_TRUE(saw_busy);
+
+  // The unmeetable SLO fired and the flight record reached disk with the
+  // alert + interval history.
+  ASSERT_NE(server.telemetry().slo(), nullptr);
+  EXPECT_GE(server.telemetry().slo()->alerts_total(), 1u);
+  std::ifstream in(flight);
+  ASSERT_TRUE(in.good()) << "flight record was not written";
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("\"alerts\""), std::string::npos);
+  EXPECT_NE(contents.str().find("SHORT"), std::string::npos);
+  std::remove(flight.c_str());
 }
 
 }  // namespace

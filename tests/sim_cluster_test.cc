@@ -216,7 +216,7 @@ TEST(DarcInPipeline, BootstrapsFromProfilingWithoutSeeds) {
   ClusterEngine engine(w, c, std::move(policy));
   engine.Run();
   EXPECT_TRUE(policy_ptr->scheduler().darc_active());
-  EXPECT_GE(policy_ptr->scheduler().stats().reservation_updates, 1u);
+  EXPECT_GE(policy_ptr->scheduler().reservation_updates(), 1u);
   // The profiled reservation matches the seeded one: 1 core for shorts.
   EXPECT_EQ(policy_ptr->scheduler().reserved_workers_of(
                 policy_ptr->scheduler().ResolveType(1)),
@@ -271,7 +271,7 @@ TEST(DarcInPipeline, AdaptsAcrossPhaseChange) {
   // After the flip, A (now short) holds few cores, B (now long) holds many.
   EXPECT_LE(s.reserved_workers_of(s.ResolveType(1)), 3u);
   EXPECT_GE(s.reserved_workers_of(s.ResolveType(2)), 11u);
-  EXPECT_GE(s.stats().reservation_updates, 2u);
+  EXPECT_GE(s.reservation_updates(), 2u);
 }
 
 }  // namespace

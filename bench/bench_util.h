@@ -4,10 +4,13 @@
 // Environment knobs (all optional):
 //   PSP_BENCH_DURATION_MS  sending window per point (default 250)
 //   PSP_BENCH_CSV          "1" = emit CSV instead of aligned tables
+//   PSP_BENCH_JSON         "1" = emit a JSON array of row objects (wins over
+//                          CSV; consumed by scripts/bench_report.sh)
 //   PSP_BENCH_SEED         RNG seed (default 42)
 #ifndef PSP_BENCH_BENCH_UTIL_H_
 #define PSP_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +42,11 @@ inline uint64_t BenchSeed() {
 
 inline bool CsvMode() {
   const char* env = std::getenv("PSP_BENCH_CSV");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+inline bool JsonMode() {
+  const char* env = std::getenv("PSP_BENCH_JSON");
   return env != nullptr && std::strcmp(env, "1") == 0;
 }
 
@@ -152,6 +160,10 @@ class Table {
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
   void Print() const {
+    if (JsonMode()) {
+      std::printf("%s\n", ToJson().c_str());
+      return;
+    }
     if (CsvMode()) {
       PrintCsv();
       return;
@@ -176,7 +188,62 @@ class Table {
     }
   }
 
+  // Machine-readable form: a JSON array of row objects keyed by header.
+  // Cells that parse fully as numbers are emitted as JSON numbers so
+  // downstream tooling (scripts/bench_report.sh) needs no re-parsing.
+  std::string ToJson() const {
+    std::string out = "[";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out += r == 0 ? "\n  {" : ",\n  {";
+      for (size_t i = 0; i < rows_[r].size() && i < headers_.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += '"';
+        out += JsonEscape(headers_[i]);
+        out += "\": ";
+        out += JsonValue(rows_[r][i]);
+      }
+      out += '}';
+    }
+    out += rows_.empty() ? "]" : "\n]";
+    return out;
+  }
+
  private:
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  static std::string JsonValue(const std::string& cell) {
+    if (!cell.empty()) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      // Whole cell parses and is finite ("inf"/"nan" are not valid JSON).
+      if (end == cell.c_str() + cell.size() && std::isfinite(v)) {
+        return cell;
+      }
+    }
+    std::string quoted = "\"";
+    quoted += JsonEscape(cell);
+    quoted += '"';
+    return quoted;
+  }
+
   void PrintCsv() const {
     const auto emit = [](const std::vector<std::string>& row) {
       for (size_t i = 0; i < row.size(); ++i) {

@@ -1,0 +1,217 @@
+#!/usr/bin/env bash
+# Benchmark trajectory harness: runs the engine/channel microbenchmarks and a
+# fig03 smoke sweep, merges everything into one machine-readable report
+# (default BENCH_PR3.json) and validates it.
+#
+# Gates:
+#   * report schema (always): required sections/keys present, non-empty sweep;
+#   * zero steady-state allocations per event in the sim engine (always);
+#   * >= 3x paired speedup over the legacy std::function engine at the
+#     representative pending-event populations (256/512/1024 — real paper
+#     experiments keep O(100) events pending), full mode only. The paired
+#     benchmark interleaves engine and legacy rounds so the shared-box clock
+#     wander cancels in the ratio; see bench/micro_sim_engine.cc and
+#     docs/PERF.md for the methodology and for why the 4096 stress point has
+#     a lower floor.
+#
+# Usage: scripts/bench_report.sh [--smoke] [build-dir] [output-json]
+#   --smoke   short benchmark windows (tier-2 CI gate, see scripts/check.sh)
+set -eu
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+  SMOKE=1
+  shift
+fi
+BUILD=${1:-build-bench}
+OUT=${2:-BENCH_PR3.json}
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+# Benchmarks are only meaningful optimised: force a Release tree of our own
+# so a Debug/sanitizer main build is never measured by accident.
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target micro_sim_engine micro_channel fig03_high_bimodal_policies
+
+WORK="$BUILD/bench_report"
+mkdir -p "$WORK"
+
+if [ "$SMOKE" = 1 ]; then
+  ENGINE_MIN_TIME=0.1
+else
+  ENGINE_MIN_TIME=1
+fi
+
+echo "== micro_sim_engine (events/sec, allocs/event, paired speedup)"
+"$BUILD/bench/micro_sim_engine" \
+  --benchmark_min_time="$ENGINE_MIN_TIME" \
+  --benchmark_format=json >"$WORK/engine.json"
+
+echo "== micro_channel (cycles/op, single vs burst)"
+"$BUILD/bench/micro_channel" \
+  --benchmark_filter='Cycles' \
+  --benchmark_format=json >"$WORK/channel.json"
+
+echo "== fig03 smoke sweep (High Bimodal, d-FCFS / c-FCFS / DARC)"
+if [ "$SMOKE" = 1 ]; then
+  FIG03_MS=${PSP_BENCH_DURATION_MS:-20}
+else
+  FIG03_MS=${PSP_BENCH_DURATION_MS:-250}
+fi
+PSP_BENCH_JSON=1 PSP_BENCH_DURATION_MS="$FIG03_MS" \
+  "$BUILD/bench/fig03_high_bimodal_policies" >"$WORK/fig03.out"
+
+MODE=$([ "$SMOKE" = 1 ] && echo smoke || echo full) \
+FIG03_MS="$FIG03_MS" \
+python3 - "$WORK" "$OUT" <<'PY'
+import json, os, sys
+
+work, out_path = sys.argv[1], sys.argv[2]
+mode = os.environ["MODE"]
+errors = []
+
+def load(name):
+    with open(os.path.join(work, name)) as f:
+        return json.load(f)
+
+engine = {b["name"]: b for b in load("engine.json")["benchmarks"]}
+channel = {b["name"]: b for b in load("channel.json")["benchmarks"]}
+
+# fig03 prints prose around the table; the JSON array sits on its own lines.
+with open(os.path.join(work, "fig03.out")) as f:
+    lines = f.read().splitlines()
+try:
+    start = lines.index("[")
+    end = lines.index("]", start)
+    fig03 = json.loads("\n".join(lines[start : end + 1]))
+except ValueError:
+    errors.append("fig03 output contains no JSON table (PSP_BENCH_JSON mode)")
+    fig03 = []
+
+def bench(table, name, field):
+    if name not in table:
+        errors.append(f"missing benchmark {name}")
+        return 0.0
+    value = table[name].get(field)
+    if value is None:
+        errors.append(f"benchmark {name} lacks field {field}")
+        return 0.0
+    return float(value)
+
+eng = {}
+# Standalone throughput (informational: separately-timed runs drift with the
+# shared box's clock, so the gate uses the paired counters below).
+for batch in (256, 4096):
+    new = bench(engine, f"BM_EngineScheduleDrain/{batch}", "items_per_second")
+    old = bench(engine, f"BM_LegacyScheduleDrain/{batch}", "items_per_second")
+    eng[f"events_per_sec_{batch}"] = new
+    eng[f"legacy_events_per_sec_{batch}"] = old
+# Paired speedups: engine and legacy rounds interleaved in one measured loop,
+# ratio of TSC totals — clock wander cancels. These are the gated numbers.
+for batch in (256, 512, 1024, 4096):
+    eng[f"paired_speedup_{batch}"] = bench(
+        engine, f"BM_ScheduleDrainSpeedup/{batch}", "speedup")
+eng["steady_events_per_sec"] = bench(
+    engine, "BM_EngineSteadyState", "items_per_second")
+eng["legacy_steady_events_per_sec"] = bench(
+    engine, "BM_LegacySteadyState", "items_per_second")
+eng["steady_allocs_per_event"] = bench(
+    engine, "BM_EngineSteadyState", "allocs_per_event")
+eng["legacy_steady_allocs_per_event"] = bench(
+    engine, "BM_LegacySteadyState", "allocs_per_event")
+eng["steady_arena_growths"] = bench(
+    engine, "BM_EngineSteadyState", "arena_growths")
+eng["schedule_drain_allocs_per_event"] = bench(
+    engine, "BM_EngineScheduleDrain/4096", "allocs_per_event")
+eng["target_speedup"] = 3.0
+eng["stress_floor_speedup"] = 1.2
+
+chan = {
+    "spsc_cycles_per_op": bench(
+        channel, "BM_SpscPushPopCycles", "cycles_per_op"),
+    "spsc_burst_cycles_per_op": bench(
+        channel, "BM_SpscBurstPushPopCycles", "cycles_per_op"),
+}
+if chan["spsc_burst_cycles_per_op"] > 0:
+    chan["burst_speedup"] = (
+        chan["spsc_cycles_per_op"] / chan["spsc_burst_cycles_per_op"])
+else:
+    chan["burst_speedup"] = 0.0
+
+report = {
+    "schema": "psp-bench-report/1",
+    "generated_by": "scripts/bench_report.sh",
+    "mode": mode,
+    "fig03_duration_ms": int(os.environ["FIG03_MS"]),
+    "engine": eng,
+    "channel": chan,
+    "fig03_high_bimodal": fig03,
+}
+
+# --- Validation ---------------------------------------------------------------
+if not fig03:
+    errors.append("fig03 sweep is empty")
+for row in fig03:
+    for key in ("load", "policy", "p999_slowdown"):
+        if key not in row:
+            errors.append(f"fig03 row missing key {key!r}: {row}")
+            break
+policies = {row.get("policy") for row in fig03}
+for expected in ("d-FCFS", "c-FCFS", "DARC"):
+    if expected not in policies:
+        errors.append(f"fig03 sweep lacks policy {expected}")
+
+if eng["steady_allocs_per_event"] > 0.01:
+    errors.append(
+        "engine steady state allocates: "
+        f"{eng['steady_allocs_per_event']:.4f} allocs/event (want 0)")
+if eng["steady_arena_growths"] > 0:
+    errors.append(
+        f"engine arena grew {eng['steady_arena_growths']:.0f} times in "
+        "steady state (want 0)")
+if eng["schedule_drain_allocs_per_event"] > 0.01:
+    errors.append(
+        "engine schedule+drain allocates: "
+        f"{eng['schedule_drain_allocs_per_event']:.4f} allocs/event (want 0)")
+
+# Speedup gates. Representative pending populations (what the paper-figure
+# experiments actually hold in flight) must clear 3x; the 4096 stress point
+# is L2-bound and the interleaved measurement makes the two engines evict
+# each other's 300KB+ working sets, so it carries a floor, not the 3x bar
+# (standalone ratios there run ~2.5x; see docs/PERF.md).
+rep_speedup = min(eng["paired_speedup_256"], eng["paired_speedup_512"],
+                  eng["paired_speedup_1024"])
+gates = []
+if rep_speedup < eng["target_speedup"]:
+    gates.append(f"paired speedup {rep_speedup:.2f}x below "
+                 f"{eng['target_speedup']:.1f}x target (representative "
+                 "batches 256/512/1024)")
+if eng["paired_speedup_4096"] < eng["stress_floor_speedup"]:
+    gates.append(f"paired speedup {eng['paired_speedup_4096']:.2f}x below "
+                 f"{eng['stress_floor_speedup']:.1f}x stress floor "
+                 "(batch 4096)")
+for msg in gates:
+    if mode == "full":
+        errors.append(msg)
+    else:
+        print(f"WARNING (smoke, not fatal): {msg}")
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+print("  paired engine speedup: " + ", ".join(
+    f"{eng[f'paired_speedup_{b}']:.2f}x@{b}" for b in (256, 512, 1024, 4096))
+    + " (target >= 3x at 256/512/1024)")
+print(f"  steady-state allocs/event: {eng['steady_allocs_per_event']:.4f} "
+      f"(legacy {eng['legacy_steady_allocs_per_event']:.2f})")
+print(f"  spsc cycles/op: {chan['spsc_cycles_per_op']:.1f} single, "
+      f"{chan['spsc_burst_cycles_per_op']:.1f} burst")
+
+if errors:
+    print("bench report validation FAILED:", file=sys.stderr)
+    for e in errors:
+        print(f"  - {e}", file=sys.stderr)
+    sys.exit(1)
+PY

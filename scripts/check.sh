@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Sanitizer gate. Modes:
+# Sanitizer + benchmark gate. Modes:
 #   address (default) - Debug build with PSP_SANITIZE=address (ASan + UBSan),
 #                       full test suite.
 #   thread            - Debug build with PSP_SANITIZE=thread (TSan), run over
 #                       the concurrency-bearing tests: the threaded runtime
 #                       (dispatcher + workers + the telemetry sampler thread),
 #                       channels, rings, NIC and the telemetry subsystem.
-#   all               - both.
-# Usage: scripts/check.sh [address|thread|all] [build-dir]
+#   bench             - tier-2: benchmark trajectory harness in smoke mode
+#                       (scripts/bench_report.sh --smoke): schema and
+#                       zero-allocation gates are fatal, speedup gates are
+#                       advisory at smoke windows.
+#   all               - all of the above.
+# Usage: scripts/check.sh [address|thread|bench|all] [build-dir]
 set -eu
 MODE=${1:-address}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,10 +44,19 @@ run_thread() {
       -R 'runtime_|telemetry_|common_rings_|net_nic_|common_memory_pool_'
 }
 
+run_bench() {
+  local build=${1:-build-bench}
+  # Smoke windows: short enough for CI, still runs every gate. The report
+  # lands in the build tree, not the repo root (the committed BENCH_PR3.json
+  # comes from a full run).
+  scripts/bench_report.sh --smoke "$build" "$build/BENCH_SMOKE.json"
+}
+
 case "$MODE" in
   address) run_address "${2:-build-asan}" ;;
   thread)  run_thread "${2:-build-tsan}" ;;
-  all)     run_address build-asan; run_thread build-tsan ;;
-  *) echo "usage: scripts/check.sh [address|thread|all] [build-dir]" >&2
+  bench)   run_bench "${2:-build-bench}" ;;
+  all)     run_address build-asan; run_thread build-tsan; run_bench build-bench ;;
+  *) echo "usage: scripts/check.sh [address|thread|bench|all] [build-dir]" >&2
      exit 2 ;;
 esac

@@ -63,6 +63,54 @@ class MpscRing {
     return true;
   }
 
+  // Multi-producer burst push: claims a contiguous range of cells with ONE
+  // CAS on the enqueue index (vs one per item), then fills and releases the
+  // cells in order. Returns the number pushed (0 when full; may be < n).
+  //
+  // Range safety: consumers advance dequeue_pos in strictly increasing
+  // order, so every cell below dequeue_pos + capacity is either recycled or
+  // mid-consumption; the claim is capped to that bound before the CAS. A
+  // consumer bumps dequeue_pos BEFORE it finishes reading the cell, though,
+  // so each write below still waits for the cell's recycled sequence — the
+  // common case is a single already-satisfied acquire load, and the wait is
+  // bounded by the consumer's wait-free read+release.
+  size_t TryPushBurst(const T* items, size_t n) {
+    if (n == 0) {
+      return 0;
+    }
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    size_t count;
+    for (;;) {
+      const size_t deq = dequeue_pos_.load(std::memory_order_acquire);
+      const size_t writable = deq + mask_ + 1 - pos;  // capacity - occupancy
+      count = n < writable ? n : writable;
+      if (count == 0 || count > mask_ + 1) {
+        // Full, or `pos` went stale enough to underflow `writable`: re-read.
+        const size_t fresh = enqueue_pos_.load(std::memory_order_relaxed);
+        if (fresh != pos) {
+          pos = fresh;
+          continue;
+        }
+        return 0;
+      }
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + count,
+                                             std::memory_order_relaxed)) {
+        break;  // cells [pos, pos + count) are exclusively ours
+      }
+      // CAS failure reloads `pos`; loop re-derives the writable bound.
+    }
+    for (size_t i = 0; i < count; ++i) {
+      Cell& cell = cells_[(pos + i) & mask_];
+      while (cell.sequence.load(std::memory_order_acquire) != pos + i) {
+        // The consumer that recycles this cell has already claimed it and
+        // releases the sequence right after its read completes.
+      }
+      cell.value = items[i];
+      cell.sequence.store(pos + i + 1, std::memory_order_release);
+    }
+    return count;
+  }
+
   bool TryPop(T* out) {
     Cell* cell;
     size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
@@ -85,6 +133,28 @@ class MpscRing {
     *out = cell->value;
     cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
     return true;
+  }
+
+  // Single-consumer burst pop: drains up to `max_n` ready cells, then
+  // publishes the dequeue index once. Requires the MPSC discipline (one
+  // draining thread; do not mix with concurrent TryPop callers).
+  size_t TryPopBurst(T* out, size_t max_n) {
+    const size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    size_t count = 0;
+    while (count < max_n) {
+      Cell& cell = cells_[(pos + count) & mask_];
+      const size_t seq = cell.sequence.load(std::memory_order_acquire);
+      if (seq != pos + count + 1) {
+        break;  // next cell not yet published by its producer
+      }
+      out[count] = cell.value;
+      cell.sequence.store(pos + count + mask_ + 1, std::memory_order_release);
+      ++count;
+    }
+    if (count > 0) {
+      dequeue_pos_.store(pos + count, std::memory_order_relaxed);
+    }
+    return count;
   }
 
   size_t SizeApprox() const {

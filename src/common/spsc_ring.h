@@ -56,6 +56,28 @@ class SpscRing {
     return true;
   }
 
+  // Producer side, burst variant (mirrors DPDK rx_burst/tx_burst): copies up
+  // to `n` items and publishes them with a single release store of the tail,
+  // so the consumer-visible index (and its cache line) is touched once per
+  // burst instead of once per item. Returns the number actually pushed
+  // (0 when full; may be < n on a partially full ring).
+  size_t TryPushBurst(const T* items, size_t n) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t free = capacity_ - (tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - (tail - head_cache_);
+    }
+    const size_t count = n < free ? n : free;
+    for (size_t i = 0; i < count; ++i) {
+      slots_[(tail + i) & mask_] = items[i];
+    }
+    if (count > 0) {
+      tail_.store(tail + count, std::memory_order_release);
+    }
+    return count;
+  }
+
   // Consumer side. Returns false when the ring is empty.
   bool TryPop(T* out) {
     const size_t head = head_.load(std::memory_order_relaxed);
@@ -68,6 +90,25 @@ class SpscRing {
     *out = slots_[head & mask_];
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  // Consumer side, burst variant: drains up to `max_n` items and publishes
+  // the new head with a single release store. Returns the number popped.
+  size_t TryPopBurst(T* out, size_t max_n) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    size_t avail = tail_cache_ - head;
+    if (avail < max_n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    const size_t count = max_n < avail ? max_n : avail;
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    if (count > 0) {
+      head_.store(head + count, std::memory_order_release);
+    }
+    return count;
   }
 
   // Approximate occupancy (exact only when called from the consumer with a

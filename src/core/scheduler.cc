@@ -125,9 +125,7 @@ void DarcScheduler::ResizeWorkers(uint32_t new_count, Nanos now) {
   } else {
     // Retired workers leave the free list now; busy ones simply never return
     // to it (OnCompletion ignores out-of-range workers).
-    for (WorkerId w = new_count; w < old_count; ++w) {
-      free_.Clear(w);
-    }
+    free_.ClearRange(new_count, old_count);
   }
   free_count_.store(free_.Count(), std::memory_order_relaxed);
 
@@ -200,12 +198,14 @@ DarcScheduler::Assignment DarcScheduler::MakeAssignment(TypeIndex type,
                                                         bool stolen,
                                                         Nanos now) {
   Assignment a;
-  queues_[type].Pop(&a.request);
+  // Every dispatch path checks the queue is non-empty before getting here; a
+  // false Pop would hand out a default-constructed request.
+  const bool popped = queues_[type].Pop(&a.request);
+  assert(popped);
+  (void)popped;
   a.worker = worker;
   a.stolen = stolen;
-  free_.Clear(worker);
-  free_count_.store(free_count_.load(std::memory_order_relaxed) - 1,
-                    std::memory_order_relaxed);
+  MarkWorkerBusy(worker);
   counters_.dispatched.fetch_add(1, std::memory_order_relaxed);
   if (stolen) {
     counters_.stolen_dispatches.fetch_add(1, std::memory_order_relaxed);
@@ -330,9 +330,7 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
                                  Nanos service_time, Nanos now) {
   assert(worker < kMaxWorkers);
   if (worker < config_.num_workers && !free_.Test(worker)) {
-    free_.Set(worker);
-    free_count_.store(free_count_.load(std::memory_order_relaxed) + 1,
-                      std::memory_order_relaxed);
+    MarkWorkerFree(worker);
   }
   // Workers at or beyond num_workers were retired by ResizeWorkers while
   // running; their completion still feeds the profiler but they never

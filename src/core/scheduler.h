@@ -183,6 +183,18 @@ class DarcScheduler {
   Assignment MakeAssignment(TypeIndex type, WorkerId worker, bool stolen,
                             Nanos now);
 
+  // The only two mutation paths for the free-worker bookkeeping: bitset and
+  // mirror counter move together, and the counter uses a single relaxed RMW
+  // (fetch_sub/fetch_add) instead of a load/store pair.
+  void MarkWorkerBusy(WorkerId worker) {
+    free_.Clear(worker);
+    free_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  void MarkWorkerFree(WorkerId worker) {
+    free_.Set(worker);
+    free_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Counters are relaxed atomics so cross-thread introspection (telemetry
   // snapshots taken while the dispatcher runs) is race-free. All increments
   // happen on the single scheduling thread.

@@ -23,10 +23,45 @@ class WorkerSet {
     return (words_[id >> 6] >> (id & 63)) & 1ULL;
   }
 
+  // Sets [begin, end) word-at-a-time: the first and last words get edge
+  // masks, fully covered words in between are written whole.
   void SetRange(WorkerId begin, WorkerId end) {
-    for (WorkerId i = begin; i < end; ++i) {
-      Set(i);
+    if (begin >= end) {
+      return;
     }
+    const uint32_t first_word = begin >> 6;
+    const uint32_t last_word = (end - 1) >> 6;
+    const uint64_t head_mask = ~0ULL << (begin & 63);
+    const uint64_t tail_mask = ~0ULL >> (63 - ((end - 1) & 63));
+    if (first_word == last_word) {
+      words_[first_word] |= head_mask & tail_mask;
+      return;
+    }
+    words_[first_word] |= head_mask;
+    for (uint32_t w = first_word + 1; w < last_word; ++w) {
+      words_[w] = ~0ULL;
+    }
+    words_[last_word] |= tail_mask;
+  }
+
+  // Clears [begin, end) word-at-a-time with the same edge-mask scheme.
+  void ClearRange(WorkerId begin, WorkerId end) {
+    if (begin >= end) {
+      return;
+    }
+    const uint32_t first_word = begin >> 6;
+    const uint32_t last_word = (end - 1) >> 6;
+    const uint64_t head_mask = ~0ULL << (begin & 63);
+    const uint64_t tail_mask = ~0ULL >> (63 - ((end - 1) & 63));
+    if (first_word == last_word) {
+      words_[first_word] &= ~(head_mask & tail_mask);
+      return;
+    }
+    words_[first_word] &= ~head_mask;
+    for (uint32_t w = first_word + 1; w < last_word; ++w) {
+      words_[w] = 0;
+    }
+    words_[last_word] &= ~tail_mask;
   }
 
   void ClearAll() { words_.fill(0); }

@@ -37,6 +37,11 @@ struct CompletionSignal {
 
 class WorkerChannel {
  public:
+  // Burst width for the dispatcher's per-channel drains: deep enough to
+  // absorb a busy worker's backlog in one index update, small enough to live
+  // on the dispatcher's stack.
+  static constexpr size_t kCompletionBurst = 16;
+
   explicit WorkerChannel(size_t depth)
       : orders_(depth), completions_(depth) {}
 
@@ -45,9 +50,17 @@ class WorkerChannel {
   bool PopCompletion(CompletionSignal* out) {
     return completions_.TryPop(out);
   }
+  // Drains up to `max_n` completion signals with one shared-index update
+  // (DPDK rx_burst-style; see SpscRing::TryPopBurst).
+  size_t PopCompletionBurst(CompletionSignal* out, size_t max_n) {
+    return completions_.TryPopBurst(out, max_n);
+  }
 
   // Worker side.
   bool PopOrder(WorkOrder* out) { return orders_.TryPop(out); }
+  size_t PopOrderBurst(WorkOrder* out, size_t max_n) {
+    return orders_.TryPopBurst(out, max_n);
+  }
   bool PushCompletion(const CompletionSignal& signal) {
     return completions_.TryPush(signal);
   }

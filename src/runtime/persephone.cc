@@ -161,13 +161,19 @@ void Persephone::Stop() {
   // `completed`) match the work the workers actually finished.
   const Nanos now = TscClock::Global().Now();
   TimeSeriesRecorder* const ts = telemetry_->timeseries();
+  CompletionSignal signals[WorkerChannel::kCompletionBurst];
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
-    CompletionSignal signal;
-    while (channels_[w]->PopCompletion(&signal)) {
-      scheduler_->OnCompletion(w, signal.type, signal.service_time, now);
-      if (ts != nullptr) {
-        ts->RecordCompletion(series_slots_[signal.type], now - signal.arrival,
-                             signal.service_time, now);
+    size_t n;
+    while ((n = channels_[w]->PopCompletionBurst(
+                signals, WorkerChannel::kCompletionBurst)) > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        scheduler_->OnCompletion(w, signals[i].type, signals[i].service_time,
+                                 now);
+        if (ts != nullptr) {
+          ts->RecordCompletion(series_slots_[signals[i].type],
+                               now - signals[i].arrival,
+                               signals[i].service_time, now);
+        }
       }
     }
   }
@@ -231,31 +237,44 @@ void Persephone::NetWorkerLoop() {
   // The paper's net worker: "a layer 2 forwarder [that] performs simple
   // checks on Ethernet and IP headers" (§6) before handing frames to the
   // dispatcher. Full request parsing/classification stays on the dispatcher.
+  // Frames are gathered and forwarded in bursts (DPDK rx_burst-style): one
+  // shared-index update per burst on the forwarding ring.
+  PacketRef batch[kIngressBurst];
   while (!stop_.load(std::memory_order_acquire)) {
+    size_t n = 0;
     PacketRef packet;
-    if (!nic_->PollRx(0, &packet)) {
+    while (n < kIngressBurst && nic_->PollRx(0, &packet)) {
+      bool ok = packet.length >= kHeadersSize;
+      if (ok) {
+        const auto* eth = reinterpret_cast<const EthernetHeader*>(packet.data);
+        const auto* ip = reinterpret_cast<const Ipv4Header*>(
+            packet.data + sizeof(EthernetHeader));
+        ok = NetToHost16(eth->ether_type) == EthernetHeader::kEtherTypeIpv4 &&
+             ip->version_ihl == 0x45;
+      }
+      if (!ok) {
+        malformed_->Add();
+        pool_->FreeGlobal(packet.data);
+        continue;
+      }
+      batch[n++] = packet;
+    }
+    if (n == 0) {
       IdlePause();
       continue;
     }
-    bool ok = packet.length >= kHeadersSize;
-    if (ok) {
-      const auto* eth = reinterpret_cast<const EthernetHeader*>(packet.data);
-      const auto* ip = reinterpret_cast<const Ipv4Header*>(
-          packet.data + sizeof(EthernetHeader));
-      ok = NetToHost16(eth->ether_type) == EthernetHeader::kEtherTypeIpv4 &&
-           ip->version_ihl == 0x45;
-    }
-    if (!ok) {
-      malformed_->Add();
-      pool_->FreeGlobal(packet.data);
-      continue;
-    }
-    while (!net_ring_->TryPush(packet)) {
-      if (stop_.load(std::memory_order_acquire)) {
-        pool_->FreeGlobal(packet.data);
-        return;
+    size_t forwarded = 0;
+    while (forwarded < n) {
+      forwarded += net_ring_->TryPushBurst(batch + forwarded, n - forwarded);
+      if (forwarded < n) {
+        if (stop_.load(std::memory_order_acquire)) {
+          for (size_t i = forwarded; i < n; ++i) {
+            pool_->FreeGlobal(batch[i].data);
+          }
+          return;
+        }
+        IdlePause();  // dispatcher backpressure
       }
-      IdlePause();  // dispatcher backpressure
     }
   }
 }
@@ -271,66 +290,38 @@ void Persephone::DispatcherLoop() {
   // Time-series hooks: nullptr when disabled, then the hot path pays nothing
   // beyond one pointer test per event.
   TimeSeriesRecorder* const ts = telemetry_->timeseries();
+  CompletionSignal signals[WorkerChannel::kCompletionBurst];
+  PacketRef ingress[kIngressBurst];
   while (!stop_.load(std::memory_order_acquire)) {
     bool progressed = false;
     const Nanos now = clock.Now();
 
-    // 1. Absorb completion signals (frees workers, feeds the profiler).
+    // 1. Absorb completion signals (frees workers, feeds the profiler) —
+    // burst drains: one channel-index update per batch of signals.
     for (uint32_t w = 0; w < config_.num_workers; ++w) {
-      CompletionSignal signal;
-      while (channels_[w]->PopCompletion(&signal)) {
-        scheduler_->OnCompletion(w, signal.type, signal.service_time, now);
-        if (ts != nullptr) {
-          ts->RecordCompletion(series_slots_[signal.type],
-                               now - signal.arrival, signal.service_time,
-                               now);
+      size_t drained;
+      while ((drained = channels_[w]->PopCompletionBurst(
+                  signals, WorkerChannel::kCompletionBurst)) > 0) {
+        for (size_t i = 0; i < drained; ++i) {
+          const CompletionSignal& signal = signals[i];
+          scheduler_->OnCompletion(w, signal.type, signal.service_time, now);
+          if (ts != nullptr) {
+            ts->RecordCompletion(series_slots_[signal.type],
+                                 now - signal.arrival, signal.service_time,
+                                 now);
+          }
         }
         progressed = true;
       }
     }
 
-    // 2. Ingest new packets: parse, classify, enqueue into typed queues.
-    PacketRef packet;
-    while (PollIngress(&packet)) {
+    // 2. Ingest new packets in bursts (one ring-index update per batch):
+    // parse, classify, enqueue into typed queues.
+    size_t n_rx;
+    while ((n_rx = PollIngressBurst(ingress, kIngressBurst)) > 0) {
       progressed = true;
-      rx_packets_->Add();
-      const auto parsed = ParseRequestPacket(packet.data, packet.length);
-      if (!parsed.has_value()) {
-        malformed_->Add();
-        pool_->FreeGlobal(packet.data);
-        continue;
-      }
-      const TypeId wire = classifier_->Classify(
-          packet.data + kRequestOffset,
-          packet.length - static_cast<uint32_t>(kRequestOffset));
-      Request request;
-      request.id = next_request_id_++;
-      request.type = scheduler_->ResolveType(wire);
-      request.arrival = now;
-      request.payload = packet.data;
-      request.payload_length = packet.length;
-      if (sampler.Tick()) {
-        request.trace.sampled = 1;
-        // The NIC's hardware-style stamp captures RX-queue wait; fall back
-        // to the poll instant for frames delivered without one.
-        request.trace.Mark(TraceStage::kRx, packet.rx_timestamp != 0
-                                                ? packet.rx_timestamp
-                                                : now);
-        const Nanos classified = clock.Now();
-        request.trace.Mark(TraceStage::kClassified, classified);
-        request.trace.Mark(TraceStage::kEnqueued, classified);
-      }
-      // Series semantics match the simulator: arrivals = offered load
-      // (recorded whether or not flow control sheds the request).
-      if (ts != nullptr) {
-        ts->RecordArrival(series_slots_[request.type], now);
-      }
-      if (!scheduler_->Enqueue(request, now)) {
-        // Flow-control shed (§4.3.3); the scheduler counts the drop.
-        if (ts != nullptr) {
-          ts->RecordDrop(series_slots_[request.type], now);
-        }
-        pool_->FreeGlobal(packet.data);
+      for (size_t rx = 0; rx < n_rx; ++rx) {
+        IngestPacket(ingress[rx], now, &sampler, ts);
       }
     }
 
@@ -355,6 +346,49 @@ void Persephone::DispatcherLoop() {
     if (!progressed) {
       IdlePause();
     }
+  }
+}
+
+void Persephone::IngestPacket(const PacketRef& packet, Nanos now,
+                              TraceSampler* sampler, TimeSeriesRecorder* ts) {
+  const TscClock& clock = TscClock::Global();
+  rx_packets_->Add();
+  const auto parsed = ParseRequestPacket(packet.data, packet.length);
+  if (!parsed.has_value()) {
+    malformed_->Add();
+    pool_->FreeGlobal(packet.data);
+    return;
+  }
+  const TypeId wire = classifier_->Classify(
+      packet.data + kRequestOffset,
+      packet.length - static_cast<uint32_t>(kRequestOffset));
+  Request request;
+  request.id = next_request_id_++;
+  request.type = scheduler_->ResolveType(wire);
+  request.arrival = now;
+  request.payload = packet.data;
+  request.payload_length = packet.length;
+  if (sampler->Tick()) {
+    request.trace.sampled = 1;
+    // The NIC's hardware-style stamp captures RX-queue wait; fall back to
+    // the poll instant for frames delivered without one.
+    request.trace.Mark(TraceStage::kRx,
+                       packet.rx_timestamp != 0 ? packet.rx_timestamp : now);
+    const Nanos classified = clock.Now();
+    request.trace.Mark(TraceStage::kClassified, classified);
+    request.trace.Mark(TraceStage::kEnqueued, classified);
+  }
+  // Series semantics match the simulator: arrivals = offered load (recorded
+  // whether or not flow control sheds the request).
+  if (ts != nullptr) {
+    ts->RecordArrival(series_slots_[request.type], now);
+  }
+  if (!scheduler_->Enqueue(request, now)) {
+    // Flow-control shed (§4.3.3); the scheduler counts the drop.
+    if (ts != nullptr) {
+      ts->RecordDrop(series_slots_[request.type], now);
+    }
+    pool_->FreeGlobal(packet.data);
   }
 }
 

@@ -19,6 +19,10 @@ ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
                                              /*num_rings=*/1)),
       trace_sampler_(telemetry_->sample_every()) {
   assert(!workload_.phases.empty());
+  // Pre-size the event arena past the usual steady-state pending count
+  // (arrival chain + per-worker completions + grid events) so the hot loop
+  // never allocates.
+  sim_.Reserve(config_.num_workers + 64);
   for (const auto& t : workload_.AllTypes()) {
     metrics_.RegisterType(t.wire_id, t.name);
   }
@@ -146,8 +150,10 @@ void ClusterEngine::ScheduleTraceArrival(size_t index) {
   if (index >= trace_.size()) {
     return;
   }
-  const TraceEntry entry = trace_[index];
-  sim_.ScheduleAt(entry.send_time, [this, entry, index] {
+  // Capture the index only (the entry is re-read from trace_ at fire time):
+  // keeps the event payload to two words.
+  sim_.ScheduleAt(trace_[index].send_time, [this, index] {
+    const TraceEntry& entry = trace_[index];
     InjectRequest(entry.send_time, entry.wire_type, /*phase_slot=*/0,
                   entry.service);
     ScheduleTraceArrival(index + 1);

@@ -76,6 +76,104 @@ TEST(SpscRing, CrossThreadFifoOrderPreserved) {
   producer.join();
 }
 
+TEST(SpscRing, BurstPushPopRoundTrip) {
+  SpscRing<uint64_t> ring(8);
+  const uint64_t in[5] = {10, 11, 12, 13, 14};
+  EXPECT_EQ(ring.TryPushBurst(in, 5), 5u);
+  EXPECT_EQ(ring.SizeApprox(), 5u);
+  uint64_t out[8] = {};
+  EXPECT_EQ(ring.TryPopBurst(out, 8), 5u);  // partial drain: only 5 present
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], 10 + i);
+  }
+  EXPECT_EQ(ring.TryPopBurst(out, 8), 0u);  // now empty
+}
+
+TEST(SpscRing, BurstPushPartialWhenNearlyFull) {
+  SpscRing<uint64_t> ring(4);
+  const uint64_t in[4] = {1, 2, 3, 4};
+  EXPECT_EQ(ring.TryPushBurst(in, 3), 3u);
+  EXPECT_EQ(ring.TryPushBurst(in, 4), 1u);  // one slot left
+  EXPECT_EQ(ring.TryPushBurst(in, 1), 0u);  // full
+  uint64_t out[4];
+  EXPECT_EQ(ring.TryPopBurst(out, 4), 4u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[3], 1u);  // the partial push re-started from in[0]
+}
+
+TEST(SpscRing, BurstWrapsAcrossRingBoundary) {
+  SpscRing<uint64_t> ring(8);
+  uint64_t out[8];
+  // Advance indices so a burst straddles the physical end of the array.
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    ASSERT_TRUE(ring.TryPop(&out[0]));
+  }
+  const uint64_t in[6] = {20, 21, 22, 23, 24, 25};
+  EXPECT_EQ(ring.TryPushBurst(in, 6), 6u);
+  EXPECT_EQ(ring.TryPopBurst(out, 6), 6u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[i], 20 + i);
+  }
+}
+
+TEST(SpscRing, BurstAndSingleOpsInterleaveFifo) {
+  SpscRing<uint64_t> ring(16);
+  const uint64_t burst[3] = {1, 2, 3};
+  EXPECT_TRUE(ring.TryPush(0));
+  EXPECT_EQ(ring.TryPushBurst(burst, 3), 3u);
+  EXPECT_TRUE(ring.TryPush(4));
+  uint64_t out[8];
+  EXPECT_EQ(ring.TryPopBurst(out, 2), 2u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 1u);
+  uint64_t v;
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(ring.TryPopBurst(out, 8), 2u);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 4u);
+}
+
+TEST(SpscRing, CrossThreadBurstFifoOrderPreserved) {
+  SpscRing<uint64_t> ring(64);
+  constexpr uint64_t kCount = 50'000;
+  constexpr size_t kBurst = 8;
+  std::thread producer([&] {
+    uint64_t batch[kBurst];
+    uint64_t next = 0;
+    while (next < kCount) {
+      size_t n = 0;
+      while (n < kBurst && next + n < kCount) {
+        batch[n] = next + n;
+        ++n;
+      }
+      size_t pushed = 0;
+      while (pushed < n) {
+        pushed += ring.TryPushBurst(batch + pushed, n - pushed);
+        if (pushed < n) {
+          std::this_thread::yield();
+        }
+      }
+      next += n;
+    }
+  });
+  uint64_t expected = 0;
+  uint64_t out[kBurst];
+  while (expected < kCount) {
+    const size_t n = ring.TryPopBurst(out, kBurst);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
 TEST(MpscRing, PushPopSingleThread) {
   MpscRing<uint64_t> ring(8);
   uint64_t out;
@@ -129,6 +227,101 @@ TEST(MpscRing, MultiProducerConservation) {
     ASSERT_EQ(seq, next[producer]) << "per-producer order violated";
     ++next[producer];
     ++popped;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  uint64_t leftover;
+  EXPECT_FALSE(ring.TryPop(&leftover));
+}
+
+TEST(MpscRing, BurstPushPopRoundTrip) {
+  MpscRing<uint64_t> ring(8);
+  const uint64_t in[5] = {30, 31, 32, 33, 34};
+  EXPECT_EQ(ring.TryPushBurst(in, 5), 5u);
+  uint64_t out[8] = {};
+  EXPECT_EQ(ring.TryPopBurst(out, 8), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], 30 + i);
+  }
+  EXPECT_EQ(ring.TryPopBurst(out, 8), 0u);
+}
+
+TEST(MpscRing, BurstPushPartialThenRejects) {
+  MpscRing<uint64_t> ring(4);
+  const uint64_t in[4] = {1, 2, 3, 4};
+  EXPECT_EQ(ring.TryPushBurst(in, 4), 4u);
+  EXPECT_EQ(ring.TryPushBurst(in, 2), 0u);  // full
+  uint64_t out[2];
+  EXPECT_EQ(ring.TryPopBurst(out, 2), 2u);
+  EXPECT_EQ(ring.TryPushBurst(in, 4), 2u);  // only two cells free
+}
+
+TEST(MpscRing, BurstInteroperatesWithSingleOps) {
+  MpscRing<uint64_t> ring(8);
+  const uint64_t burst[3] = {1, 2, 3};
+  EXPECT_TRUE(ring.TryPush(0));
+  EXPECT_EQ(ring.TryPushBurst(burst, 3), 3u);
+  EXPECT_TRUE(ring.TryPush(4));
+  uint64_t v;
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 0u);
+  uint64_t out[8];
+  EXPECT_EQ(ring.TryPopBurst(out, 8), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i], 1 + i);
+  }
+}
+
+TEST(MpscRing, MultiProducerBurstConservation) {
+  MpscRing<uint64_t> ring(256);
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 20'000;
+  constexpr size_t kBurst = 8;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      uint64_t batch[kBurst];
+      uint64_t next = 0;
+      while (next < kPerProducer) {
+        size_t n = 0;
+        while (n < kBurst && next + n < kPerProducer) {
+          batch[n] = (static_cast<uint64_t>(p) << 32) | (next + n);
+          ++n;
+        }
+        size_t pushed = 0;
+        while (pushed < n) {
+          pushed += ring.TryPushBurst(batch + pushed, n - pushed);
+          if (pushed < n) {
+            std::this_thread::yield();
+          }
+        }
+        next += n;
+      }
+    });
+  }
+
+  // Single consumer draining in bursts: per-producer FIFO must hold because
+  // each producer's burst claims a contiguous range of cells.
+  std::vector<uint64_t> next(kProducers, 0);
+  uint64_t popped = 0;
+  uint64_t out[kBurst];
+  while (popped < kProducers * kPerProducer) {
+    const size_t n = ring.TryPopBurst(out, kBurst);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const auto producer = static_cast<int>(out[i] >> 32);
+      const uint64_t seq = out[i] & 0xFFFFFFFF;
+      ASSERT_LT(producer, kProducers);
+      ASSERT_EQ(seq, next[producer]) << "per-producer order violated";
+      ++next[producer];
+      ++popped;
+    }
   }
   for (auto& t : producers) {
     t.join();

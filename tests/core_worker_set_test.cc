@@ -75,6 +75,71 @@ TEST(WorkerSet, ClearAll) {
   EXPECT_TRUE(s.Empty());
 }
 
+// Range ops are word-at-a-time with edge masks: cross-check against the
+// per-bit reference over boundaries that exercise every mask path.
+TEST(WorkerSet, SetRangeMatchesPerBitReference) {
+  const struct {
+    WorkerId begin;
+    WorkerId end;
+  } kRanges[] = {
+      {0, 0},     // empty
+      {5, 5},     // empty, non-zero begin
+      {0, 1},     // single bit, word edge
+      {63, 64},   // last bit of word 0
+      {64, 65},   // first bit of word 1
+      {3, 61},    // inside one word
+      {60, 70},   // spans one boundary, no full word
+      {10, 200},  // spans full interior words
+      {0, kMaxWorkers},  // everything
+      {kMaxWorkers - 1, kMaxWorkers},
+  };
+  for (const auto& r : kRanges) {
+    WorkerSet fast;
+    fast.SetRange(r.begin, r.end);
+    WorkerSet slow;
+    for (WorkerId i = r.begin; i < r.end; ++i) {
+      slow.Set(i);
+    }
+    EXPECT_TRUE(fast == slow) << "SetRange(" << r.begin << ", " << r.end
+                              << ")";
+  }
+}
+
+TEST(WorkerSet, ClearRangeMatchesPerBitReference) {
+  const struct {
+    WorkerId begin;
+    WorkerId end;
+  } kRanges[] = {
+      {0, 0},    {5, 5},   {0, 1},    {63, 64},
+      {64, 65},  {3, 61},  {60, 70},  {10, 200},
+      {0, kMaxWorkers},    {kMaxWorkers - 1, kMaxWorkers},
+  };
+  for (const auto& r : kRanges) {
+    WorkerSet fast;
+    fast.SetRange(0, kMaxWorkers);
+    fast.ClearRange(r.begin, r.end);
+    WorkerSet slow;
+    slow.SetRange(0, kMaxWorkers);
+    for (WorkerId i = r.begin; i < r.end; ++i) {
+      slow.Clear(i);
+    }
+    EXPECT_TRUE(fast == slow) << "ClearRange(" << r.begin << ", " << r.end
+                              << ")";
+    EXPECT_EQ(fast.Count(), kMaxWorkers - (r.end - r.begin));
+  }
+}
+
+TEST(WorkerSet, ClearRangeLeavesNeighborsAlone) {
+  WorkerSet s;
+  s.Set(59);
+  s.SetRange(60, 70);
+  s.Set(70);
+  s.ClearRange(60, 70);
+  EXPECT_TRUE(s.Test(59));
+  EXPECT_TRUE(s.Test(70));
+  EXPECT_EQ(s.Count(), 2u);
+}
+
 TEST(WorkerSet, Equality) {
   WorkerSet a;
   WorkerSet b;

@@ -57,6 +57,36 @@ TEST(Determinism, SameSeedSameResults) {
   EXPECT_EQ(a.long_p999, b.long_p999);
 }
 
+TEST(Determinism, PerTypeTailSlowdownsBitIdenticalAcrossRuns) {
+  // The allocation-free engine orders events by (time, global schedule seq) —
+  // the same total order as the seed implementation — so two seeded runs must
+  // agree on every derived metric down to the last bit, per type. Doubles are
+  // compared for exact equality on purpose: any change to event ordering,
+  // arena reuse or heap arity that perturbs execution order shows up here.
+  PersephoneOptions options;
+  options.scheduler.mode = PolicyMode::kDarc;
+  for (const uint64_t seed : {7u, 123u, 99991u}) {
+    ClusterEngine a(HighBimodal(), Config(seed),
+                    std::make_unique<PersephonePolicy>(options));
+    a.Run();
+    ClusterEngine b(HighBimodal(), Config(seed),
+                    std::make_unique<PersephonePolicy>(options));
+    b.Run();
+    ASSERT_EQ(a.sim().executed_events(), b.sim().executed_events());
+    for (const TypeId type : {TypeId{1}, TypeId{2}}) {
+      ASSERT_EQ(a.metrics().TypeCount(type), b.metrics().TypeCount(type))
+          << "seed " << seed << " type " << type;
+      const double sa = a.metrics().TypeSlowdown(type, 99.9);
+      const double sb = b.metrics().TypeSlowdown(type, 99.9);
+      ASSERT_EQ(sa, sb) << "seed " << seed << " type " << type;
+      ASSERT_GT(sa, 0.0);
+      ASSERT_EQ(a.metrics().TypeLatency(type, 99.9),
+                b.metrics().TypeLatency(type, 99.9))
+          << "seed " << seed << " type " << type;
+    }
+  }
+}
+
 TEST(Determinism, DifferentSeedDifferentArrivals) {
   const Summary a = RunExperiment(1, std::make_unique<CentralFcfsPolicy>());
   const Summary b = RunExperiment(2, std::make_unique<CentralFcfsPolicy>());

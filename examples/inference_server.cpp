@@ -4,9 +4,18 @@
 // DARC keeps the light model's tail latency protected from heavy requests.
 //
 //   $ ./examples/inference_server [num_workers] [requests] [heavy_pct]
+//
+// The live introspection plane is on by default here (this is the
+// "production-shaped" example): while the service runs, scrape
+//   pspctl --port <printed port> metrics      # Prometheus exposition
+//   pspctl --port <printed port> outliers     # K slowest requests per type
+// Set PSP_ADMIN=0 to turn it off, PSP_ADMIN_SERVE_MS=N to keep serving N ms
+// after the load completes.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "src/apps/inference.h"
 #include "src/runtime/loadgen.h"
@@ -61,6 +70,13 @@ int main(int argc, char** argv) {
   psp::RuntimeConfig config;
   config.num_workers = num_workers;
   config.scheduler.mode = psp::PolicyMode::kDarc;
+  const char* admin_env = std::getenv("PSP_ADMIN");
+  const bool admin_on = admin_env == nullptr || admin_env[0] != '0';
+  if (admin_on) {
+    config.admin.enabled = true;  // ephemeral loopback port, printed below
+    config.outliers.enabled = true;
+    config.telemetry.timeseries.enabled = true;
+  }
   psp::Persephone server(config);
   server.RegisterType(kLightType, "LIGHT", MakeModelHandler(light),
                       psp::FromMicros(3), 1.0 - heavy_pct / 100.0);
@@ -74,6 +90,12 @@ int main(int argc, char** argv) {
   std::printf("DARC: LIGHT guaranteed %u core(s)\n",
               server.scheduler().reserved_workers_of(
                   server.scheduler().ResolveType(kLightType)));
+  if (admin_on) {
+    std::printf("admin: listening on 127.0.0.1:%u (try: pspctl --port %u "
+                "metrics)\n",
+                server.admin_port(), server.admin_port());
+    std::fflush(stdout);
+  }
 
   psp::LoadGenConfig lg;
   lg.rate_rps = 4000;
@@ -84,6 +106,15 @@ int main(int argc, char** argv) {
        MakeQuerySpec(kHeavyType, "HEAVY", heavy_pct / 100.0)},
       lg);
   const psp::LoadGenReport report = client.Run();
+  if (const char* serve_ms = std::getenv("PSP_ADMIN_SERVE_MS");
+      admin_on && serve_ms != nullptr) {
+    const int ms = std::atoi(serve_ms);
+    if (ms > 0) {
+      std::printf("admin: serving for %d ms\n", ms);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
   server.Stop();
 
   std::printf("\nsent %llu, received %llu\n",

@@ -7,8 +7,16 @@
 // The workload is a small High-Bimodal mix: 90% short (5 µs) and 10% long
 // (200 µs) requests. DARC reserves a core for the shorts so their tail
 // latency stays near service time even while longs queue.
+//
+// Set PSP_ADMIN=1 to serve the live introspection plane on an ephemeral
+// loopback port (printed at startup; scrape it with tools/pspctl). With
+// PSP_ADMIN_SERVE_MS=N the server stays up N ms after the load finishes so an
+// external scraper has a window — this is what scripts/check.sh's
+// `introspect` smoke step uses.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "src/apps/synthetic.h"
 #include "src/runtime/loadgen.h"
@@ -25,6 +33,15 @@ int main(int argc, char** argv) {
   config.num_workers = num_workers;
   config.scheduler.mode = psp::PolicyMode::kDarc;
 
+  // Opt-in live introspection: loopback /metrics + snapshots + outliers.
+  const char* admin_env = std::getenv("PSP_ADMIN");
+  const bool admin_on = admin_env != nullptr && admin_env[0] == '1';
+  if (admin_on) {
+    config.admin.enabled = true;  // port 0 = ephemeral, printed below
+    config.outliers.enabled = true;
+    config.telemetry.timeseries.enabled = true;
+  }
+
   psp::Persephone server(config);
 
   // 2. Register request types. The wire id is what the classifier extracts
@@ -39,6 +56,11 @@ int main(int argc, char** argv) {
   server.Start();
   std::printf("Perséphone up: %u workers, DARC active=%s\n", num_workers,
               server.scheduler().darc_active() ? "yes" : "no");
+  if (admin_on) {
+    // pspctl and scripts/check.sh parse this line for the ephemeral port.
+    std::printf("admin: listening on 127.0.0.1:%u\n", server.admin_port());
+    std::fflush(stdout);
+  }
   for (psp::TypeIndex t = 1; t < server.scheduler().num_types(); ++t) {
     std::printf("  type %-6s guaranteed cores: %u\n",
                 server.scheduler().type_name(t).c_str(),
@@ -55,6 +77,17 @@ int main(int argc, char** argv) {
        psp::MakeSpinSpec(2, "LONG", 0.1, psp::FromMicros(200))},
       lg);
   const psp::LoadGenReport report = client.Run();
+  // Optional post-load serve window so an external scraper can hit the
+  // endpoint while the runtime is still live.
+  if (const char* serve_ms = std::getenv("PSP_ADMIN_SERVE_MS");
+      admin_on && serve_ms != nullptr) {
+    const int ms = std::atoi(serve_ms);
+    if (ms > 0) {
+      std::printf("admin: serving for %d ms\n", ms);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
   server.Stop();
 
   // 5. Report: client-observed latency from the load generator...

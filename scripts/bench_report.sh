@@ -13,6 +13,10 @@
 #     wander cancels in the ratio; see bench/micro_sim_engine.cc and
 #     docs/PERF.md for the methodology and for why the 4096 stress point has
 #     a lower floor.
+#   * scrape-under-load: a 10 Hz GET /metrics scraper against the live admin
+#     plane must keep the client-observed p99 within 5% of baseline
+#     (bench/micro_introspect.cc); failed scrapes are always fatal, the 5%
+#     budget is fatal in full mode and advisory in smoke.
 #
 # Usage: scripts/bench_report.sh [--smoke] [build-dir] [output-json]
 #   --smoke   short benchmark windows (tier-2 CI gate, see scripts/check.sh)
@@ -32,7 +36,8 @@ cd "$ROOT"
 # so a Debug/sanitizer main build is never measured by accident.
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" \
-  --target micro_sim_engine micro_channel fig03_high_bimodal_policies
+  --target micro_sim_engine micro_channel fig03_high_bimodal_policies \
+           micro_introspect
 
 WORK="$BUILD/bench_report"
 mkdir -p "$WORK"
@@ -62,6 +67,24 @@ fi
 PSP_BENCH_JSON=1 PSP_BENCH_DURATION_MS="$FIG03_MS" \
   "$BUILD/bench/fig03_high_bimodal_policies" >"$WORK/fig03.out"
 
+echo "== micro_introspect (p99 with vs without 10 Hz /metrics scrape)"
+if [ "$SMOKE" = 1 ]; then
+  INTROSPECT_REQS=4000 INTROSPECT_ROUNDS=2
+else
+  INTROSPECT_REQS=20000 INTROSPECT_ROUNDS=5
+fi
+# Exit 1 is the <5% p99 gate (advisory in smoke, fatal in full via the
+# validator below); exit 2 means scrapes failed outright and is always fatal.
+INTROSPECT_RC=0
+PSP_BENCH_JSON=1 PSP_BENCH_REQUESTS="$INTROSPECT_REQS" \
+PSP_BENCH_ROUNDS="$INTROSPECT_ROUNDS" \
+  "$BUILD/bench/micro_introspect" >"$WORK/introspect.out" || INTROSPECT_RC=$?
+cat "$WORK/introspect.out"
+if [ "$INTROSPECT_RC" -ge 2 ]; then
+  echo "micro_introspect: scrapes failed (rc=$INTROSPECT_RC)" >&2
+  exit 1
+fi
+
 MODE=$([ "$SMOKE" = 1 ] && echo smoke || echo full) \
 FIG03_MS="$FIG03_MS" \
 python3 - "$WORK" "$OUT" <<'PY'
@@ -88,6 +111,17 @@ try:
 except ValueError:
     errors.append("fig03 output contains no JSON table (PSP_BENCH_JSON mode)")
     fig03 = []
+
+# micro_introspect prints prose plus one JSON object line (PSP_BENCH_JSON).
+introspect = {}
+with open(os.path.join(work, "introspect.out")) as f:
+    for line in f.read().splitlines():
+        if line.startswith("{"):
+            introspect = json.loads(line)
+            break
+if not introspect:
+    errors.append("micro_introspect emitted no JSON result line")
+introspect["target_delta_pct"] = 5.0
 
 def bench(table, name, field):
     if name not in table:
@@ -147,6 +181,7 @@ report = {
     "engine": eng,
     "channel": chan,
     "fig03_high_bimodal": fig03,
+    "introspect": introspect,
 }
 
 # --- Validation ---------------------------------------------------------------
@@ -191,6 +226,12 @@ if eng["paired_speedup_4096"] < eng["stress_floor_speedup"]:
     gates.append(f"paired speedup {eng['paired_speedup_4096']:.2f}x below "
                  f"{eng['stress_floor_speedup']:.1f}x stress floor "
                  "(batch 4096)")
+if introspect.get("scrapes", 0) <= 0 or introspect.get("bad_scrapes", 1) > 0:
+    errors.append("introspect scrape-under-load bench had failed scrapes")
+if introspect.get("delta_pct", 100.0) >= introspect["target_delta_pct"]:
+    gates.append(
+        f"scrape-under-load p99 delta {introspect.get('delta_pct'):.2f}% "
+        f"above {introspect['target_delta_pct']:.0f}% budget (10 Hz /metrics)")
 for msg in gates:
     if mode == "full":
         errors.append(msg)
@@ -208,6 +249,8 @@ print(f"  steady-state allocs/event: {eng['steady_allocs_per_event']:.4f} "
       f"(legacy {eng['legacy_steady_allocs_per_event']:.2f})")
 print(f"  spsc cycles/op: {chan['spsc_cycles_per_op']:.1f} single, "
       f"{chan['spsc_burst_cycles_per_op']:.1f} burst")
+print(f"  scrape-under-load p99 delta: {introspect.get('delta_pct', 0):.2f}% "
+      f"({introspect.get('scrapes', 0):.0f} scrapes, budget < 5%)")
 
 if errors:
     print("bench report validation FAILED:", file=sys.stderr)

@@ -10,12 +10,69 @@
 #                       (scripts/bench_report.sh --smoke): schema and
 #                       zero-allocation gates are fatal, speedup gates are
 #                       advisory at smoke windows.
+#   introspect        - admin-plane smoke: launch the quickstart with the
+#                       endpoint enabled, scrape /metrics via pspctl --check
+#                       (malformed exposition is a hard failure) and validate
+#                       /snapshot.json + /outliers.json with python3. Also run
+#                       automatically inside the address and thread modes so
+#                       the live scrape path executes under both sanitizers.
 #   all               - all of the above.
-# Usage: scripts/check.sh [address|thread|bench|all] [build-dir]
+# Usage: scripts/check.sh [address|thread|bench|introspect|all] [build-dir]
 set -eu
 MODE=${1:-address}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
+
+# Admin-plane smoke against an already-configured build tree: start the
+# quickstart with the endpoint on, scrape it like an external Prometheus +
+# operator would, and fail on malformed output. Inherits whatever sanitizer
+# the tree was configured with, so ASan/TSan runs cover the live scrape path.
+run_introspect() {
+  local build=${1:-build}
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" --target quickstart pspctl
+  local log="$build/introspect_smoke.log"
+  PSP_ADMIN=1 PSP_ADMIN_SERVE_MS=8000 \
+    "$build/examples/quickstart" >"$log" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^admin: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "introspect smoke: quickstart never announced its admin port" >&2
+    cat "$log" >&2
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  local rc=0
+  # --check parses the exposition and exits 4 on any malformed line.
+  "$build/tools/pspctl" --port "$port" --check \
+    --out "$build/introspect_smoke.prom" metrics || rc=$?
+  if [ "$rc" = 0 ]; then
+    "$build/tools/pspctl" --port "$port" snapshot \
+      | python3 -m json.tool >/dev/null || rc=$?
+  fi
+  if [ "$rc" = 0 ]; then
+    "$build/tools/pspctl" --port "$port" outliers \
+      | python3 -m json.tool >/dev/null || rc=$?
+  fi
+  if [ "$rc" = 0 ]; then
+    "$build/tools/pspctl" --port "$port" health >/dev/null || rc=$?
+  fi
+  # The quickstart exits on its own when the serve window closes; its exit
+  # code surfaces sanitizer findings hit while serving the scrapes.
+  wait "$pid" || rc=$?
+  if [ "$rc" != 0 ]; then
+    echo "introspect smoke FAILED (rc=$rc); server log:" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  echo "introspect smoke OK (port $port)"
+}
 
 run_address() {
   local build=${1:-build-asan}
@@ -27,6 +84,7 @@ run_address() {
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+  ASAN_OPTIONS=detect_leaks=1 run_introspect "$build"
 }
 
 run_thread() {
@@ -41,7 +99,8 @@ run_thread() {
   # records. Single-threaded sim/bench tests add nothing under TSan.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
-      -R 'runtime_|telemetry_|common_rings_|net_nic_|common_memory_pool_'
+      -R 'runtime_|telemetry_|introspect_|common_rings_|net_nic_|common_memory_pool_'
+  TSAN_OPTIONS=halt_on_error=1 run_introspect "$build"
 }
 
 run_bench() {
@@ -56,7 +115,8 @@ case "$MODE" in
   address) run_address "${2:-build-asan}" ;;
   thread)  run_thread "${2:-build-tsan}" ;;
   bench)   run_bench "${2:-build-bench}" ;;
+  introspect) run_introspect "${2:-build}" ;;
   all)     run_address build-asan; run_thread build-tsan; run_bench build-bench ;;
-  *) echo "usage: scripts/check.sh [address|thread|bench|all] [build-dir]" >&2
+  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|all] [build-dir]" >&2
      exit 2 ;;
 esac

@@ -392,19 +392,6 @@ void DarcScheduler::NoteWindowRollover(Nanos now) {
                " rolled, recomputing reservation");
 }
 
-SchedulerStats DarcScheduler::stats() const {
-  SchedulerStats s;
-  s.enqueued = counters_.enqueued.load(std::memory_order_relaxed);
-  s.dropped = counters_.dropped.load(std::memory_order_relaxed);
-  s.dispatched = counters_.dispatched.load(std::memory_order_relaxed);
-  s.completed = counters_.completed.load(std::memory_order_relaxed);
-  s.reservation_updates =
-      counters_.reservation_updates.load(std::memory_order_relaxed);
-  s.stolen_dispatches =
-      counters_.stolen_dispatches.load(std::memory_order_relaxed);
-  return s;
-}
-
 void DarcScheduler::ExportTelemetry(TelemetrySnapshot* out) const {
   out->counters["scheduler.enqueued"] +=
       counters_.enqueued.load(std::memory_order_relaxed);

@@ -56,19 +56,6 @@ struct SchedulerConfig {
   std::string Validate() const;
 };
 
-// DEPRECATED: value-copy view kept so existing callers compile. New code
-// should read the unified TelemetrySnapshot ("scheduler.*" counters) via
-// Persephone::telemetry_snapshot() / ClusterEngine::telemetry_snapshot() or
-// DarcScheduler::ExportTelemetry.
-struct SchedulerStats {
-  uint64_t enqueued = 0;
-  uint64_t dropped = 0;
-  uint64_t dispatched = 0;
-  uint64_t completed = 0;
-  uint64_t reservation_updates = 0;
-  uint64_t stolen_dispatches = 0;  // dispatches onto stealable workers
-};
-
 class DarcScheduler {
  public:
   explicit DarcScheduler(const SchedulerConfig& config);
@@ -139,13 +126,6 @@ class DarcScheduler {
     return darc_active_.load(std::memory_order_relaxed);
   }
   const Reservation& reservation() const { return reservation_; }
-  // DEPRECATED shim over the same counters ExportTelemetry publishes;
-  // returns a snapshot by value (counters are atomics internally).
-  [[deprecated(
-      "read the unified TelemetrySnapshot (scheduler.* counters) via "
-      "ExportTelemetry / telemetry_snapshot(), or the dedicated accessors "
-      "(reservation_updates(), queue_drops(), ...)")]] SchedulerStats
-  stats() const;
   const Profiler& profiler() const { return profiler_; }
   // Applied reservation count; cheap enough to poll (one relaxed load).
   uint64_t reservation_updates() const {

@@ -1,0 +1,118 @@
+// The live admin plane: a dependency-free HTTP/1.1 endpoint served from one
+// dedicated thread over loopback TCP and/or a Unix-domain socket. This is
+// the *serving* side of observability — everything PRs 1–2 record
+// (snapshot, time series, Perfetto capture, flight recorder) plus the
+// tail-outlier ring becomes scrapeable while the server runs, with the
+// polling cost kept entirely off the data path: a scrape assembles one
+// snapshot on the admin thread, the hot path never blocks on it.
+//
+// Security posture: the TCP listener binds 127.0.0.1 only (never a routable
+// interface) and the UDS path inherits filesystem permissions; there is no
+// auth layer, so treat the endpoint as machine-local (docs/OBSERVABILITY.md,
+// "Live introspection").
+//
+// Routes (all responses close the connection; see docs/OBSERVABILITY.md):
+//   GET  /metrics              Prometheus text exposition
+//   GET  /snapshot.json        full TelemetrySnapshot JSON
+//   GET  /timeseries.json      time-series intervals (snapshot JSON subset)
+//   GET  /outliers.json        K-slowest-per-type tail capture
+//   GET  /healthz              liveness probe ("ok")
+//   POST /trace/start          arm an on-demand bounded Perfetto capture
+//   POST /trace/stop           finish the capture, returns the trace JSON
+//   POST /flightrecorder/dump  build + return a flight record now
+//   POST /config               runtime knobs: body "key=value" per line
+//                              (sampling=N, slo.<TYPE>.slowdown=X)
+#ifndef PSP_SRC_INTROSPECT_ADMIN_H_
+#define PSP_SRC_INTROSPECT_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/telemetry/snapshot.h"
+
+namespace psp {
+
+struct AdminConfig {
+  bool enabled = false;
+  // Loopback TCP listener. 0 = pick an ephemeral port (read it back via
+  // AdminServer::port() — tests and examples print it for the scraper).
+  uint16_t port = 0;
+  bool listen_tcp = true;
+  // Unix-domain socket path; empty = no UDS listener. A stale socket file is
+  // unlinked on Start.
+  std::string uds_path;
+
+  // Empty string = valid; otherwise a description of the problem.
+  std::string Validate() const;
+};
+
+// The engine side of the plane: everything the server can serve, as
+// callbacks so the admin thread never reaches into engine internals
+// directly. `snapshot` is required when `enabled`; the rest degrade to 404 /
+// 501 when unset.
+struct AdminHooks {
+  std::function<TelemetrySnapshot()> snapshot;
+  // Default (unset): derived from snapshot() — intervals + type names only.
+  std::function<std::string()> timeseries_json;
+  std::function<std::string()> outliers_json;
+  // POST handlers return the response body; on failure they return "" and
+  // set *error (the server answers 409 with the error text).
+  std::function<std::string(std::string* error)> trace_start;
+  std::function<std::string(std::string* error)> trace_stop;
+  std::function<std::string(std::string* error)> flight_dump;
+  // Applies one key=value pair; returns "" on success, else the error.
+  std::function<std::string(const std::string& key, const std::string& value)>
+      set_config;
+};
+
+// Builds the /timeseries.json body from a snapshot by re-exporting only the
+// interval records + type names through TelemetrySnapshot::ToJson.
+std::string TimeseriesJsonFromSnapshot(const TelemetrySnapshot& snapshot);
+
+class AdminServer {
+ public:
+  AdminServer(AdminConfig config, AdminHooks hooks);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Binds the listeners and spawns the serving thread. Returns "" on
+  // success, else a description of the failure (nothing is left running).
+  std::string Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // The bound TCP port (resolves an ephemeral request); 0 when TCP is off.
+  uint16_t port() const { return port_; }
+  const std::string& uds_path() const { return config_.uds_path; }
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+  // Dispatches one parsed request; fills status/content_type/body.
+  void HandleRequest(const std::string& method, const std::string& path,
+                     const std::string& body, int* status,
+                     std::string* content_type, std::string* response);
+
+  AdminConfig config_;
+  AdminHooks hooks_;
+  int tcp_fd_ = -1;
+  int uds_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_INTROSPECT_ADMIN_H_

@@ -1,0 +1,105 @@
+// Tail-outlier capture: retains the K slowest sampled requests per type in
+// the current time window, each with its full 7-stage lifecycle breakdown,
+// so "why was p99.9 slow" is answerable *live* — the exact requests that
+// populate the tail, not just their percentile.
+//
+// Feed point: every committed lifecycle record (already 1-in-N sampled, so
+// Offer runs well off the hot path; the mutex is uncontended in practice).
+// Windows rotate on the offering thread's clock, aligned to the window grid
+// like the time-series recorder; the previous window is retained so a scrape
+// right after a rotation still sees a full window. In the simulator all
+// offers carry virtual time, so the captured set is bit-deterministic for a
+// fixed seed (tests/introspect_outliers_test.cc holds both the K-slowest
+// invariant and the determinism contract).
+#ifndef PSP_SRC_INTROSPECT_OUTLIERS_H_
+#define PSP_SRC_INTROSPECT_OUTLIERS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/telemetry/lifecycle.h"
+
+namespace psp {
+
+struct OutlierConfig {
+  bool enabled = false;
+  // Slowest records retained per type per window.
+  size_t k = 8;
+  // Window width; rotation is grid-aligned (floor(now / window) * window).
+  // 0 = one window covering the whole run (never rotates).
+  Nanos window = kSecond;
+
+  // Empty string = valid; otherwise a description of the problem.
+  std::string Validate() const;
+};
+
+// One captured outlier: the full lifecycle record plus its derived rx→tx
+// sojourn (the ranking key).
+struct OutlierEntry {
+  RequestTrace trace;
+  Nanos total = 0;
+};
+
+// Point-in-time view of one window's capture, per type, slowest first.
+struct OutlierWindow {
+  uint64_t seq = 0;  // rotation ordinal (0-based)
+  Nanos start = 0;
+  Nanos end = 0;  // 0 while the window is still open
+  std::map<uint32_t, std::vector<OutlierEntry>> per_type;
+};
+
+class OutlierRecorder {
+ public:
+  explicit OutlierRecorder(OutlierConfig config);
+
+  OutlierRecorder(const OutlierRecorder&) = delete;
+  OutlierRecorder& operator=(const OutlierRecorder&) = delete;
+
+  const OutlierConfig& config() const { return config_; }
+
+  // Offers one completed lifecycle record; keeps it only if it ranks among
+  // the K slowest of its type in the current window. Records without both an
+  // rx and a tx stamp are ignored (no ranking key). Thread-safe.
+  void Offer(const RequestTrace& trace, Nanos now);
+
+  // Current (possibly still-filling) window followed by the previous one, if
+  // a rotation has happened. Entries are sorted slowest-first, ties broken
+  // by request id (stable across runs).
+  std::vector<OutlierWindow> Snapshot() const;
+
+  uint64_t offered() const;
+  uint64_t windows_rotated() const;
+
+  // JSON export: {"k":...,"window_nanos":...,"windows":[{...,"types":[
+  // {"type":..,"name":..,"outliers":[{request_id, worker, total_nanos,
+  // stages:{...}, stamps:[...]}]}]}]} — the /outliers.json body.
+  std::string ToJson(const std::map<uint32_t, std::string>& type_names) const;
+
+ private:
+  // Min-heap by (total, request_id) so the root is the cheapest record to
+  // evict; capped at config_.k entries per type.
+  struct TypeRing {
+    std::vector<OutlierEntry> heap;
+  };
+
+  void RotateLocked(Nanos now);
+
+  OutlierConfig config_;
+  mutable std::mutex mutex_;
+  std::map<uint32_t, TypeRing> current_;
+  Nanos window_start_ = 0;
+  Nanos window_end_ = 0;  // exclusive; 0 until the first offer aligns it
+  uint64_t window_seq_ = 0;
+  OutlierWindow previous_;
+  bool has_previous_ = false;
+  uint64_t offered_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_INTROSPECT_OUTLIERS_H_

@@ -1,0 +1,284 @@
+#include "src/introspect/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace psp {
+namespace {
+
+// Splits "worker.<N>.<field>" into (N, field); false for any other shape.
+bool SplitWorkerMetric(const std::string& name, std::string* worker,
+                       std::string* field) {
+  constexpr const char kPrefix[] = "worker.";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) {
+    return false;
+  }
+  const size_t dot = name.find('.', kPrefixLen);
+  if (dot == std::string::npos || dot == kPrefixLen ||
+      dot + 1 >= name.size()) {
+    return false;
+  }
+  for (size_t i = kPrefixLen; i < dot; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+  }
+  *worker = name.substr(kPrefixLen, dot - kPrefixLen);
+  *field = name.substr(dot + 1);
+  return true;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendTypeHeader(std::string* out, const std::string& metric,
+                      const char* type, const std::string& help) {
+  *out += "# HELP " + metric + ' ' + help + '\n';
+  *out += "# TYPE " + metric + ' ';
+  *out += type;
+  *out += '\n';
+}
+
+// One labelled sample line: name{label="value"} v
+void AppendSample(std::string* out, const std::string& metric,
+                  const char* label, const std::string& label_value,
+                  const std::string& value) {
+  *out += metric;
+  if (label != nullptr) {
+    *out += '{';
+    *out += label;
+    *out += "=\"" + PrometheusLabelEscape(label_value) + "\"";
+    *out += '}';
+  }
+  *out += ' ';
+  *out += value;
+  *out += '\n';
+}
+
+std::string ResolveTypeName(const TelemetrySnapshot& snap, uint32_t type) {
+  const auto it = snap.type_names.find(type);
+  return it != snap.type_names.end() ? it->second
+                                     : "type-" + std::to_string(type);
+}
+
+// Renders a family of scalar instruments, folding worker.<N>.<field> names
+// into one labelled metric per field. `suffix` is "_total" for counters.
+template <typename Map>
+void RenderScalars(std::string* out, const Map& values, const char* prom_type,
+                   const char* suffix, const char* source_kind) {
+  // field -> [(worker, value)]; plain names render directly in map order.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      per_worker;
+  for (const auto& [name, value] : values) {
+    std::string worker, field;
+    if (SplitWorkerMetric(name, &worker, &field)) {
+      per_worker[field].emplace_back(worker, std::to_string(value));
+      continue;
+    }
+    const std::string metric = "psp_" + PrometheusMetricName(name) + suffix;
+    AppendTypeHeader(out, metric, prom_type,
+                     std::string(source_kind) + " \"" + name + "\"");
+    AppendSample(out, metric, nullptr, "", std::to_string(value));
+  }
+  for (const auto& [field, samples] : per_worker) {
+    const std::string metric =
+        "psp_worker_" + PrometheusMetricName(field) + suffix;
+    AppendTypeHeader(out, metric, prom_type,
+                     std::string(source_kind) + " \"worker.<N>." + field +
+                         "\" per worker");
+    for (const auto& [worker, value] : samples) {
+      AppendSample(out, metric, "worker", worker, value);
+    }
+  }
+}
+
+void RenderSummaries(std::string* out, const TelemetrySnapshot& snap) {
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string metric = "psp_" + PrometheusMetricName(name);
+    AppendTypeHeader(out, metric, "summary",
+                     "histogram \"" + name + "\" as quantile summary");
+    const struct {
+      const char* q;
+      double p;
+    } quantiles[] = {{"0.5", 50.0}, {"0.99", 99.0}, {"0.999", 99.9}};
+    for (const auto& q : quantiles) {
+      AppendSample(out, metric, "quantile", q.q,
+                   std::to_string(hist.Count() > 0 ? hist.Percentile(q.p)
+                                                   : 0));
+    }
+    std::string sum;
+    AppendDouble(&sum, hist.Mean() * static_cast<double>(hist.Count()));
+    *out += metric + "_sum " + sum + '\n';
+    *out += metric + "_count " + std::to_string(hist.Count()) + '\n';
+  }
+}
+
+// The latest closed time-series interval: per-type windowed gauges (the
+// live "what is each type doing right now" view DARC analysis needs).
+void RenderLatestInterval(std::string* out, const TelemetrySnapshot& snap) {
+  if (snap.timeseries.empty()) {
+    return;
+  }
+  const IntervalRecord& rec = snap.timeseries.back();
+
+  const struct {
+    const char* metric;
+    std::string value;
+    const char* help;
+  } scalars[] = {
+      {"psp_interval_seq", std::to_string(rec.seq),
+       "sequence number of the latest closed time-series interval"},
+      {"psp_interval_end_nanos", std::to_string(rec.end),
+       "end timestamp of the latest closed interval"},
+      {"psp_interval_reservation_updates",
+       std::to_string(rec.reservation_updates),
+       "DARC reservation updates applied within the latest interval"},
+  };
+  for (const auto& s : scalars) {
+    AppendTypeHeader(out, s.metric, "gauge", s.help);
+    AppendSample(out, s.metric, nullptr, "", s.value);
+  }
+  {
+    AppendTypeHeader(out, "psp_interval_arrival_rate_rps", "gauge",
+                     "arrival rate over the latest interval, all types");
+    std::string v;
+    AppendDouble(&v, rec.arrival_rate_rps);
+    AppendSample(out, "psp_interval_arrival_rate_rps", nullptr, "", v);
+    AppendTypeHeader(out, "psp_interval_completion_rate_rps", "gauge",
+                     "completion rate over the latest interval, all types");
+    v.clear();
+    AppendDouble(&v, rec.completion_rate_rps);
+    AppendSample(out, "psp_interval_completion_rate_rps", nullptr, "", v);
+  }
+
+  struct TypeMetric {
+    const char* metric;
+    const char* help;
+    int64_t (*value)(const TypeIntervalStats&);
+    bool skip_negative;
+  };
+  const TypeMetric type_metrics[] = {
+      {"psp_type_interval_arrivals", "arrivals in the latest interval",
+       [](const TypeIntervalStats& t) {
+         return static_cast<int64_t>(t.arrivals);
+       },
+       false},
+      {"psp_type_interval_completions", "completions in the latest interval",
+       [](const TypeIntervalStats& t) {
+         return static_cast<int64_t>(t.completions);
+       },
+       false},
+      {"psp_type_interval_drops", "flow-control drops in the latest interval",
+       [](const TypeIntervalStats& t) {
+         return static_cast<int64_t>(t.drops);
+       },
+       false},
+      {"psp_type_interval_slo_violations",
+       "SLO violations in the latest interval",
+       [](const TypeIntervalStats& t) {
+         return static_cast<int64_t>(t.slo_violations);
+       },
+       false},
+      {"psp_type_queue_depth",
+       "typed-queue depth sampled at the latest interval close",
+       [](const TypeIntervalStats& t) { return t.queue_depth; }, true},
+      {"psp_type_reserved_workers",
+       "DARC reserved-core share sampled at the latest interval close",
+       [](const TypeIntervalStats& t) { return t.reserved_workers; }, true},
+      {"psp_type_slowdown_p50_milli",
+       "windowed p50 slowdown, milli units (1000 = 1.0x)",
+       [](const TypeIntervalStats& t) { return t.slowdown_p50_milli; }, false},
+      {"psp_type_slowdown_p99_milli",
+       "windowed p99 slowdown, milli units (1000 = 1.0x)",
+       [](const TypeIntervalStats& t) { return t.slowdown_p99_milli; }, false},
+      {"psp_type_slowdown_p999_milli",
+       "windowed p99.9 slowdown, milli units (1000 = 1.0x)",
+       [](const TypeIntervalStats& t) { return t.slowdown_p999_milli; },
+       false},
+  };
+  for (const TypeMetric& m : type_metrics) {
+    bool any = false;
+    for (const TypeIntervalStats& t : rec.types) {
+      if (m.skip_negative && m.value(t) < 0) {
+        continue;
+      }
+      if (!any) {
+        AppendTypeHeader(out, m.metric, "gauge", m.help);
+        any = true;
+      }
+      AppendSample(out, m.metric, "type", ResolveTypeName(snap, t.type),
+                   std::to_string(m.value(t)));
+    }
+  }
+
+  if (!rec.worker_busy_permille.empty()) {
+    AppendTypeHeader(out, "psp_worker_interval_busy_permille", "gauge",
+                     "per-worker busy fraction over the latest interval, "
+                     "permille");
+    for (size_t w = 0; w < rec.worker_busy_permille.size(); ++w) {
+      AppendSample(out, "psp_worker_interval_busy_permille", "worker",
+                   std::to_string(w),
+                   std::to_string(rec.worker_busy_permille[w]));
+    }
+  }
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PrometheusLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const TelemetrySnapshot& snapshot) {
+  std::string out;
+  out.reserve(8192);
+  RenderScalars(&out, snapshot.counters, "counter", "_total", "counter");
+  RenderScalars(&out, snapshot.gauges, "gauge", "", "gauge");
+  RenderSummaries(&out, snapshot);
+  RenderLatestInterval(&out, snapshot);
+  // Always-present marker so a scrape of an idle server is still non-empty
+  // and scrapers can assert liveness.
+  AppendTypeHeader(&out, "psp_up", "gauge", "introspection plane liveness");
+  AppendSample(&out, "psp_up", nullptr, "", "1");
+  return out;
+}
+
+}  // namespace psp

@@ -1,0 +1,47 @@
+// Prometheus text exposition (format version 0.0.4) rendered from a
+// TelemetrySnapshot: the read side of the live introspection plane. One pure
+// function turns the unified snapshot — registry counters/gauges/histograms,
+// the latest closed time-series interval, per-worker occupancy — into the
+// `# HELP` / `# TYPE` / sample-line format every Prometheus-compatible
+// scraper understands.
+//
+// Mapping rules (held by tests/introspect_prometheus_test.cc):
+//   * snapshot counters  -> `psp_<name>_total` counter samples; hierarchical
+//     dots become underscores ("scheduler.dispatched" ->
+//     psp_scheduler_dispatched_total). `worker.<N>.<field>` counters fold
+//     into one metric with a {worker="N"} label.
+//   * snapshot gauges    -> `psp_<name>` gauges, same name/label folding.
+//   * snapshot histograms-> summaries: {quantile="0.5|0.99|0.999"} samples
+//     plus `_sum` and `_count`.
+//   * the latest closed interval -> per-type gauges labelled {type="NAME"}:
+//     interval arrivals/completions/drops, queue depth, reserved workers,
+//     windowed slowdown percentiles (milli units), plus scalar arrival/
+//     completion rates and per-worker busy permille.
+// Label values are escaped per the exposition spec (backslash, quote,
+// newline); metric names are sanitised to [a-zA-Z_:][a-zA-Z0-9_:]*. Output
+// is byte-deterministic for a deterministic snapshot (maps iterate sorted,
+// floats use fixed formatting).
+#ifndef PSP_SRC_INTROSPECT_PROMETHEUS_H_
+#define PSP_SRC_INTROSPECT_PROMETHEUS_H_
+
+#include <string>
+
+#include "src/telemetry/snapshot.h"
+
+namespace psp {
+
+// Sanitises an instrument name into a legal Prometheus metric-name fragment:
+// every character outside [a-zA-Z0-9_:] becomes '_', and a leading digit is
+// prefixed with '_'.
+std::string PrometheusMetricName(const std::string& name);
+
+// Escapes a label value: backslash, double quote and newline, per the text
+// exposition format.
+std::string PrometheusLabelEscape(const std::string& value);
+
+// Renders the complete exposition page. Every metric is prefixed "psp_".
+std::string RenderPrometheusText(const TelemetrySnapshot& snapshot);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_INTROSPECT_PROMETHEUS_H_

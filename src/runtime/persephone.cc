@@ -2,7 +2,11 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
+#include <map>
 #include <stdexcept>
+
+#include "src/telemetry/trace_export.h"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -50,6 +54,16 @@ std::string RuntimeConfig::Validate() const {
   }
   if (const std::string error = telemetry.Validate(); !error.empty()) {
     return error;
+  }
+  if (const std::string error = admin.Validate(); !error.empty()) {
+    return error;
+  }
+  if (const std::string error = outliers.Validate(); !error.empty()) {
+    return error;
+  }
+  if (outliers.enabled && !telemetry.enable_tracing) {
+    return "runtime: outlier capture requires telemetry.enable_tracing (the "
+           "feed is sampled lifecycle traces)";
   }
   // Validate the scheduler config with the worker count the runtime will
   // actually impose on it.
@@ -101,6 +115,12 @@ Persephone::Persephone(RuntimeConfig config) : config_(std::move(config)) {
     telemetry_->set_flight_snapshot_provider(
         [this] { return telemetry_snapshot(); });
   }
+  if (config_.outliers.enabled) {
+    outliers_ = std::make_unique<OutlierRecorder>(config_.outliers);
+  }
+  if (config_.admin.enabled) {
+    admin_ = std::make_unique<AdminServer>(config_.admin, MakeAdminHooks());
+  }
 }
 
 Persephone::~Persephone() { Stop(); }
@@ -128,6 +148,13 @@ void Persephone::set_unknown_handler(RequestHandler handler) {
 void Persephone::Start() {
   assert(!running());
   stop_.store(false, std::memory_order_release);
+  // Bind the admin plane before any engine thread exists: a bind failure
+  // (e.g. a fixed port already taken) aborts the start cleanly.
+  if (admin_) {
+    if (const std::string error = admin_->Start(); !error.empty()) {
+      throw std::runtime_error(error);
+    }
+  }
   // Apply seeded reservations if every registered type carries hints;
   // otherwise DARC bootstraps through its c-FCFS profiling window.
   if (config_.scheduler.mode != PolicyMode::kCFcfs &&
@@ -149,7 +176,14 @@ void Persephone::Start() {
 
 void Persephone::Stop() {
   if (threads_.empty()) {
+    if (admin_) {
+      admin_->Stop();  // Start() may have bound it before a failed launch
+    }
     return;
+  }
+  // Stop serving first so no scrape observes a half-torn-down engine.
+  if (admin_) {
+    admin_->Stop();
   }
   stop_.store(true, std::memory_order_release);
   for (auto& t : threads_) {
@@ -203,18 +237,6 @@ WorkerUtilization Persephone::worker_utilization(uint32_t id) const {
   return u;
 }
 
-RuntimeStats Persephone::stats() const {
-  // Thin shim: rx/malformed are runtime-owned registry counters;
-  // completed/dropped delegate to the scheduler so the two deprecated
-  // surfaces can never disagree (they used to double count).
-  RuntimeStats s;
-  s.rx_packets = rx_packets_->Value();
-  s.malformed = malformed_->Value();
-  s.completed = scheduler_->completed();
-  s.dropped = scheduler_->dropped();
-  return s;
-}
-
 TelemetrySnapshot Persephone::telemetry_snapshot() const {
   TelemetrySnapshot snap = telemetry_->Snapshot();
   scheduler_->ExportTelemetry(&snap);
@@ -228,6 +250,102 @@ TelemetrySnapshot Persephone::telemetry_snapshot() const {
         static_cast<int64_t>(u.BusyFraction() * 1000.0);
   }
   return snap;
+}
+
+AdminHooks Persephone::MakeAdminHooks() {
+  AdminHooks hooks;
+  hooks.snapshot = [this] { return telemetry_snapshot(); };
+  if (outliers_) {
+    hooks.outliers_json = [this] {
+      std::map<uint32_t, std::string> names;
+      for (TypeIndex t = 0; t < scheduler_->num_types(); ++t) {
+        names.emplace(t, scheduler_->type_name(t));
+      }
+      return outliers_->ToJson(names);
+    };
+  }
+  hooks.trace_start = [this](std::string* error) -> std::string {
+    Nanos expected = -1;
+    const Nanos now = TscClock::Global().Now();
+    if (!trace_capture_start_.compare_exchange_strong(expected, now)) {
+      *error = "trace capture already armed";
+      return "";
+    }
+    telemetry_->RecordEvent(now, "trace capture armed");
+    return "{\"ok\":true,\"started_at\":" + std::to_string(now) + "}\n";
+  };
+  hooks.trace_stop = [this](std::string* error) -> std::string {
+    const Nanos start = trace_capture_start_.exchange(-1);
+    if (start < 0) {
+      *error = "no trace capture armed";
+      return "";
+    }
+    // Bound the capture to [start, now]: the rings only hold the most recent
+    // records anyway, but filtering keeps the export focused on the window
+    // the operator actually asked for.
+    TelemetrySnapshot snap = telemetry_snapshot();
+    std::vector<RequestTrace> kept;
+    kept.reserve(snap.traces.size());
+    for (const RequestTrace& t : snap.traces) {
+      if (t.At(TraceStage::kTx) >= start) {
+        kept.push_back(t);
+      }
+    }
+    snap.traces = std::move(kept);
+    std::vector<TelemetryEvent> events;
+    events.reserve(snap.events.size());
+    for (const TelemetryEvent& e : snap.events) {
+      if (e.at >= start) {
+        events.push_back(e);
+      }
+    }
+    snap.events = std::move(events);
+    return ExportCatapultTrace(snap);
+  };
+  hooks.flight_dump = [this](std::string*) {
+    const TelemetrySnapshot snap = telemetry_snapshot();
+    const TimeSeriesRecorder* const ts = telemetry_->timeseries();
+    return BuildFlightRecord(
+        telemetry_->slo() ? telemetry_->slo()->alerts()
+                          : std::vector<SloAlert>{},
+        ts != nullptr ? ts->Recent(64) : std::vector<IntervalRecord>{}, snap);
+  };
+  hooks.set_config = [this](const std::string& key, const std::string& value) {
+    return ApplyConfigKey(key, value);
+  };
+  return hooks;
+}
+
+std::string Persephone::ApplyConfigKey(const std::string& key,
+                                       const std::string& value) {
+  if (key == "sampling") {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n > UINT32_MAX) {
+      return "config: sampling expects an unsigned integer, got \"" + value +
+             "\"";
+    }
+    return telemetry_->SetSampleEvery(static_cast<uint32_t>(n));
+  }
+  // slo.<TYPE>.slowdown=<double>
+  constexpr const char kSloPrefix[] = "slo.";
+  constexpr const char kSloSuffix[] = ".slowdown";
+  if (key.size() > sizeof(kSloPrefix) + sizeof(kSloSuffix) - 2 &&
+      key.compare(0, sizeof(kSloPrefix) - 1, kSloPrefix) == 0 &&
+      key.compare(key.size() - (sizeof(kSloSuffix) - 1),
+                  sizeof(kSloSuffix) - 1, kSloSuffix) == 0) {
+    const std::string type_name =
+        key.substr(sizeof(kSloPrefix) - 1,
+                   key.size() - sizeof(kSloPrefix) - sizeof(kSloSuffix) + 2);
+    char* end = nullptr;
+    const double slowdown = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return "config: slowdown expects a number, got \"" + value + "\"";
+    }
+    return telemetry_->SetSloTarget(type_name, slowdown);
+  }
+  return "config: unknown key \"" + key +
+         "\" (supported: sampling, slo.<TYPE>.slowdown)";
 }
 
 void Persephone::NetWorkerLoop() {
@@ -295,6 +413,9 @@ void Persephone::DispatcherLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
     bool progressed = false;
     const Nanos now = clock.Now();
+    // Pick up live sampling changes (POST /config sampling=N): one relaxed
+    // load per loop iteration, a no-op store-free branch when unchanged.
+    sampler.set_every(telemetry_->sample_every());
 
     // 1. Absorb completion signals (frees workers, feeds the profiler) —
     // burst drains: one channel-index update per batch of signals.
@@ -497,6 +618,10 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
       record.worker = worker_id;
       record.stamp = order.trace.stamp;
       telemetry_->ring(worker_id).Push(record);
+      if (outliers_) {
+        // Sampled records only, so the mutex inside is touched 1-in-N times.
+        outliers_->Offer(record, start + service);
+      }
     }
 
     CompletionSignal signal{order.request_id, order.type, order.arrival,

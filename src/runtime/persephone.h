@@ -25,6 +25,8 @@
 #include "src/common/memory_pool.h"
 #include "src/core/classifier.h"
 #include "src/core/scheduler.h"
+#include "src/introspect/admin.h"
+#include "src/introspect/outliers.h"
 #include "src/net/nic.h"
 #include "src/runtime/channel.h"
 #include "src/telemetry/telemetry.h"
@@ -62,22 +64,18 @@ struct RuntimeConfig {
   // Observability: lifecycle-trace sampling + ring sizing (see
   // src/telemetry/telemetry.h). Counters are always on.
   TelemetryConfig telemetry;
+  // Live introspection plane (off by default): loopback HTTP endpoint serving
+  // /metrics, snapshots, on-demand trace capture and runtime config. See
+  // src/introspect/admin.h and docs/OBSERVABILITY.md, "Live introspection".
+  AdminConfig admin;
+  // Tail-outlier capture: K slowest sampled requests per type per window,
+  // served at /outliers.json. Requires tracing (the feed is sampled traces).
+  OutlierConfig outliers;
 
   // Empty string = valid; otherwise a description of the misconfiguration.
   // Persephone's constructor calls this (plus scheduler.Validate with the
   // effective worker count) and throws std::invalid_argument.
   std::string Validate() const;
-};
-
-// DEPRECATED: value view kept for compatibility. The same counts live in the
-// unified TelemetrySnapshot ("runtime.*" / "scheduler.*" counters) returned
-// by Persephone::telemetry_snapshot(). completed/dropped are owned by the
-// scheduler (single source of truth); this shim just reads them back.
-struct RuntimeStats {
-  uint64_t rx_packets = 0;
-  uint64_t malformed = 0;
-  uint64_t completed = 0;
-  uint64_t dropped = 0;
 };
 
 // Per-worker occupancy since Start(): busy time is accumulated while a
@@ -140,13 +138,13 @@ class Persephone {
   Telemetry& telemetry() { return *telemetry_; }
   const Telemetry& telemetry() const { return *telemetry_; }
 
-  // DEPRECATED shim over telemetry_snapshot()'s counters ("runtime.*",
-  // "scheduler.*"); completed/dropped delegate to the scheduler so the two
-  // surfaces cannot disagree.
-  [[deprecated(
-      "read the unified TelemetrySnapshot (runtime.* / scheduler.* counters) "
-      "via telemetry_snapshot()")]] RuntimeStats
-  stats() const;
+  // The admin plane, when config.admin.enabled (nullptr otherwise). Started
+  // and stopped with the runtime; admin_port() resolves an ephemeral bind.
+  const AdminServer* admin() const { return admin_.get(); }
+  uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
+  // The tail-outlier recorder, when config.outliers.enabled.
+  const OutlierRecorder* outliers() const { return outliers_.get(); }
+
   // Occupancy snapshot for worker `id` (valid after Start()).
   WorkerUtilization worker_utilization(uint32_t id) const;
   uint32_t num_workers() const { return config_.num_workers; }
@@ -197,6 +195,11 @@ class Persephone {
     }
   }
 
+  // Builds the AdminHooks bundle wiring the endpoint to this runtime.
+  AdminHooks MakeAdminHooks();
+  // Applies one POST /config key=value pair; "" on success, else the error.
+  std::string ApplyConfigKey(const std::string& key, const std::string& value);
+
   RuntimeConfig config_;
   std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<MemoryPool> pool_;
@@ -232,6 +235,13 @@ class Persephone {
     Nanos at = 0;
   };
   std::vector<BusyMark> ts_prev_busy_;
+
+  // Live introspection plane (null unless enabled in the config).
+  std::unique_ptr<OutlierRecorder> outliers_;
+  std::unique_ptr<AdminServer> admin_;
+  // On-demand trace capture: start timestamp, or -1 when no capture is
+  // armed. POST /trace/stop exports only records at or after this mark.
+  std::atomic<Nanos> trace_capture_start_{-1};
 };
 
 }  // namespace psp

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/introspect/offline.h"
 #include "src/sim/trace.h"
 
 namespace psp {
@@ -42,6 +43,10 @@ ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
         [this](IntervalRecord* rec) { policy_->SampleTimeSeriesGauges(rec); });
     telemetry_->set_flight_snapshot_provider(
         [this] { return telemetry_snapshot(); });
+  }
+  if (config_.outliers.enabled) {
+    assert(config_.outliers.Validate().empty());
+    outliers_ = std::make_unique<OutlierRecorder>(config_.outliers);
   }
   policy_->Attach(this);
 }
@@ -182,6 +187,16 @@ void ClusterEngine::Run() {
   if (telemetry_->timeseries() != nullptr) {
     telemetry_->AdvanceTimeSeries(Now(), /*flush=*/true);
   }
+  // Offline introspection: render the same artifacts the live admin plane
+  // serves. Everything below derives from virtual time + the seeded RNG, so
+  // the files are byte-identical across same-seed runs.
+  if (!config_.introspect_dir.empty()) {
+    const std::string error = WriteIntrospectionFiles(
+        config_.introspect_dir, telemetry_snapshot(), outliers_.get());
+    if (!error.empty()) {
+      telemetry_->RecordEvent(Now(), error);
+    }
+  }
 }
 
 void ClusterEngine::CompleteRequest(SimRequest* request) {
@@ -221,6 +236,11 @@ void ClusterEngine::CompleteRequest(SimRequest* request) {
     trace.stamp[static_cast<size_t>(TraceStage::kHandlerEnd)] = Now();
     trace.stamp[static_cast<size_t>(TraceStage::kTx)] = Now();
     telemetry_->ring(0).Push(trace);
+    if (outliers_) {
+      // Virtual-time offers: the retained set is a pure function of the
+      // seed, which is what makes the offline files byte-reproducible.
+      outliers_->Offer(trace, Now());
+    }
   }
   FreeRequest(request);
 }

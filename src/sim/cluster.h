@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/introspect/outliers.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/sim/workload.h"
@@ -49,6 +50,13 @@ struct ClusterConfig {
   // Observability: lifecycle-trace sampling + ring sizing, the same knobs as
   // the threaded runtime (RuntimeConfig::telemetry).
   TelemetryConfig telemetry;
+  // Tail-outlier capture over sampled traces (virtual-time windows, so the
+  // retained set is bit-deterministic per seed).
+  OutlierConfig outliers;
+  // Offline introspection: when non-empty, Run() renders the same artifacts
+  // the live admin plane serves — metrics.prom, snapshot.json,
+  // timeseries.json, outliers.json — into this directory at end of run.
+  std::string introspect_dir;
 };
 
 class ClusterEngine;
@@ -135,6 +143,8 @@ class ClusterEngine {
   Telemetry& telemetry() { return *telemetry_; }
   const Telemetry& telemetry() const { return *telemetry_; }
   TelemetrySnapshot telemetry_snapshot() const;
+  // The tail-outlier recorder, when config.outliers.enabled.
+  const OutlierRecorder* outliers() const { return outliers_.get(); }
 
   // Duration of the measured (post-warmup) sending window.
   Nanos MeasuredWindow() const {
@@ -164,6 +174,7 @@ class ClusterEngine {
   Rng rng_;
   Metrics metrics_;
   std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<OutlierRecorder> outliers_;
   TraceSampler trace_sampler_;
   std::map<TypeId, size_t> series_slot_by_wire_;
 

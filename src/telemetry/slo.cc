@@ -51,6 +51,21 @@ double SloMonitor::TargetSlowdownFor(const std::string& type_name) const {
   return 0;
 }
 
+std::string SloMonitor::SetSlowdown(const std::string& type_name,
+                                    double slowdown) {
+  if (slowdown <= 1.0) {
+    return "slo: slowdown target must be > 1.0";
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TargetState& state : targets_) {
+    if (state.target.type_name == type_name) {
+      state.target.slowdown = slowdown;
+      return "";
+    }
+  }
+  return "slo: no target for type \"" + type_name + "\"";
+}
+
 std::vector<SloAlert> SloMonitor::OnInterval(
     const IntervalRecord& interval,
     const std::map<uint32_t, std::string>& names) {

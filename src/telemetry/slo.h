@@ -77,6 +77,12 @@ class SloMonitor {
   // Engines use this to arm the recorder's violation counting.
   double TargetSlowdownFor(const std::string& type_name) const;
 
+  // Runtime update of an *existing* target's slowdown threshold (the admin
+  // plane's slo.<TYPE>.slowdown knob). The rolling window keeps its history;
+  // only future violation counting and burn rates use the new threshold.
+  // Returns "" on success, else the error (unknown type, bad threshold).
+  std::string SetSlowdown(const std::string& type_name, double slowdown);
+
   // Feeds one closed interval; returns the alerts it fired. Type matching is
   // by series name, resolved through `names` (type key -> name).
   std::vector<SloAlert> OnInterval(

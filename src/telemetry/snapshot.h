@@ -2,9 +2,7 @@
 // engines. A snapshot is a point-in-time, self-contained value — named
 // counters/gauges/histograms plus the sampled lifecycle traces — assembled
 // by Persephone::telemetry_snapshot() (threaded runtime) and
-// ClusterEngine::telemetry_snapshot() (simulator). The legacy
-// Persephone::stats() / DarcScheduler::stats() accessors are thin shims over
-// the same counters.
+// ClusterEngine::telemetry_snapshot() (simulator).
 //
 // Exporters: ToTable() (human-readable), ToJson() (machine-readable), and
 // StageReport() — the per-type latency breakdown (queueing vs. service vs.

@@ -61,6 +61,7 @@ std::string TelemetryConfig::Validate() const {
 
 Telemetry::Telemetry(TelemetryConfig config, size_t num_rings)
     : config_(config) {
+  live_sample_every_.store(config_.sample_every, std::memory_order_relaxed);
   if (num_rings == 0) {
     num_rings = 1;
   }
@@ -79,6 +80,37 @@ Telemetry::Telemetry(TelemetryConfig config, size_t num_rings)
       });
     }
   }
+}
+
+std::string Telemetry::SetSampleEvery(uint32_t every) {
+  if (!config_.enable_tracing) {
+    return "telemetry: tracing is disabled; sampling cannot be changed";
+  }
+  live_sample_every_.store(every, std::memory_order_relaxed);
+  return "";
+}
+
+std::string Telemetry::SetSloTarget(const std::string& type_name,
+                                    double slowdown) {
+  if (slowdown <= 1.0) {
+    return "telemetry: slowdown target must be > 1.0";
+  }
+  if (!slo_) {
+    return "telemetry: no SLO monitor configured";
+  }
+  if (const std::string error = slo_->SetSlowdown(type_name, slowdown);
+      !error.empty()) {
+    return error;
+  }
+  // Re-arm the recorder's violation counting for the matching series.
+  if (timeseries_) {
+    for (size_t slot = 0; slot < timeseries_->num_series(); ++slot) {
+      if (timeseries_->name_of(slot) == type_name) {
+        timeseries_->SetSlowdownTarget(slot, slowdown);
+      }
+    }
+  }
+  return "";
 }
 
 void Telemetry::RecordEvent(Nanos at, std::string what) {

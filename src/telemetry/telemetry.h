@@ -123,11 +123,28 @@ class Telemetry {
 
   const TelemetryConfig& config() const { return config_; }
   bool tracing_enabled() const {
-    return config_.enable_tracing && config_.sample_every > 0;
+    return config_.enable_tracing && sample_every() > 0;
   }
+  // The *live* sampling period: starts at config.sample_every, adjustable at
+  // runtime through SetSampleEvery. Engines re-read this each dispatch-loop
+  // iteration (one relaxed load) so an admin `sampling=N` takes effect
+  // without a restart.
   uint32_t sample_every() const {
-    return tracing_enabled() ? config_.sample_every : 0;
+    return config_.enable_tracing
+               ? live_sample_every_.load(std::memory_order_relaxed)
+               : 0;
   }
+
+  // Adjusts the live sampling period (0 pauses tracing, 1 traces all).
+  // Returns "" on success; an error when tracing was compiled out of the
+  // config entirely (enable_tracing false — there are no rings to fill).
+  std::string SetSampleEvery(uint32_t every);
+
+  // Re-arms the slowdown target for one type at runtime: updates the SLO
+  // monitor's threshold and the recorder's violation counting. The type must
+  // already have a target (adding one mid-run would need budget history).
+  // Returns "" on success, else the error.
+  std::string SetSloTarget(const std::string& type_name, double slowdown);
 
   MetricsRegistry& registry() { return registry_; }
   const MetricsRegistry& registry() const { return registry_; }
@@ -182,6 +199,7 @@ class Telemetry {
   void MaybeDumpFlight();
 
   TelemetryConfig config_;
+  std::atomic<uint32_t> live_sample_every_{0};
   MetricsRegistry registry_;
   std::vector<std::unique_ptr<TraceRing>> rings_;
   std::unique_ptr<TimeSeriesRecorder> timeseries_;

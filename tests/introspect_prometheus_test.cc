@@ -1,0 +1,202 @@
+// Format contract for the Prometheus text exposition renderer
+// (src/introspect/prometheus.h): name sanitisation, label escaping, counter
+// vs gauge vs summary shapes, worker-label folding, latest-interval gauges,
+// and byte determinism.
+#include "src/introspect/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/telemetry/snapshot.h"
+
+namespace psp {
+namespace {
+
+// Splits the exposition into lines for targeted assertions.
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    out.push_back(line);
+  }
+  return out;
+}
+
+bool Contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(Prometheus, MetricNameSanitisation) {
+  EXPECT_EQ(PrometheusMetricName("scheduler.dispatched"),
+            "scheduler_dispatched");
+  EXPECT_EQ(PrometheusMetricName("a-b c"), "a_b_c");
+  EXPECT_EQ(PrometheusMetricName("ns:metric"), "ns:metric");
+  // Leading digit gets an underscore prefix.
+  EXPECT_EQ(PrometheusMetricName("9lives"), "_9lives");
+}
+
+TEST(Prometheus, LabelEscaping) {
+  EXPECT_EQ(PrometheusLabelEscape("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusLabelEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusLabelEscape("a\nb"), "a\\nb");
+}
+
+TEST(Prometheus, CounterGaugeSummaryShapes) {
+  TelemetrySnapshot snap;
+  snap.counters["scheduler.dispatched"] = 42;
+  snap.gauges["engine.num_workers"] = 14;
+  snap.histograms["latency"].Add(1000);
+  snap.histograms["latency"].Add(3000);
+
+  const std::string text = RenderPrometheusText(snap);
+
+  // Counter: HELP + TYPE + _total suffix.
+  EXPECT_TRUE(Contains(text,
+                       "# TYPE psp_scheduler_dispatched_total counter\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_scheduler_dispatched_total 42\n"));
+  // Gauge: no suffix.
+  EXPECT_TRUE(Contains(text, "# TYPE psp_engine_num_workers gauge\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_engine_num_workers 14\n"));
+  // Summary: quantiles + _sum + _count.
+  EXPECT_TRUE(Contains(text, "# TYPE psp_latency summary\n"));
+  EXPECT_TRUE(Contains(text, "psp_latency{quantile=\"0.5\"}"));
+  EXPECT_TRUE(Contains(text, "psp_latency{quantile=\"0.99\"}"));
+  EXPECT_TRUE(Contains(text, "psp_latency{quantile=\"0.999\"}"));
+  EXPECT_TRUE(Contains(text, "psp_latency_sum 4000\n"));
+  EXPECT_TRUE(Contains(text, "psp_latency_count 2\n"));
+  // Liveness marker always present.
+  EXPECT_TRUE(Contains(text, "\npsp_up 1\n"));
+}
+
+TEST(Prometheus, WorkerMetricsFoldIntoLabels) {
+  TelemetrySnapshot snap;
+  snap.counters["worker.0.requests"] = 10;
+  snap.counters["worker.3.requests"] = 30;
+  snap.gauges["worker.0.busy_permille"] = 512;
+
+  const std::string text = RenderPrometheusText(snap);
+
+  EXPECT_TRUE(
+      Contains(text, "psp_worker_requests_total{worker=\"0\"} 10\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_worker_requests_total{worker=\"3\"} 30\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_worker_busy_permille{worker=\"0\"} 512\n"));
+  // The folded family gets exactly one TYPE header.
+  size_t headers = 0;
+  for (const std::string& line : Lines(text)) {
+    if (line == "# TYPE psp_worker_requests_total counter") {
+      ++headers;
+    }
+  }
+  EXPECT_EQ(headers, 1u);
+  // The raw dotted name must not leak through.
+  EXPECT_FALSE(Contains(text, "worker_0_requests"));
+}
+
+TEST(Prometheus, LatestIntervalPerTypeGauges) {
+  TelemetrySnapshot snap;
+  snap.type_names[0] = "SHORT";
+  snap.type_names[1] = "LO\"NG";  // exercises label escaping in type names
+
+  IntervalRecord rec;
+  rec.seq = 7;
+  rec.end = 123456789;
+  rec.arrival_rate_rps = 1000.5;
+  rec.completion_rate_rps = 999.5;
+  rec.reservation_updates = 2;
+  TypeIntervalStats s0;
+  s0.type = 0;
+  s0.arrivals = 90;
+  s0.completions = 88;
+  s0.queue_depth = 4;
+  s0.reserved_workers = 1;
+  s0.slowdown_p99_milli = 1500;
+  TypeIntervalStats s1;
+  s1.type = 1;
+  s1.arrivals = 10;
+  s1.queue_depth = -1;  // sentinel: engine provided no sampler
+  s1.reserved_workers = -1;
+  rec.types = {s0, s1};
+  rec.worker_busy_permille = {250, 750};
+  snap.timeseries.push_back(rec);
+
+  const std::string text = RenderPrometheusText(snap);
+
+  EXPECT_TRUE(Contains(text, "\npsp_interval_seq 7\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_type_interval_arrivals{type=\"SHORT\"} 90\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_type_interval_arrivals{type=\"LO\\\"NG\"} 10\n"));
+  EXPECT_TRUE(Contains(text, "psp_type_queue_depth{type=\"SHORT\"} 4\n"));
+  // -1 sentinels are omitted, not rendered.
+  EXPECT_FALSE(Contains(text, "psp_type_queue_depth{type=\"LO\\\"NG\"}"));
+  EXPECT_TRUE(
+      Contains(text, "psp_type_slowdown_p99_milli{type=\"SHORT\"} 1500\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_worker_interval_busy_permille{worker=\"1\"} 750\n"));
+}
+
+TEST(Prometheus, OnlyLatestIntervalRendered) {
+  TelemetrySnapshot snap;
+  IntervalRecord old;
+  old.seq = 1;
+  IntervalRecord latest;
+  latest.seq = 2;
+  snap.timeseries = {old, latest};
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_TRUE(Contains(text, "\npsp_interval_seq 2\n"));
+  EXPECT_FALSE(Contains(text, "\npsp_interval_seq 1\n"));
+}
+
+TEST(Prometheus, EveryLineWellFormed) {
+  TelemetrySnapshot snap;
+  snap.counters["a.b"] = 1;
+  snap.gauges["worker.2.depth"] = 3;
+  snap.histograms["h"].Add(5);
+  for (const std::string& line : Lines(RenderPrometheusText(snap))) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // Sample lines: name[{labels}] SP value, exactly one separating space
+    // outside the label block.
+    const size_t brace = line.find('{');
+    const size_t close = line.rfind('}');
+    const size_t sep = close != std::string::npos && brace != std::string::npos
+                           ? line.find(' ', close)
+                           : line.find(' ');
+    ASSERT_NE(sep, std::string::npos) << line;
+    EXPECT_GT(sep, 0u) << line;
+    EXPECT_LT(sep + 1, line.size()) << line;
+  }
+}
+
+TEST(Prometheus, ByteDeterministic) {
+  TelemetrySnapshot snap;
+  snap.counters["x"] = 1;
+  snap.counters["worker.0.requests"] = 2;
+  snap.gauges["g"] = -5;
+  snap.histograms["h"].Add(7);
+  snap.type_names[3] = "T";
+  IntervalRecord rec;
+  rec.seq = 1;
+  TypeIntervalStats t;
+  t.type = 3;
+  t.arrivals = 9;
+  rec.types.push_back(t);
+  snap.timeseries.push_back(rec);
+
+  EXPECT_EQ(RenderPrometheusText(snap), RenderPrometheusText(snap));
+}
+
+}  // namespace
+}  // namespace psp

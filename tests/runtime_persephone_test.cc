@@ -274,8 +274,8 @@ TEST(Runtime, TelemetryTracesDecomposeEndToEndLatency) {
   LoadGenerator gen(&server, {MakeSpinSpec(1, "SPIN", 1.0, FromMicros(5))},
                     lg);
   gen.Run();
-  // Stop() drains in-flight completions, so the snapshot and the stats()
-  // shims below observe the same final counts.
+  // Stop() drains in-flight completions, so the snapshot and the scheduler
+  // accessors below observe the same final counts.
   server.Stop();
   const TelemetrySnapshot snap = server.telemetry_snapshot();
 
@@ -299,18 +299,12 @@ TEST(Runtime, TelemetryTracesDecomposeEndToEndLatency) {
               FromMicros(4));
   }
 
-  // One surface: snapshot counters agree with the deprecated stats() shims
-  // (the shims stay until the next major cleanup; this is the one place that
-  // intentionally still calls them).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const RuntimeStats stats = server.stats();
-  EXPECT_EQ(server.scheduler().stats().completed, stats.completed);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(snap.counter("runtime.rx_packets"), stats.rx_packets);
-  EXPECT_EQ(snap.counter("scheduler.completed"), stats.completed);
-  EXPECT_EQ(snap.counter("scheduler.dropped"), stats.dropped);
-  EXPECT_EQ(stats.completed, 200u);
+  // One surface: snapshot counters agree with the scheduler's dedicated
+  // accessors (the single source of truth for completed/dropped).
+  EXPECT_EQ(snap.counter("scheduler.completed"), server.scheduler().completed());
+  EXPECT_EQ(snap.counter("scheduler.dropped"), server.scheduler().dropped());
+  EXPECT_EQ(server.scheduler().completed(), 200u);
+  EXPECT_EQ(snap.counter("runtime.rx_packets"), 200u);
   // Per-type naming flows through for the stage report.
   const auto breakdown = snap.StageBreakdown();
   ASSERT_FALSE(breakdown.empty());

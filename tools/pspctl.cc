@@ -1,0 +1,351 @@
+// pspctl: command-line client for the live introspection plane
+// (src/introspect/admin.h). Deliberately standalone — plain POSIX sockets,
+// no psp libraries — so it builds anywhere and exercises the endpoint the
+// way an external scraper would.
+//
+// Usage:
+//   pspctl [--port P | --host H:P | --uds PATH] [--out FILE] [--check] CMD
+//
+// Commands:
+//   metrics            GET /metrics   (--check validates the exposition)
+//   snapshot           GET /snapshot.json
+//   timeseries         GET /timeseries.json
+//   outliers           GET /outliers.json
+//   health             GET /healthz
+//   trace start        POST /trace/start   (arms an on-demand capture)
+//   trace stop         POST /trace/stop    (returns the trace; use --out)
+//   flight             POST /flightrecorder/dump
+//   set KEY=VALUE...   POST /config  (e.g. set sampling=64)
+//
+// The port defaults to $PSP_ADMIN_PORT. Exit codes: 0 success, 1 usage,
+// 2 connect/transport failure, 3 HTTP error status, 4 --check failed.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string uds_path;
+  std::string out_file;
+  bool check = false;
+};
+
+int UsageError(const char* detail) {
+  std::fprintf(stderr,
+               "pspctl: %s\n"
+               "usage: pspctl [--port P | --host H:P | --uds PATH] "
+               "[--out FILE] [--check]\n"
+               "              metrics|snapshot|timeseries|outliers|health|"
+               "flight|trace start|stop|set K=V...\n",
+               detail);
+  return 1;
+}
+
+int Connect(const Options& opt, std::string* error) {
+  if (!opt.uds_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::strerror(errno);
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt.uds_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      *error = opt.uds_path + ": " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(opt.port));
+  if (::inet_pton(AF_INET, opt.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address: " + opt.host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = opt.host + ":" + std::to_string(opt.port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Issues one request; returns the HTTP status (or -1 on transport failure)
+// and fills `body`.
+int Request(const Options& opt, const std::string& method,
+            const std::string& path, const std::string& payload,
+            std::string* body, std::string* error) {
+  const int fd = Connect(opt, error);
+  if (fd < 0) {
+    return -1;
+  }
+  std::string req = method + " " + path + " HTTP/1.1\r\nHost: " + opt.host +
+                    "\r\nConnection: close\r\nContent-Length: " +
+                    std::to_string(payload.size()) + "\r\n\r\n" + payload;
+  if (!SendAll(fd, req)) {
+    *error = "send failed";
+    ::close(fd);
+    return -1;
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos ||
+      response.compare(0, 5, "HTTP/") != 0) {
+    *error = "malformed HTTP response";
+    return -1;
+  }
+  const size_t sp = response.find(' ');
+  const int status = std::atoi(response.c_str() + sp + 1);
+  *body = response.substr(header_end + 4);
+  return status;
+}
+
+// Minimal exposition-format validator: every non-comment, non-blank line
+// must be `name[{labels}] value`, names legal, HELP/TYPE comments well
+// formed. Returns "" when valid, else the first problem.
+std::string CheckExposition(const std::string& text) {
+  size_t pos = 0;
+  int line_no = 0;
+  bool any_sample = false;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      if (line.compare(0, 7, "# HELP ") != 0 &&
+          line.compare(0, 7, "# TYPE ") != 0) {
+        return "line " + std::to_string(line_no) +
+               ": comment is neither HELP nor TYPE";
+      }
+      continue;
+    }
+    // name
+    size_t i = 0;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    if (i == 0 || std::isdigit(static_cast<unsigned char>(line[0]))) {
+      return "line " + std::to_string(line_no) + ": bad metric name";
+    }
+    // optional {labels}
+    if (i < line.size() && line[i] == '{') {
+      bool in_quotes = false;
+      bool escaped = false;
+      ++i;
+      for (; i < line.size(); ++i) {
+        const char c = line[i];
+        if (escaped) {
+          escaped = false;
+          continue;
+        }
+        if (in_quotes && c == '\\') {
+          escaped = true;
+          continue;
+        }
+        if (c == '"') {
+          in_quotes = !in_quotes;
+          continue;
+        }
+        if (!in_quotes && c == '}') {
+          break;
+        }
+      }
+      if (i >= line.size() || line[i] != '}') {
+        return "line " + std::to_string(line_no) + ": unterminated labels";
+      }
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return "line " + std::to_string(line_no) + ": missing value separator";
+    }
+    const std::string value = line.substr(i + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return "line " + std::to_string(line_no) + ": bad sample value \"" +
+             value + "\"";
+    }
+    any_sample = true;
+  }
+  if (!any_sample) {
+    return "no samples in exposition";
+  }
+  return "";
+}
+
+int Emit(const Options& opt, const std::string& body) {
+  if (opt.out_file.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(opt.out_file, std::ios::binary);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out) {
+    std::fprintf(stderr, "pspctl: write %s failed\n", opt.out_file.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (const char* env = std::getenv("PSP_ADMIN_PORT")) {
+    opt.port = std::atoi(env);
+  }
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pspctl: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opt.port = std::atoi(next("--port"));
+    } else if (arg == "--host") {
+      const std::string hp = next("--host");
+      const size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        return UsageError("--host expects HOST:PORT");
+      }
+      opt.host = hp.substr(0, colon);
+      opt.port = std::atoi(hp.c_str() + colon + 1);
+    } else if (arg == "--uds") {
+      opt.uds_path = next("--uds");
+    } else if (arg == "--out") {
+      opt.out_file = next("--out");
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      UsageError("help");
+      return 0;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    return UsageError("missing command");
+  }
+  if (opt.uds_path.empty() && opt.port <= 0) {
+    return UsageError("no endpoint: pass --port/--host/--uds or set "
+                      "PSP_ADMIN_PORT");
+  }
+
+  const std::string& cmd = args[0];
+  std::string method = "GET";
+  std::string path;
+  std::string payload;
+  if (cmd == "metrics") {
+    path = "/metrics";
+  } else if (cmd == "snapshot") {
+    path = "/snapshot.json";
+  } else if (cmd == "timeseries") {
+    path = "/timeseries.json";
+  } else if (cmd == "outliers") {
+    path = "/outliers.json";
+  } else if (cmd == "health") {
+    path = "/healthz";
+  } else if (cmd == "flight") {
+    method = "POST";
+    path = "/flightrecorder/dump";
+  } else if (cmd == "trace") {
+    if (args.size() != 2 || (args[1] != "start" && args[1] != "stop")) {
+      return UsageError("trace expects 'start' or 'stop'");
+    }
+    method = "POST";
+    path = "/trace/" + args[1];
+  } else if (cmd == "set") {
+    if (args.size() < 2) {
+      return UsageError("set expects KEY=VALUE arguments");
+    }
+    method = "POST";
+    path = "/config";
+    for (size_t i = 1; i < args.size(); ++i) {
+      payload += args[i];
+      payload += '\n';
+    }
+  } else {
+    return UsageError(("unknown command: " + cmd).c_str());
+  }
+
+  std::string body;
+  std::string error;
+  const int status = Request(opt, method, path, payload, &body, &error);
+  if (status < 0) {
+    std::fprintf(stderr, "pspctl: %s\n", error.c_str());
+    return 2;
+  }
+  if (status >= 400) {
+    std::fprintf(stderr, "pspctl: HTTP %d: %s", status, body.c_str());
+    return 3;
+  }
+  if (opt.check && cmd == "metrics") {
+    if (const std::string problem = CheckExposition(body); !problem.empty()) {
+      std::fprintf(stderr, "pspctl: malformed exposition: %s\n",
+                   problem.c_str());
+      return 4;
+    }
+  }
+  return Emit(opt, body);
+}

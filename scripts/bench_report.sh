@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Benchmark trajectory harness: runs the engine/channel microbenchmarks and a
-# fig03 smoke sweep, merges everything into one machine-readable report
-# (default BENCH_PR3.json) and validates it.
+# Benchmark trajectory harness: runs the engine/channel microbenchmarks, a
+# fig03 smoke sweep and the fleet inter-server policy sweep, merges
+# everything into one machine-readable report (default BENCH_PR3.json) and
+# validates it.
 #
 # Gates:
 #   * report schema (always): required sections/keys present, non-empty sweep;
@@ -17,6 +18,10 @@
 #     plane must keep the client-observed p99 within 5% of baseline
 #     (bench/micro_introspect.cc); failed scrapes are always fatal, the 5%
 #     budget is fatal in full mode and advisory in smoke.
+#   * fleet policy ordering: power-of-two-choices must not lose to random on
+#     fleet p99.9 slowdown at 70% load for any (workload, servers) point
+#     (bench/fig_fleet_policies.cc, paired on one arrival trace); fatal in
+#     full mode, advisory in smoke.
 #
 # Usage: scripts/bench_report.sh [--smoke] [build-dir] [output-json]
 #   --smoke   short benchmark windows (tier-2 CI gate, see scripts/check.sh)
@@ -37,7 +42,7 @@ cd "$ROOT"
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" \
   --target micro_sim_engine micro_channel fig03_high_bimodal_policies \
-           micro_introspect
+           micro_introspect fig_fleet_policies
 
 WORK="$BUILD/bench_report"
 mkdir -p "$WORK"
@@ -67,6 +72,15 @@ fi
 PSP_BENCH_JSON=1 PSP_BENCH_DURATION_MS="$FIG03_MS" \
   "$BUILD/bench/fig03_high_bimodal_policies" >"$WORK/fig03.out"
 
+echo "== fig_fleet_policies (inter-server policies, 2-8 DARC servers)"
+if [ "$SMOKE" = 1 ]; then
+  FLEET_MS=${PSP_BENCH_DURATION_MS:-20}
+else
+  FLEET_MS=${PSP_BENCH_DURATION_MS:-250}
+fi
+PSP_BENCH_JSON=1 PSP_BENCH_DURATION_MS="$FLEET_MS" \
+  "$BUILD/bench/fig_fleet_policies" >"$WORK/fleet.out"
+
 echo "== micro_introspect (p99 with vs without 10 Hz /metrics scrape)"
 if [ "$SMOKE" = 1 ]; then
   INTROSPECT_REQS=4000 INTROSPECT_ROUNDS=2
@@ -86,7 +100,7 @@ if [ "$INTROSPECT_RC" -ge 2 ]; then
 fi
 
 MODE=$([ "$SMOKE" = 1 ] && echo smoke || echo full) \
-FIG03_MS="$FIG03_MS" \
+FIG03_MS="$FIG03_MS" FLEET_MS="$FLEET_MS" \
 python3 - "$WORK" "$OUT" <<'PY'
 import json, os, sys
 
@@ -111,6 +125,17 @@ try:
 except ValueError:
     errors.append("fig03 output contains no JSON table (PSP_BENCH_JSON mode)")
     fig03 = []
+
+# fig_fleet_policies prints headline prose plus the same JSON-array layout.
+with open(os.path.join(work, "fleet.out")) as f:
+    lines = f.read().splitlines()
+try:
+    start = lines.index("[")
+    end = lines.index("]", start)
+    fleet = json.loads("\n".join(lines[start : end + 1]))
+except ValueError:
+    errors.append("fleet output contains no JSON table (PSP_BENCH_JSON mode)")
+    fleet = []
 
 # micro_introspect prints prose plus one JSON object line (PSP_BENCH_JSON).
 introspect = {}
@@ -181,6 +206,8 @@ report = {
     "engine": eng,
     "channel": chan,
     "fig03_high_bimodal": fig03,
+    "fleet_duration_ms": int(os.environ["FLEET_MS"]),
+    "fleet_policies": fleet,
     "introspect": introspect,
 }
 
@@ -196,6 +223,38 @@ policies = {row.get("policy") for row in fig03}
 for expected in ("d-FCFS", "c-FCFS", "DARC"):
     if expected not in policies:
         errors.append(f"fig03 sweep lacks policy {expected}")
+
+# Fleet sweep schema + the paired inter-server policy gate: at 70% fleet
+# load the depth-aware po2c must not lose to random on p99.9 slowdown for
+# any (workload, servers) pair — same seed, same arrival trace (the fleet
+# arrival stream is split from the policy stream), so the comparison is
+# paired and noise-free. Fatal in full mode, advisory at smoke windows
+# (short runs see few tail samples).
+if not fleet:
+    errors.append("fleet_policies sweep is empty")
+fleet_gates = []
+for row in fleet:
+    for key in ("workload", "servers", "load", "policy", "p999_slowdown"):
+        if key not in row:
+            errors.append(f"fleet row missing key {key!r}: {row}")
+            break
+fleet_policies_seen = {row.get("policy") for row in fleet}
+for expected in ("random", "rss", "rr", "po2c", "shortest-q"):
+    if expected not in fleet_policies_seen:
+        errors.append(f"fleet sweep lacks policy {expected}")
+by_point = {}
+for row in fleet:
+    if row.get("load") == 0.7:
+        key = (row.get("workload"), row.get("servers"))
+        by_point.setdefault(key, {})[row.get("policy")] = row.get(
+            "p999_slowdown", 0.0)
+for (workload, servers), pols in sorted(by_point.items()):
+    if "random" in pols and "po2c" in pols:
+        if pols["po2c"] > pols["random"]:
+            fleet_gates.append(
+                f"fleet po2c p99.9 {pols['po2c']:.1f}x exceeds random "
+                f"{pols['random']:.1f}x at 70% load "
+                f"({workload}, {servers} servers)")
 
 if eng["steady_allocs_per_event"] > 0.01:
     errors.append(
@@ -232,7 +291,7 @@ if introspect.get("delta_pct", 100.0) >= introspect["target_delta_pct"]:
     gates.append(
         f"scrape-under-load p99 delta {introspect.get('delta_pct'):.2f}% "
         f"above {introspect['target_delta_pct']:.0f}% budget (10 Hz /metrics)")
-for msg in gates:
+for msg in gates + fleet_gates:
     if mode == "full":
         errors.append(msg)
     else:
@@ -251,6 +310,11 @@ print(f"  spsc cycles/op: {chan['spsc_cycles_per_op']:.1f} single, "
       f"{chan['spsc_burst_cycles_per_op']:.1f} burst")
 print(f"  scrape-under-load p99 delta: {introspect.get('delta_pct', 0):.2f}% "
       f"({introspect.get('scrapes', 0):.0f} scrapes, budget < 5%)")
+for (workload, servers), pols in sorted(by_point.items()):
+    if "random" in pols and "po2c" in pols and pols["po2c"] > 0:
+        print(f"  fleet {workload} @70% {servers} servers: "
+              f"po2c/random p99.9 ratio "
+              f"{pols['random'] / pols['po2c']:.2f}x (gate: >= 1)")
 
 if errors:
     print("bench report validation FAILED:", file=sys.stderr)

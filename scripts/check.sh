@@ -16,8 +16,12 @@
 #                       /snapshot.json + /outliers.json with python3. Also run
 #                       automatically inside the address and thread modes so
 #                       the live scrape path executes under both sanitizers.
+#   fleet             - fleet determinism smoke: run the multi-server sim
+#                       (examples/fleet_demo) twice with the same seed and
+#                       require byte-identical fleet.json artifacts, then a
+#                       different seed and require divergence.
 #   all               - all of the above.
-# Usage: scripts/check.sh [address|thread|bench|introspect|all] [build-dir]
+# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|all] [build-dir]
 set -eu
 MODE=${1:-address}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -103,6 +107,39 @@ run_thread() {
   TSAN_OPTIONS=halt_on_error=1 run_introspect "$build"
 }
 
+# Fleet determinism smoke: the whole multi-server simulation — N server
+# pipelines off one event queue, per-server RNG streams split from the fleet
+# seed, policy decisions, telemetry aggregation — must replay bit-identically
+# for a seed. Two same-seed runs are compared byte-for-byte on fleet.json;
+# a third run with another seed must diverge (guards against the artifact
+# not actually depending on the run).
+run_fleet() {
+  local build=${1:-build}
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" --target fleet_demo
+  local work="$build/fleet_smoke"
+  rm -rf "$work"
+  mkdir -p "$work"
+  local flags="--servers 3 --policy shortest-q --duration-ms 20 --load 0.7"
+  # shellcheck disable=SC2086
+  "$build/examples/fleet_demo" $flags --seed 42 --out "$work/a" >/dev/null
+  # shellcheck disable=SC2086
+  "$build/examples/fleet_demo" $flags --seed 42 --out "$work/b" >/dev/null
+  # shellcheck disable=SC2086
+  "$build/examples/fleet_demo" $flags --seed 43 --out "$work/c" >/dev/null
+  if ! cmp -s "$work/a/fleet.json" "$work/b/fleet.json"; then
+    echo "fleet smoke FAILED: same-seed runs produced different fleet.json" >&2
+    diff "$work/a/fleet.json" "$work/b/fleet.json" | head -5 >&2 || true
+    return 1
+  fi
+  if cmp -s "$work/a/fleet.json" "$work/c/fleet.json"; then
+    echo "fleet smoke FAILED: different seeds produced identical fleet.json" >&2
+    return 1
+  fi
+  python3 -m json.tool "$work/a/fleet.json" >/dev/null
+  echo "fleet smoke OK (same-seed byte-identical, seeds diverge)"
+}
+
 run_bench() {
   local build=${1:-build-bench}
   # Smoke windows: short enough for CI, still runs every gate. The report
@@ -116,7 +153,9 @@ case "$MODE" in
   thread)  run_thread "${2:-build-tsan}" ;;
   bench)   run_bench "${2:-build-bench}" ;;
   introspect) run_introspect "${2:-build}" ;;
-  all)     run_address build-asan; run_thread build-tsan; run_bench build-bench ;;
-  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|all] [build-dir]" >&2
+  fleet)   run_fleet "${2:-build}" ;;
+  all)     run_address build-asan; run_thread build-tsan; run_fleet build;
+           run_bench build-bench ;;
+  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|all] [build-dir]" >&2
      exit 2 ;;
 esac

@@ -32,10 +32,35 @@ class Rng {
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
 
   void Seed(uint64_t seed) {
+    seed_ = seed;
     SplitMix64 sm(seed);
     for (auto& s : state_) {
       s = sm.Next();
     }
+  }
+
+  // The seed this generator was (last) seeded with; Split derives stream
+  // seeds from it, never from the evolving state.
+  uint64_t seed() const { return seed_; }
+
+  // Derives the seed of stream `stream_id` under root seed `root_seed`: a
+  // pure function of (root_seed, stream_id), so stream k is the same
+  // regardless of how many sibling streams exist or in which order they are
+  // split off. Two SplitMix64 scrambles keep nearby (seed, stream) pairs
+  // decorrelated (splitmix64 is a bijection, so distinct inputs stay
+  // distinct).
+  static uint64_t StreamSeed(uint64_t root_seed, uint64_t stream_id) {
+    SplitMix64 root(root_seed);
+    SplitMix64 stream(root.Next() + 0x9E3779B97F4A7C15ULL * stream_id);
+    return stream.Next();
+  }
+
+  // A child generator for stream `stream_id`, split off this generator's
+  // seed. Independent of how many values this generator has produced: the
+  // fleet layer splits one per server, and same-fleet-seed runs are
+  // bit-deterministic regardless of server count.
+  Rng Split(uint64_t stream_id) const {
+    return Rng(StreamSeed(seed_, stream_id));
   }
 
   uint64_t Next() {
@@ -71,6 +96,7 @@ class Rng {
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
   uint64_t state_[4];
+  uint64_t seed_ = 0;
 };
 
 }  // namespace psp

@@ -1,0 +1,167 @@
+#include "src/fleet/policy.h"
+
+#include <cassert>
+
+namespace psp {
+namespace {
+
+class RandomPolicy final : public FleetDispatchPolicy {
+ public:
+  explicit RandomPolicy(uint32_t n) : n_(n) {}
+  uint32_t Pick(uint32_t, Rng& rng, const FleetDepths&) override {
+    return static_cast<uint32_t>(rng.NextBounded(n_));
+  }
+  std::string Name() const override { return "random"; }
+
+ private:
+  uint32_t n_;
+};
+
+class RssHashPolicy final : public FleetDispatchPolicy {
+ public:
+  explicit RssHashPolicy(uint32_t n) : n_(n) {}
+  uint32_t Pick(uint32_t flow_hash, Rng&, const FleetDepths&) override {
+    // Multiply-shift range reduction: uses the high hash bits, unlike `%`,
+    // which keys off the low bits RSS hashes tend to skew.
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(flow_hash) * n_) >> 32);
+  }
+  std::string Name() const override { return "rss"; }
+
+ private:
+  uint32_t n_;
+};
+
+class RoundRobinPolicy final : public FleetDispatchPolicy {
+ public:
+  explicit RoundRobinPolicy(uint32_t n) : n_(n) {}
+  uint32_t Pick(uint32_t, Rng&, const FleetDepths&) override {
+    const uint32_t pick = next_;
+    next_ = next_ + 1 == n_ ? 0 : next_ + 1;
+    return pick;
+  }
+  std::string Name() const override { return "rr"; }
+
+ private:
+  uint32_t n_;
+  uint32_t next_ = 0;
+};
+
+class PowerOfTwoPolicy final : public FleetDispatchPolicy {
+ public:
+  explicit PowerOfTwoPolicy(uint32_t n) : n_(n) {}
+  uint32_t Pick(uint32_t, Rng& rng, const FleetDepths& depths) override {
+    if (n_ == 1) {
+      return 0;
+    }
+    const uint32_t a = static_cast<uint32_t>(rng.NextBounded(n_));
+    // Second probe distinct from the first (sample without replacement).
+    uint32_t b = static_cast<uint32_t>(rng.NextBounded(n_ - 1));
+    if (b >= a) {
+      ++b;
+    }
+    // Ties go to the first probe: deterministic given the rng draws.
+    return depths.Depth(b) < depths.Depth(a) ? b : a;
+  }
+  std::string Name() const override { return "po2c"; }
+  bool uses_depths() const override { return true; }
+
+ private:
+  uint32_t n_;
+};
+
+class ShortestQueuePolicy final : public FleetDispatchPolicy {
+ public:
+  explicit ShortestQueuePolicy(uint32_t n) : n_(n) {}
+  uint32_t Pick(uint32_t, Rng&, const FleetDepths& depths) override {
+    // Centralized tracker: full argmin over the (bounded-staleness) table,
+    // ties to the lowest server index.
+    uint32_t best = 0;
+    for (uint32_t s = 1; s < n_; ++s) {
+      if (depths.Depth(s) < depths.Depth(best)) {
+        best = s;
+      }
+    }
+    return best;
+  }
+  std::string Name() const override { return "shortest-q"; }
+  bool uses_depths() const override { return true; }
+
+ private:
+  uint32_t n_;
+};
+
+}  // namespace
+
+FleetPolicyConfig FleetPolicyConfig::Default(FleetPolicyKind kind) {
+  FleetPolicyConfig config;
+  config.kind = kind;
+  config.depth_staleness =
+      kind == FleetPolicyKind::kShortestQueue ? 10 * kMicrosecond : 0;
+  return config;
+}
+
+std::string FleetPolicyConfig::Validate() const {
+  if (depth_staleness < 0) {
+    return "fleet policy: depth_staleness must be >= 0";
+  }
+  return "";
+}
+
+std::string FleetPolicyName(FleetPolicyKind kind) {
+  switch (kind) {
+    case FleetPolicyKind::kRandom:
+      return "random";
+    case FleetPolicyKind::kRssHash:
+      return "rss";
+    case FleetPolicyKind::kRoundRobin:
+      return "rr";
+    case FleetPolicyKind::kPowerOfTwo:
+      return "po2c";
+    case FleetPolicyKind::kShortestQueue:
+      return "shortest-q";
+  }
+  return "unknown";
+}
+
+bool ParseFleetPolicy(const std::string& name, FleetPolicyKind* out) {
+  const struct {
+    const char* name;
+    FleetPolicyKind kind;
+  } table[] = {
+      {"random", FleetPolicyKind::kRandom},
+      {"rss", FleetPolicyKind::kRssHash},
+      {"rr", FleetPolicyKind::kRoundRobin},
+      {"round-robin", FleetPolicyKind::kRoundRobin},
+      {"po2c", FleetPolicyKind::kPowerOfTwo},
+      {"shortest-q", FleetPolicyKind::kShortestQueue},
+      {"shortest-queue", FleetPolicyKind::kShortestQueue},
+  };
+  for (const auto& entry : table) {
+    if (name == entry.name) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<FleetDispatchPolicy> FleetDispatchPolicy::Create(
+    const FleetPolicyConfig& config, uint32_t num_servers) {
+  assert(num_servers > 0);
+  switch (config.kind) {
+    case FleetPolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(num_servers);
+    case FleetPolicyKind::kRssHash:
+      return std::make_unique<RssHashPolicy>(num_servers);
+    case FleetPolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>(num_servers);
+    case FleetPolicyKind::kPowerOfTwo:
+      return std::make_unique<PowerOfTwoPolicy>(num_servers);
+    case FleetPolicyKind::kShortestQueue:
+      return std::make_unique<ShortestQueuePolicy>(num_servers);
+  }
+  return nullptr;
+}
+
+}  // namespace psp

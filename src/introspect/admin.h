@@ -16,6 +16,7 @@
 //   GET  /snapshot.json        full TelemetrySnapshot JSON
 //   GET  /timeseries.json      time-series intervals (snapshot JSON subset)
 //   GET  /outliers.json        K-slowest-per-type tail capture
+//   GET  /fleet.json           fleet-wide aggregation (fleet endpoints only)
 //   GET  /healthz              liveness probe ("ok")
 //   POST /trace/start          arm an on-demand bounded Perfetto capture
 //   POST /trace/stop           finish the capture, returns the trace JSON
@@ -55,6 +56,13 @@ struct AdminConfig {
 // 501 when unset.
 struct AdminHooks {
   std::function<TelemetrySnapshot()> snapshot;
+  // Default (unset): /metrics renders snapshot() through
+  // RenderPrometheusText. A fleet endpoint overrides this with its own
+  // exposition page (per-server samples labelled server="N").
+  std::function<std::string()> metrics_text;
+  // GET /fleet.json: the fleet-wide aggregation (FleetSnapshot::ToJson).
+  // Unset (single-server endpoints) answers 404.
+  std::function<std::string()> fleet_json;
   // Default (unset): derived from snapshot() — intervals + type names only.
   std::function<std::string()> timeseries_json;
   std::function<std::string()> outliers_json;

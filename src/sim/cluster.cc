@@ -10,9 +10,17 @@ namespace psp {
 
 ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
                              std::unique_ptr<SchedulingPolicy> policy)
+    : ClusterEngine(std::move(workload), config, std::move(policy),
+                    static_cast<Simulation*>(nullptr)) {}
+
+ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
+                             std::unique_ptr<SchedulingPolicy> policy,
+                             Simulation* sim)
     : workload_(std::move(workload)),
       config_(config),
       policy_(std::move(policy)),
+      sim_(sim != nullptr ? sim : &own_sim_),
+      external_arrivals_(sim != nullptr),
       rng_(config.seed),
       metrics_(static_cast<Nanos>(config.warmup_fraction *
                                   static_cast<double>(config.duration))),
@@ -23,7 +31,7 @@ ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
   // Pre-size the event arena past the usual steady-state pending count
   // (arrival chain + per-worker completions + grid events) so the hot loop
   // never allocates.
-  sim_.Reserve(config_.num_workers + 64);
+  sim_->Reserve(config_.num_workers + 64);
   for (const auto& t : workload_.AllTypes()) {
     metrics_.RegisterType(t.wire_id, t.name);
   }
@@ -110,7 +118,7 @@ void ClusterEngine::ScheduleNextArrival() {
   }
 
   const Nanos send_time = next_send_;
-  sim_.ScheduleAt(send_time, [this, send_time] {
+  sim_->ScheduleAt(send_time, [this, send_time] {
     const MixtureDraw draw = sampler_->Sample(rng_);
     InjectRequest(send_time, sampler_->type(draw.mode).wire_id, draw.mode,
                   draw.service_time);
@@ -140,7 +148,7 @@ void ClusterEngine::InjectRequest(Nanos send_time, TypeId wire_type,
       std::max(rx_time, dispatcher_busy_until_) + config_.dispatch_cost;
   dispatcher_busy_until_ = ready;
   req->ready_time = ready;
-  sim_.ScheduleAt(ready, [this, req] {
+  sim_->ScheduleAt(ready, [this, req] {
     if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
       const size_t slot = SeriesSlotFor(req->wire_type);
       if (slot != SIZE_MAX) {
@@ -157,7 +165,7 @@ void ClusterEngine::ScheduleTraceArrival(size_t index) {
   }
   // Capture the index only (the entry is re-read from trace_ at fire time):
   // keeps the event payload to two words.
-  sim_.ScheduleAt(trace_[index].send_time, [this, index] {
+  sim_->ScheduleAt(trace_[index].send_time, [this, index] {
     const TraceEntry& entry = trace_[index];
     InjectRequest(entry.send_time, entry.wire_type, /*phase_slot=*/0,
                   entry.service);
@@ -165,23 +173,19 @@ void ClusterEngine::ScheduleTraceArrival(size_t index) {
   });
 }
 
-void ClusterEngine::Run() {
-  if (!trace_.empty()) {
-    ScheduleTraceArrival(0);
-  } else {
-    StartPhase(0, 0);
-    ScheduleNextArrival();
-  }
+void ClusterEngine::PrepareExternalRun(Nanos duration) {
   // Pre-scheduled virtual-time rollovers: close every due interval (and run
   // any pending flight-recorder dump) at exact grid points, so idle stretches
   // still produce empty intervals and the series is deterministic.
   if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
     const Nanos interval = ts->config().interval;
-    for (Nanos t = interval; t <= config_.duration; t += interval) {
-      sim_.ScheduleAt(t, [this, t] { telemetry_->AdvanceTimeSeries(t); });
+    for (Nanos t = interval; t <= duration; t += interval) {
+      sim_->ScheduleAt(t, [this, t] { telemetry_->AdvanceTimeSeries(t); });
     }
   }
-  sim_.RunToCompletion();
+}
+
+void ClusterEngine::FinishExternalRun() {
   // Completions tail off past the sending window: flush the final partial
   // interval so the series covers the whole run.
   if (telemetry_->timeseries() != nullptr) {
@@ -197,6 +201,56 @@ void ClusterEngine::Run() {
       telemetry_->RecordEvent(Now(), error);
     }
   }
+}
+
+void ClusterEngine::Run() {
+  assert(!external_arrivals_ &&
+         "fleet-mode engines are driven by the fleet's event loop");
+  if (!trace_.empty()) {
+    ScheduleTraceArrival(0);
+  } else {
+    StartPhase(0, 0);
+    ScheduleNextArrival();
+  }
+  PrepareExternalRun(config_.duration);
+  sim_->RunToCompletion();
+  FinishExternalRun();
+}
+
+void ClusterEngine::InjectExternal(Nanos send_time, TypeId wire_type,
+                                   uint32_t phase_slot, Nanos service) {
+  assert(external_arrivals_);
+  SimRequest* req = AllocRequest();
+  req->id = next_id_++;
+  req->wire_type = wire_type;
+  req->phase_slot = phase_slot;
+  req->service = service;
+  req->remaining = service;
+  req->send_time = send_time;
+  req->flow_hash = static_cast<uint32_t>(rng_.Next());
+  req->ready_time = 0;
+  req->service_start = 0;
+  req->worker = 0;
+  ++generated_;
+
+  // Forwarding hop from the fleet dispatcher to this server's NIC, then the
+  // server's own net-worker/dispatcher serial resource. The hop is timed
+  // from Now() (the instant the dispatcher forwarded), not from send_time:
+  // the client→dispatcher leg already elapsed at the fleet tier.
+  const Nanos rx_time = Now() + config_.net_one_way;
+  const Nanos ready =
+      std::max(rx_time, dispatcher_busy_until_) + config_.dispatch_cost;
+  dispatcher_busy_until_ = ready;
+  req->ready_time = ready;
+  sim_->ScheduleAt(ready, [this, req] {
+    if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
+      const size_t slot = SeriesSlotFor(req->wire_type);
+      if (slot != SIZE_MAX) {
+        ts->RecordArrival(slot, Now());
+      }
+    }
+    policy_->OnArrival(req);
+  });
 }
 
 void ClusterEngine::CompleteRequest(SimRequest* request) {
@@ -242,6 +296,9 @@ void ClusterEngine::CompleteRequest(SimRequest* request) {
       outliers_->Offer(trace, Now());
     }
   }
+  if (completion_hook_) {
+    completion_hook_(*request, receive_time);
+  }
   FreeRequest(request);
 }
 
@@ -263,6 +320,9 @@ void ClusterEngine::DropRequest(SimRequest* request) {
     if (slot != SIZE_MAX) {
       ts->RecordDrop(slot, Now());
     }
+  }
+  if (drop_hook_) {
+    drop_hook_(*request);
   }
   FreeRequest(request);
 }

@@ -7,6 +7,7 @@
 #define PSP_SRC_SIM_CLUSTER_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -107,12 +108,45 @@ class ClusterEngine {
                 std::unique_ptr<SchedulingPolicy> policy,
                 std::vector<TraceEntry> trace);
 
+  // Fleet-server mode (src/fleet): the engine shares `sim` with its sibling
+  // servers, generates no arrivals of its own, and receives requests through
+  // InjectExternal. The fleet layer drives the shared event loop and calls
+  // PrepareExternalRun / FinishExternalRun around it; Run() must not be
+  // called on an engine built this way.
+  ClusterEngine(WorkloadSpec workload, ClusterConfig config,
+                std::unique_ptr<SchedulingPolicy> policy, Simulation* sim);
+
   // Runs the experiment to completion (all sent requests completed/dropped).
   void Run();
 
+  // --- Fleet-server API (external-arrival mode) ----------------------------
+  // Observes every completion (receive_time = client receive instant) or
+  // flow-control drop; the fleet layer uses these for fleet-wide metrics and
+  // outstanding-request tracking. Called before the request is recycled.
+  using CompletionHook = std::function<void(const SimRequest&, Nanos receive)>;
+  using DropHook = std::function<void(const SimRequest&)>;
+  void set_completion_hook(CompletionHook hook) {
+    completion_hook_ = std::move(hook);
+  }
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  // Delivers a classified request into this server's pipeline now: one
+  // forwarding hop (config.net_one_way) to the server NIC, then the
+  // net-worker/dispatcher serial resource. `send_time` stays the client send
+  // instant so per-server metrics remain client-observed.
+  void InjectExternal(Nanos send_time, TypeId wire_type, uint32_t phase_slot,
+                      Nanos service);
+
+  // Schedules the virtual-time time-series grid over [0, duration] on the
+  // shared simulation (external mode's half of Run()'s setup).
+  void PrepareExternalRun(Nanos duration);
+  // Flushes the final partial interval and renders introspection artifacts
+  // (external mode's half of Run()'s teardown).
+  void FinishExternalRun();
+
   // --- Policy-facing API ----------------------------------------------------
-  Simulation& sim() { return sim_; }
-  Nanos Now() const { return sim_.Now(); }
+  Simulation& sim() { return *sim_; }
+  Nanos Now() const { return sim_->Now(); }
   uint32_t num_workers() const { return config_.num_workers; }
   Rng& rng() { return rng_; }
 
@@ -170,7 +204,13 @@ class ClusterEngine {
   WorkloadSpec workload_;
   ClusterConfig config_;
   std::unique_ptr<SchedulingPolicy> policy_;
-  Simulation sim_;
+  // The engine normally owns its simulation; in fleet-server mode sim_
+  // points at the fleet's shared event queue instead.
+  Simulation own_sim_;
+  Simulation* sim_ = &own_sim_;
+  bool external_arrivals_ = false;
+  CompletionHook completion_hook_;
+  DropHook drop_hook_;
   Rng rng_;
   Metrics metrics_;
   std::unique_ptr<Telemetry> telemetry_;

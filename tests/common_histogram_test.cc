@@ -83,6 +83,75 @@ TEST(Histogram, MergeCombinesDistributions) {
   EXPECT_EQ(a.Min(), 100);
 }
 
+TEST(Histogram, MergeEmptySourceIsIdentity) {
+  Histogram a;
+  a.Add(7);
+  a.Add(5000);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.Min(), 7);
+  EXPECT_NEAR(static_cast<double>(a.Max()), 5000, 5);
+  EXPECT_DOUBLE_EQ(a.Mean(), (7.0 + 5000.0) / 2.0);
+}
+
+TEST(Histogram, MergeIntoEmptyCopiesSource) {
+  Histogram a;
+  Histogram b;
+  b.Add(10);
+  b.Add(300000);  // forces b's bucket array past a's initial size
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.Min(), 10);
+  EXPECT_NEAR(static_cast<double>(a.Percentile(100)), 300000, 300);
+}
+
+TEST(Histogram, SelfMergeDoublesCounts) {
+  // Fleet aggregation merges histograms generically; merging a histogram
+  // into itself must not corrupt it (no resize/iterator hazard).
+  Histogram h;
+  for (int i = 0; i < 50; ++i) {
+    h.Add(100);
+    h.Add(1'000'000);
+  }
+  const int64_t p50_before = h.Percentile(50);
+  h.Merge(h);
+  EXPECT_EQ(h.Count(), 200u);
+  EXPECT_EQ(h.Percentile(50), p50_before);
+  EXPECT_EQ(h.Min(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), (100.0 + 1'000'000.0) / 2.0);
+}
+
+TEST(Histogram, MergeMismatchedPopulations) {
+  // Merging a tiny histogram into a large one (and vice versa) keeps counts,
+  // extremes and percentiles consistent — the per-server populations a fleet
+  // rollup merges are rarely the same size.
+  Histogram large;
+  for (int i = 0; i < 10000; ++i) {
+    large.Add(1000);
+  }
+  Histogram small;
+  small.Add(50'000'000);
+  large.Merge(small);
+  EXPECT_EQ(large.Count(), 10001u);
+  EXPECT_EQ(large.Min(), 1000);
+  EXPECT_NEAR(static_cast<double>(large.Max()), 50'000'000, 50'000);
+  // One sample in ten thousand: the tail percentile must surface it, the
+  // median must not move.
+  EXPECT_EQ(large.Percentile(50), 1000);
+  EXPECT_NEAR(static_cast<double>(large.Percentile(100)), 50'000'000, 50'000);
+
+  Histogram other;
+  other.Add(50'000'000);
+  Histogram ten;
+  for (int i = 0; i < 10; ++i) {
+    ten.Add(1000);
+  }
+  other.Merge(ten);
+  EXPECT_EQ(other.Count(), 11u);
+  EXPECT_EQ(other.Percentile(50), 1000);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.Add(123);

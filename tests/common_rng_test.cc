@@ -61,6 +61,64 @@ TEST(Rng, BoundedNeverExceedsBound) {
   }
 }
 
+TEST(Rng, StreamSeedIsPureFunctionOfRootAndStream) {
+  // Stream k's seed must not depend on how many sibling streams exist or in
+  // which order they are derived — the fleet determinism contract: server k's
+  // seed is the same whether the fleet has 2 or 8 servers.
+  const uint64_t direct = Rng::StreamSeed(42, 3);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(Rng::StreamSeed(42, 3), direct);
+  }
+  EXPECT_NE(Rng::StreamSeed(42, 3), Rng::StreamSeed(42, 4));
+  EXPECT_NE(Rng::StreamSeed(42, 3), Rng::StreamSeed(43, 3));
+}
+
+TEST(Rng, SplitIsIndependentOfParentDrawPosition) {
+  // Split derives from the parent's seed, never its evolving state: splitting
+  // after consuming values yields the same child stream.
+  Rng fresh(99);
+  Rng consumed(99);
+  for (int i = 0; i < 1000; ++i) {
+    consumed.Next();
+  }
+  Rng a = fresh.Split(5);
+  Rng b = consumed.Split(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  // Sibling streams (and the parent) must not share a draw sequence, even
+  // for adjacent stream ids and nearby seeds.
+  Rng parent(1);
+  Rng s0 = parent.Split(0);
+  Rng s1 = parent.Split(1);
+  std::set<uint64_t> seen;
+  constexpr int kDraws = 1000;
+  for (int i = 0; i < kDraws; ++i) {
+    seen.insert(parent.Next());
+    seen.insert(s0.Next());
+    seen.insert(s1.Next());
+  }
+  EXPECT_EQ(seen.size(), 3u * kDraws);
+}
+
+TEST(Rng, SplitOfSplitStaysDeterministic) {
+  // Nested splits (fleet -> server -> per-role streams) are reproducible.
+  const uint64_t a = Rng(7).Split(2).Split(9).Next();
+  const uint64_t b = Rng(7).Split(2).Split(9).Next();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SeedAccessorTracksReseeding) {
+  Rng rng(11);
+  EXPECT_EQ(rng.seed(), 11u);
+  rng.Seed(22);
+  EXPECT_EQ(rng.seed(), 22u);
+  EXPECT_EQ(rng.Split(0).seed(), Rng::StreamSeed(22, 0));
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(Rng::min() == 0);
   static_assert(Rng::max() == ~0ULL);

@@ -1,0 +1,163 @@
+// Inter-server dispatch policies: distribution, affinity, depth awareness,
+// determinism, and the name/parse round trip.
+#include "src/fleet/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace psp {
+namespace {
+
+constexpr FleetPolicyKind kAllKinds[] = {
+    FleetPolicyKind::kRandom,      FleetPolicyKind::kRssHash,
+    FleetPolicyKind::kRoundRobin,  FleetPolicyKind::kPowerOfTwo,
+    FleetPolicyKind::kShortestQueue,
+};
+
+FleetDepths DepthsOf(const std::vector<int64_t>& v) {
+  return FleetDepths{v.data(), static_cast<uint32_t>(v.size())};
+}
+
+TEST(FleetPolicy, NamesRoundTrip) {
+  for (const FleetPolicyKind kind : kAllKinds) {
+    FleetPolicyKind parsed;
+    ASSERT_TRUE(ParseFleetPolicy(FleetPolicyName(kind), &parsed))
+        << FleetPolicyName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  FleetPolicyKind parsed;
+  EXPECT_FALSE(ParseFleetPolicy("no-such-policy", &parsed));
+  // Long-form aliases.
+  ASSERT_TRUE(ParseFleetPolicy("shortest-queue", &parsed));
+  EXPECT_EQ(parsed, FleetPolicyKind::kShortestQueue);
+  ASSERT_TRUE(ParseFleetPolicy("round-robin", &parsed));
+  EXPECT_EQ(parsed, FleetPolicyKind::kRoundRobin);
+}
+
+TEST(FleetPolicy, DefaultsAndValidation) {
+  const FleetPolicyConfig po2c =
+      FleetPolicyConfig::Default(FleetPolicyKind::kPowerOfTwo);
+  EXPECT_EQ(po2c.depth_staleness, 0);
+  EXPECT_TRUE(po2c.Validate().empty());
+  const FleetPolicyConfig sq =
+      FleetPolicyConfig::Default(FleetPolicyKind::kShortestQueue);
+  EXPECT_EQ(sq.depth_staleness, 10 * kMicrosecond);
+  FleetPolicyConfig bad = po2c;
+  bad.depth_staleness = -1;
+  EXPECT_FALSE(bad.Validate().empty());
+}
+
+TEST(FleetPolicy, EveryPolicyStaysInRange) {
+  const std::vector<int64_t> depths = {3, 0, 7, 1, 2};
+  for (const FleetPolicyKind kind : kAllKinds) {
+    auto policy = FleetDispatchPolicy::Create(
+        FleetPolicyConfig::Default(kind), 5);
+    Rng rng(1);
+    for (uint32_t i = 0; i < 1000; ++i) {
+      EXPECT_LT(policy->Pick(i * 2654435761u, rng, DepthsOf(depths)), 5u);
+    }
+  }
+}
+
+TEST(FleetPolicy, RandomCoversAllServersRoughlyUniformly) {
+  auto policy = FleetDispatchPolicy::Create(
+      FleetPolicyConfig::Default(FleetPolicyKind::kRandom), 4);
+  Rng rng(7);
+  const std::vector<int64_t> depths(4, 0);
+  int counts[4] = {};
+  constexpr int kPicks = 40000;
+  for (int i = 0; i < kPicks; ++i) {
+    ++counts[policy->Pick(0, rng, DepthsOf(depths))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kPicks / 4, kPicks / 20);
+  }
+}
+
+TEST(FleetPolicy, RoundRobinRotatesExactly) {
+  auto policy = FleetDispatchPolicy::Create(
+      FleetPolicyConfig::Default(FleetPolicyKind::kRoundRobin), 3);
+  Rng rng(1);
+  const std::vector<int64_t> depths(3, 0);
+  for (uint32_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(policy->Pick(0, rng, DepthsOf(depths)), i % 3);
+  }
+}
+
+TEST(FleetPolicy, RssHashIsFlowAffine) {
+  auto policy = FleetDispatchPolicy::Create(
+      FleetPolicyConfig::Default(FleetPolicyKind::kRssHash), 8);
+  Rng rng(1);
+  const std::vector<int64_t> depths(8, 0);
+  // Same flow hash -> same server, always; different hashes spread.
+  std::vector<uint32_t> picks;
+  for (uint32_t flow = 0; flow < 64; ++flow) {
+    const uint32_t hash = flow * 0x9E3779B9u;
+    const uint32_t first = policy->Pick(hash, rng, DepthsOf(depths));
+    for (int repeat = 0; repeat < 10; ++repeat) {
+      EXPECT_EQ(policy->Pick(hash, rng, DepthsOf(depths)), first);
+    }
+    picks.push_back(first);
+  }
+  std::set<uint32_t> distinct(picks.begin(), picks.end());
+  EXPECT_GT(distinct.size(), 4u);  // 64 flows over 8 servers must spread
+}
+
+TEST(FleetPolicy, PowerOfTwoPrefersShallowerOfTwoProbes) {
+  auto policy = FleetDispatchPolicy::Create(
+      FleetPolicyConfig::Default(FleetPolicyKind::kPowerOfTwo), 4);
+  EXPECT_TRUE(policy->uses_depths());
+  Rng rng(3);
+  // Server 2 is drastically deeper: it should receive far fewer picks than
+  // uniform (a po2c probe pair containing it always prefers the other).
+  const std::vector<int64_t> depths = {0, 0, 1000, 0};
+  int counts[4] = {};
+  constexpr int kPicks = 10000;
+  for (int i = 0; i < kPicks; ++i) {
+    ++counts[policy->Pick(0, rng, DepthsOf(depths))];
+  }
+  // Probes sample without replacement, so server 2 always loses the
+  // comparison against a zero-depth sibling: it is never picked.
+  EXPECT_EQ(counts[2], 0);
+  for (int s : {0, 1, 3}) {
+    EXPECT_GT(counts[s], kPicks / 5);
+  }
+}
+
+TEST(FleetPolicy, PowerOfTwoSingleServerDegenerates) {
+  auto policy = FleetDispatchPolicy::Create(
+      FleetPolicyConfig::Default(FleetPolicyKind::kPowerOfTwo), 1);
+  Rng rng(3);
+  const std::vector<int64_t> depths = {42};
+  EXPECT_EQ(policy->Pick(0, rng, DepthsOf(depths)), 0u);
+}
+
+TEST(FleetPolicy, ShortestQueuePicksArgminWithLowestIndexTie) {
+  auto policy = FleetDispatchPolicy::Create(
+      FleetPolicyConfig::Default(FleetPolicyKind::kShortestQueue), 4);
+  EXPECT_TRUE(policy->uses_depths());
+  Rng rng(1);
+  EXPECT_EQ(policy->Pick(0, rng, DepthsOf({5, 2, 8, 2})), 1u);
+  EXPECT_EQ(policy->Pick(0, rng, DepthsOf({0, 0, 0, 0})), 0u);
+  EXPECT_EQ(policy->Pick(0, rng, DepthsOf({9, 9, 9, 1})), 3u);
+}
+
+TEST(FleetPolicy, RandomAndPo2cAreSeedDeterministic) {
+  const std::vector<int64_t> depths = {1, 3, 0, 2};
+  for (const FleetPolicyKind kind :
+       {FleetPolicyKind::kRandom, FleetPolicyKind::kPowerOfTwo}) {
+    auto p1 = FleetDispatchPolicy::Create(FleetPolicyConfig::Default(kind), 4);
+    auto p2 = FleetDispatchPolicy::Create(FleetPolicyConfig::Default(kind), 4);
+    Rng r1(123);
+    Rng r2(123);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_EQ(p1->Pick(0, r1, DepthsOf(depths)),
+                p2->Pick(0, r2, DepthsOf(depths)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psp

@@ -1,0 +1,212 @@
+// FleetRuntime end-to-end: two real Persephone servers behind the front-end
+// dispatch thread, client-observed latency through Submit/harvest, round-robin
+// spread, and the fleet admin plane scraped over a real loopback socket.
+#include "src/fleet/fleet_runtime.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/apps/synthetic.h"
+
+namespace psp {
+namespace {
+
+// Minimal HTTP client against 127.0.0.1:`port`; returns the status line +
+// full response, or "" on transport failure.
+std::string HttpRequest(uint16_t port, const std::string& method,
+                        const std::string& path,
+                        const std::string& body = "") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = method + " " + path +
+                          " HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::write(fd, req.data() + sent, req.size() - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+int Status(const std::string& response) {
+  if (response.compare(0, 5, "HTTP/") != 0) {
+    return -1;
+  }
+  return std::atoi(response.c_str() + response.find(' ') + 1);
+}
+
+FleetRuntimeConfig SmallFleetRuntime(FleetPolicyKind kind,
+                                     uint32_t servers = 2) {
+  FleetRuntimeConfig config;
+  config.num_servers = servers;
+  config.server.num_workers = 2;
+  config.server.pool_buffers = 1024;
+  config.policy = FleetPolicyConfig::Default(kind);
+  return config;
+}
+
+// Submits `total` spin requests, then polls until every dispatched request
+// has come back (or a generous deadline expires).
+void SubmitAndDrain(FleetRuntime& fleet, uint64_t total, Nanos spin) {
+  for (uint64_t i = 0; i < total; ++i) {
+    while (!fleet.Submit(1, static_cast<uint32_t>(i * 2654435761u), &spin,
+                         sizeof(spin))) {
+      std::this_thread::yield();
+    }
+    // A short pause keeps the 2-worker servers from saturating: this is a
+    // smoke test of the plumbing, not a load test.
+    if (i % 64 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const FleetClientReport report = fleet.client_report();
+    if (report.responses + report.dispatch_drops >= total) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(FleetRuntime, DispatchesAndHarvestsAcrossTwoServers) {
+  FleetRuntime fleet(SmallFleetRuntime(FleetPolicyKind::kRoundRobin));
+  fleet.RegisterType(1, "SPIN", MakeSpinHandler(), FromMicros(2), 1.0);
+  fleet.Start();
+
+  constexpr uint64_t kTotal = 600;
+  SubmitAndDrain(fleet, kTotal, FromMicros(2));
+  fleet.Stop();
+
+  const FleetClientReport report = fleet.client_report();
+  EXPECT_EQ(report.submitted, kTotal);
+  EXPECT_EQ(report.dispatched + report.dispatch_drops, kTotal);
+  // At this trivial load, effectively everything comes back; allow for
+  // scheduler-side drops but require real throughput.
+  EXPECT_GT(report.responses, kTotal / 2);
+  EXPECT_GT(report.overall.Count(), 0u);
+  // Spin time is a lower bound on client-observed latency.
+  EXPECT_GE(report.latency.at(1).Min(), FromMicros(2));
+}
+
+TEST(FleetRuntime, RoundRobinSpreadsAcrossServers) {
+  FleetRuntime fleet(SmallFleetRuntime(FleetPolicyKind::kRoundRobin));
+  fleet.RegisterType(1, "SPIN", MakeSpinHandler(), FromMicros(1), 1.0);
+  fleet.Start();
+  SubmitAndDrain(fleet, 400, FromMicros(1));
+  fleet.Stop();
+
+  const FleetClientReport report = fleet.client_report();
+  const uint64_t a = fleet.dispatched(0);
+  const uint64_t b = fleet.dispatched(1);
+  EXPECT_EQ(a + b, report.dispatched);
+  // Round-robin alternates, so the split is even up to dispatch drops.
+  EXPECT_LE(a > b ? a - b : b - a, report.dispatch_drops + 1);
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, 0u);
+}
+
+TEST(FleetRuntime, FleetAdminPlaneServesAggregation) {
+  FleetRuntimeConfig config = SmallFleetRuntime(FleetPolicyKind::kPowerOfTwo);
+  config.admin.enabled = true;  // port 0 = ephemeral
+  FleetRuntime fleet(config);
+  fleet.RegisterType(1, "SPIN", MakeSpinHandler(), FromMicros(1), 1.0);
+  fleet.Start();
+  ASSERT_NE(fleet.admin(), nullptr);
+  ASSERT_GT(fleet.admin_port(), 0);
+  SubmitAndDrain(fleet, 200, FromMicros(1));
+
+  const std::string fleet_json =
+      HttpRequest(fleet.admin_port(), "GET", "/fleet.json");
+  EXPECT_EQ(Status(fleet_json), 200);
+  EXPECT_NE(fleet_json.find("application/json"), std::string::npos);
+  EXPECT_NE(Body(fleet_json).find("\"policy\":\"po2c\""), std::string::npos);
+  EXPECT_NE(Body(fleet_json).find("\"num_servers\":2"), std::string::npos);
+  EXPECT_NE(Body(fleet_json).find("\"servers\":["), std::string::npos);
+
+  const std::string metrics =
+      HttpRequest(fleet.admin_port(), "GET", "/metrics");
+  EXPECT_EQ(Status(metrics), 200);
+  EXPECT_NE(Body(metrics).find("psp_fleet_servers 2"), std::string::npos);
+  EXPECT_NE(Body(metrics).find("server=\"0\""), std::string::npos);
+  EXPECT_NE(Body(metrics).find("server=\"1\""), std::string::npos);
+  EXPECT_NE(Body(metrics).find("server=\"merged\""), std::string::npos);
+
+  // /snapshot.json serves the merged rollup (counters summed across servers).
+  const std::string snapshot =
+      HttpRequest(fleet.admin_port(), "GET", "/snapshot.json");
+  EXPECT_EQ(Status(snapshot), 200);
+  EXPECT_NE(Body(snapshot).find("\"counters\""), std::string::npos);
+  fleet.Stop();
+}
+
+TEST(FleetRuntime, SingleNodeAdminHasNoFleetEndpoint) {
+  // A plain Persephone admin plane (no fleet hooks) 404s on /fleet.json.
+  AdminConfig config;
+  config.enabled = true;
+  AdminHooks hooks;
+  hooks.snapshot = [] { return TelemetrySnapshot{}; };
+  AdminServer server(config, std::move(hooks));
+  ASSERT_EQ(server.Start(), "");
+  EXPECT_EQ(Status(HttpRequest(server.port(), "GET", "/fleet.json")), 404);
+  server.Stop();
+}
+
+TEST(FleetRuntime, RejectsInvalidConfig) {
+  FleetRuntimeConfig bad = SmallFleetRuntime(FleetPolicyKind::kRandom);
+  bad.ingress_depth = 1000;  // not a power of two
+  EXPECT_THROW(FleetRuntime{bad}, std::invalid_argument);
+
+  FleetRuntimeConfig zero = SmallFleetRuntime(FleetPolicyKind::kRandom);
+  zero.num_servers = 0;
+  EXPECT_THROW(FleetRuntime{zero}, std::invalid_argument);
+}
+
+TEST(FleetRuntime, OversizedPayloadIsRefusedAtSubmit) {
+  FleetRuntime fleet(SmallFleetRuntime(FleetPolicyKind::kRandom));
+  fleet.RegisterType(1, "SPIN", MakeSpinHandler(), FromMicros(1), 1.0);
+  fleet.Start();
+  std::byte big[FleetRuntime::kMaxInlinePayload + 1] = {};
+  EXPECT_FALSE(fleet.Submit(1, 0, big, sizeof(big)));
+  EXPECT_EQ(fleet.client_report().submitted, 0u);
+  fleet.Stop();
+}
+
+}  // namespace
+}  // namespace psp

@@ -9,6 +9,7 @@
 // Commands:
 //   metrics            GET /metrics   (--check validates the exposition)
 //   snapshot           GET /snapshot.json
+//   fleet              GET /fleet.json (fleet endpoints only; 404 elsewhere)
 //   timeseries         GET /timeseries.json
 //   outliers           GET /outliers.json
 //   health             GET /healthz
@@ -51,8 +52,8 @@ int UsageError(const char* detail) {
                "pspctl: %s\n"
                "usage: pspctl [--port P | --host H:P | --uds PATH] "
                "[--out FILE] [--check]\n"
-               "              metrics|snapshot|timeseries|outliers|health|"
-               "flight|trace start|stop|set K=V...\n",
+               "              metrics|snapshot|fleet|timeseries|outliers|"
+               "health|flight|trace start|stop|set K=V...\n",
                detail);
   return 1;
 }
@@ -300,6 +301,8 @@ int main(int argc, char** argv) {
     path = "/metrics";
   } else if (cmd == "snapshot") {
     path = "/snapshot.json";
+  } else if (cmd == "fleet") {
+    path = "/fleet.json";
   } else if (cmd == "timeseries") {
     path = "/timeseries.json";
   } else if (cmd == "outliers") {

@@ -1,0 +1,257 @@
+// Ingress-frontend bench: packets/sec and client-observed p99.9 for the
+// three ingress paths behind the IngressSource seam —
+//   ring          in-process LoadGenerator against the simulated-NIC ring
+//                 (the zero-syscall baseline),
+//   udp-yield     real loopback datagrams through the kernel-socket net
+//                 worker with yield-on-idle polling,
+//   udp-adaptive  same socket path with the Metronome-style adaptive sleep
+//                 controller,
+// all at the same offered rate and mix (90% 5us / 10% 200us spins). Rounds
+// are interleaved and each variant keeps its min-across-rounds p99.9, the
+// same shared-box-noise defence micro_introspect uses.
+//
+// A second stage measures what adaptive polling buys: an idle UDP server is
+// held for a fixed window under busy vs adaptive polling and the net
+// worker's CPU fraction (CLOCK_THREAD_CPUTIME_ID over wall) is compared.
+//
+// Gates (exit 1): each socket variant's p99.9 must stay within a bounded
+// factor of the ring baseline (with an absolute floor so a microsecond-level
+// ring round can't fail the socket path on syscall cost alone), and the
+// adaptive idle CPU fraction must undercut busy polling's. Exit 2 =
+// operational failure (loadgen error, nothing served, no idle sample).
+//
+// Env: PSP_BENCH_REQUESTS (per round, default 2000), PSP_BENCH_ROUNDS
+// (default 2), PSP_BENCH_RATE (default 2000), PSP_BENCH_IDLE_MS (default
+// 300), PSP_BENCH_JSON=1 (emit a JSON result line for
+// scripts/bench_report.sh).
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/apps/synthetic.h"
+#include "src/net/udp_loadgen.h"
+#include "src/runtime/loadgen.h"
+#include "src/runtime/persephone.h"
+
+namespace psp {
+namespace {
+
+// Socket p99.9 must stay within this factor of the ring baseline...
+constexpr double kTargetFactor = 25.0;
+// ...or under this absolute floor (syscall cost dominates tiny baselines).
+constexpr double kFloorNanos = 2e6;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0'
+             ? std::strtoull(value, nullptr, 10)
+             : fallback;
+}
+
+RuntimeConfig BaseConfig() {
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.scheduler.mode = PolicyMode::kDarc;
+  config.pool_buffers = 1024;
+  return config;
+}
+
+void RegisterMix(Persephone& server) {
+  server.RegisterType(1, "SHORT", MakeSpinHandler(), FromMicros(5), 0.9);
+  server.RegisterType(2, "LONG", MakeSpinHandler(), FromMicros(200), 0.1);
+}
+
+UdpRequestSpec UdpSpin(uint32_t wire_id, std::string name, double ratio,
+                       Nanos spin) {
+  UdpRequestSpec spec;
+  spec.wire_id = wire_id;
+  spec.name = std::move(name);
+  spec.ratio = ratio;
+  spec.build_payload = [spin](std::byte* payload, uint32_t capacity,
+                              Rng&) -> uint32_t {
+    if (capacity < sizeof(Nanos)) {
+      return 0;
+    }
+    std::memcpy(payload, &spin, sizeof(spin));
+    return sizeof(spin);
+  };
+  return spec;
+}
+
+struct Row {
+  double p999_nanos = 1e18;  // min across rounds
+  double rps = 0;            // best achieved rate across rounds
+  uint64_t received = 0;     // total across rounds
+  bool ok = true;
+};
+
+// One round of the in-process ring baseline: LoadGenerator delivers frames
+// straight into the simulated NIC's RX ring, no kernel in the path.
+void RingRound(double rate, uint64_t requests, uint64_t seed, Row* row) {
+  Persephone server(BaseConfig());
+  RegisterMix(server);
+  server.Start();
+  LoadGenConfig lg;
+  lg.rate_rps = rate;
+  lg.total_requests = requests;
+  lg.seed = seed;
+  LoadGenerator gen(&server,
+                    {MakeSpinSpec(1, "SHORT", 0.9, FromMicros(5)),
+                     MakeSpinSpec(2, "LONG", 0.1, FromMicros(200))},
+                    lg);
+  const LoadGenReport report = gen.Run();
+  server.Stop();
+  if (report.received == 0) {
+    row->ok = false;
+    return;
+  }
+  row->p999_nanos = std::min(
+      row->p999_nanos, static_cast<double>(report.overall.Percentile(99.9)));
+  row->rps = std::max(row->rps, report.AchievedRps());
+  row->received += report.received;
+}
+
+// One round over real loopback datagrams through the kernel-socket frontend.
+void UdpRound(PollPolicy policy, double rate, uint64_t requests, uint64_t seed,
+              Row* row) {
+  RuntimeConfig config = BaseConfig();
+  config.ingress.mode = IngressMode::kUdp;
+  config.ingress.listen_port = 0;  // ephemeral
+  config.ingress.poll.policy = policy;
+  Persephone server(config);
+  RegisterMix(server);
+  server.Start();
+
+  UdpLoadGenConfig lg;
+  lg.port = server.udp_port();
+  lg.rate_rps = rate;
+  lg.total_requests = requests;
+  lg.seed = seed;
+  lg.drain_timeout = 2 * kSecond;
+  UdpLoadGenerator gen({UdpSpin(1, "SHORT", 0.9, FromMicros(5)),
+                        UdpSpin(2, "LONG", 0.1, FromMicros(200))},
+                       lg);
+  std::string error;
+  const UdpLoadGenReport report = gen.Run(&error);
+  server.Stop();
+  if (!error.empty() || report.received == 0) {
+    std::fprintf(stderr, "udp round (%s) failed: %s (received %" PRIu64 ")\n",
+                 PollPolicyName(policy),
+                 error.empty() ? "no responses" : error.c_str(),
+                 report.received);
+    row->ok = false;
+    return;
+  }
+  row->p999_nanos = std::min(
+      row->p999_nanos, static_cast<double>(report.overall.Percentile(99.9)));
+  row->rps = std::max(row->rps, report.AchievedRps());
+  row->received += report.received;
+}
+
+// Holds an idle UDP server for `idle_ms` and returns the net worker's CPU
+// fraction over the window (-1 if no sample landed).
+double IdleCpuFraction(PollPolicy policy, uint64_t idle_ms) {
+  RuntimeConfig config = BaseConfig();
+  config.ingress.mode = IngressMode::kUdp;
+  config.ingress.listen_port = 0;
+  config.ingress.poll.policy = policy;
+  Persephone server(config);
+  RegisterMix(server);
+  server.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(idle_ms));
+  server.Stop();
+  const UdpIngressStats stats = server.udp_ingress()->stats();
+  if (stats.net_wall_nanos == 0) {
+    return -1.0;
+  }
+  return static_cast<double>(stats.net_cpu_nanos) /
+         static_cast<double>(stats.net_wall_nanos);
+}
+
+int Main() {
+  const uint64_t requests = EnvOr("PSP_BENCH_REQUESTS", 2000);
+  const int rounds = static_cast<int>(EnvOr("PSP_BENCH_ROUNDS", 2));
+  const double rate = static_cast<double>(EnvOr("PSP_BENCH_RATE", 2000));
+  const uint64_t idle_ms = EnvOr("PSP_BENCH_IDLE_MS", 300);
+  const bool json = EnvOr("PSP_BENCH_JSON", 0) != 0;
+
+  // Warm-up (TSC calibration, allocator, socket path) — not measured.
+  {
+    Row scratch;
+    RingRound(rate, std::max<uint64_t>(requests / 4, 50), 1, &scratch);
+    UdpRound(PollPolicy::kYield, rate, std::max<uint64_t>(requests / 4, 50),
+             1, &scratch);
+  }
+
+  Row ring, udp_yield, udp_adaptive;
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = 100 + static_cast<uint64_t>(round);
+    RingRound(rate, requests, seed, &ring);
+    UdpRound(PollPolicy::kYield, rate, requests, seed, &udp_yield);
+    UdpRound(PollPolicy::kAdaptive, rate, requests, seed, &udp_adaptive);
+  }
+
+  const double idle_busy = IdleCpuFraction(PollPolicy::kBusy, idle_ms);
+  const double idle_adaptive = IdleCpuFraction(PollPolicy::kAdaptive, idle_ms);
+
+  if (!ring.ok || !udp_yield.ok || !udp_adaptive.ok || idle_busy < 0 ||
+      idle_adaptive < 0) {
+    std::fprintf(stderr, "micro_ingress: operational failure\n");
+    return 2;
+  }
+
+  std::printf("# ingress frontends, %d rounds x %" PRIu64
+              " requests at %.0f rps (90%% 5us / 10%% 200us)\n",
+              rounds, requests, rate);
+  std::printf("%-14s %14s %12s %10s\n", "frontend", "p99.9 (ns)", "rps",
+              "received");
+  std::printf("%-14s %14.0f %12.0f %10" PRIu64 "\n", "ring", ring.p999_nanos,
+              ring.rps, ring.received);
+  std::printf("%-14s %14.0f %12.0f %10" PRIu64 "\n", "udp-yield",
+              udp_yield.p999_nanos, udp_yield.rps, udp_yield.received);
+  std::printf("%-14s %14.0f %12.0f %10" PRIu64 "\n", "udp-adaptive",
+              udp_adaptive.p999_nanos, udp_adaptive.rps,
+              udp_adaptive.received);
+  std::printf("idle net-worker CPU over %" PRIu64
+              " ms: busy %.1f%%, adaptive %.1f%%\n",
+              idle_ms, idle_busy * 100.0, idle_adaptive * 100.0);
+  if (json) {
+    std::printf(
+        "{\"ring_p999_nanos\":%.0f,\"ring_rps\":%.0f,"
+        "\"udp_yield_p999_nanos\":%.0f,\"udp_yield_rps\":%.0f,"
+        "\"udp_adaptive_p999_nanos\":%.0f,\"udp_adaptive_rps\":%.0f,"
+        "\"idle_cpu_busy\":%.4f,\"idle_cpu_adaptive\":%.4f,"
+        "\"target_factor\":%.1f,\"floor_nanos\":%.0f}\n",
+        ring.p999_nanos, ring.rps, udp_yield.p999_nanos, udp_yield.rps,
+        udp_adaptive.p999_nanos, udp_adaptive.rps, idle_busy, idle_adaptive,
+        kTargetFactor, kFloorNanos);
+  }
+
+  const double bound =
+      std::max(kTargetFactor * ring.p999_nanos, kFloorNanos);
+  bool ok = true;
+  for (const auto& [name, row] :
+       {std::pair<const char*, const Row*>{"udp-yield", &udp_yield},
+        {"udp-adaptive", &udp_adaptive}}) {
+    const bool within = row->p999_nanos <= bound;
+    std::printf("socket-tail-check (%s): %s (%.0f ns <= %.0f ns)\n", name,
+                within ? "PASS" : "FAIL", row->p999_nanos, bound);
+    ok = ok && within;
+  }
+  const bool idle_ok = idle_adaptive < idle_busy;
+  std::printf("idle-cpu-check: %s (adaptive %.1f%% < busy %.1f%%)\n",
+              idle_ok ? "PASS" : "FAIL", idle_adaptive * 100.0,
+              idle_busy * 100.0);
+  ok = ok && idle_ok;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace psp
+
+int main() { return psp::Main(); }

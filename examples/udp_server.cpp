@@ -1,0 +1,112 @@
+// UDP-mode Perséphone server: the kernel-socket ingress frontend serving the
+// synthetic spin workload to an *external* client (tools/psp_loadgen).
+//
+//   terminal 1:  ./examples/udp_server --port 9042
+//   terminal 2:  ./tools/psp_loadgen --port 9042 --rate 2000 --requests 5000
+//
+// Flags:
+//   --port P         listen port (0 = ephemeral, printed at startup; default 0)
+//   --workers N      application worker threads (default 2)
+//   --net-workers N  socket-polling net workers; >1 turns on SO_REUSEPORT
+//                    sharding (give the loadgen --flows >= N so the kernel
+//                    has flows to spread) (default 1)
+//   --poll P         net-worker pacing on empty polls: busy | yield |
+//                    adaptive (Metronome-style sleep backoff) (default yield)
+//   --serve-ms N     exit after N ms of serving (default: run until EOF on
+//                    stdin closes — Ctrl-D / kill)
+//
+// Prints "udp: listening on <addr>:<port>" once the sockets are bound;
+// scripts/check.sh's ingress smoke parses that line for the ephemeral port.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/apps/synthetic.h"
+#include "src/runtime/persephone.h"
+
+int main(int argc, char** argv) {
+  uint32_t workers = 2;
+  uint32_t net_workers = 1;
+  int port = 0;
+  int serve_ms = -1;
+  psp::PollPolicy poll = psp::PollPolicy::kYield;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--port" && v != nullptr) {
+      port = std::atoi(v);
+      ++i;
+    } else if (arg == "--workers" && v != nullptr) {
+      workers = static_cast<uint32_t>(std::atoi(v));
+      ++i;
+    } else if (arg == "--net-workers" && v != nullptr) {
+      net_workers = static_cast<uint32_t>(std::atoi(v));
+      ++i;
+    } else if (arg == "--poll" && v != nullptr) {
+      if (std::strcmp(v, "busy") == 0) {
+        poll = psp::PollPolicy::kBusy;
+      } else if (std::strcmp(v, "yield") == 0) {
+        poll = psp::PollPolicy::kYield;
+      } else if (std::strcmp(v, "adaptive") == 0) {
+        poll = psp::PollPolicy::kAdaptive;
+      } else {
+        std::fprintf(stderr, "bad --poll '%s' (busy|yield|adaptive)\n", v);
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--serve-ms" && v != nullptr) {
+      serve_ms = std::atoi(v);
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port P] [--workers N] [--net-workers N] "
+                   "[--poll busy|yield|adaptive] [--serve-ms N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  psp::RuntimeConfig config;
+  config.num_workers = workers;
+  config.scheduler.mode = psp::PolicyMode::kDarc;
+  config.ingress.mode = psp::IngressMode::kUdp;
+  config.ingress.listen_port = port;
+  config.ingress.num_net_workers = net_workers;
+  config.ingress.reuseport = net_workers > 1;
+  config.ingress.poll.policy = poll;
+
+  psp::Persephone server(config);
+  server.RegisterType(/*wire_id=*/1, "SHORT", psp::MakeSpinHandler(),
+                      psp::FromMicros(5), /*expected_ratio=*/0.9);
+  server.RegisterType(/*wire_id=*/2, "LONG", psp::MakeSpinHandler(),
+                      psp::FromMicros(200), /*expected_ratio=*/0.1);
+  server.Start();
+
+  // scripts/check.sh and humans alike read the resolved port off this line.
+  std::printf("udp: listening on %s:%u (%u net worker%s, poll=%s)\n",
+              config.ingress.listen_addr.c_str(), server.udp_port(),
+              net_workers, net_workers == 1 ? "" : "s",
+              psp::PollPolicyName(poll));
+  std::fflush(stdout);
+
+  if (serve_ms >= 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+  } else {
+    // Serve until stdin closes (Ctrl-D, or the parent killing the pipe).
+    while (std::getchar() != EOF) {
+    }
+  }
+
+  server.Stop();
+  const psp::TelemetrySnapshot snap = server.telemetry_snapshot();
+  std::printf("completed %lld requests (rx %lld datagrams, malformed %lld, "
+              "tx %lld)\n",
+              static_cast<long long>(snap.counter("scheduler.completed")),
+              static_cast<long long>(snap.counter("ingress.rx_datagrams")),
+              static_cast<long long>(snap.counter("ingress.malformed")),
+              static_cast<long long>(snap.counter("ingress.tx_datagrams")));
+  return 0;
+}

@@ -22,6 +22,12 @@
 #     fleet p99.9 slowdown at 70% load for any (workload, servers) point
 #     (bench/fig_fleet_policies.cc, paired on one arrival trace); fatal in
 #     full mode, advisory in smoke.
+#   * ingress frontends: the kernel-UDP-socket path's p99.9 must stay within
+#     a bounded factor of the in-process ring baseline (absolute floor
+#     included — syscall cost dominates tiny baselines), and adaptive
+#     polling must burn less idle net-worker CPU than busy polling
+#     (bench/micro_ingress.cc); failed rounds are always fatal, both gates
+#     are fatal in full mode and advisory in smoke.
 #
 # Usage: scripts/bench_report.sh [--smoke] [build-dir] [output-json]
 #   --smoke   short benchmark windows (tier-2 CI gate, see scripts/check.sh)
@@ -42,7 +48,7 @@ cd "$ROOT"
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" \
   --target micro_sim_engine micro_channel fig03_high_bimodal_policies \
-           micro_introspect fig_fleet_policies
+           micro_introspect fig_fleet_policies micro_ingress
 
 WORK="$BUILD/bench_report"
 mkdir -p "$WORK"
@@ -99,6 +105,25 @@ if [ "$INTROSPECT_RC" -ge 2 ]; then
   exit 1
 fi
 
+echo "== micro_ingress (ring vs UDP socket ingress, idle net-worker CPU)"
+if [ "$SMOKE" = 1 ]; then
+  INGRESS_REQS=600 INGRESS_ROUNDS=1 INGRESS_IDLE_MS=150
+else
+  INGRESS_REQS=4000 INGRESS_ROUNDS=3 INGRESS_IDLE_MS=400
+fi
+# Exit 1 is a gate breach (bounded-factor tail or idle-CPU ordering;
+# advisory in smoke, fatal in full via the validator below); exit 2 means
+# rounds failed outright and is always fatal.
+INGRESS_RC=0
+PSP_BENCH_JSON=1 PSP_BENCH_REQUESTS="$INGRESS_REQS" \
+PSP_BENCH_ROUNDS="$INGRESS_ROUNDS" PSP_BENCH_IDLE_MS="$INGRESS_IDLE_MS" \
+  "$BUILD/bench/micro_ingress" >"$WORK/ingress.out" || INGRESS_RC=$?
+cat "$WORK/ingress.out"
+if [ "$INGRESS_RC" -ge 2 ]; then
+  echo "micro_ingress: rounds failed (rc=$INGRESS_RC)" >&2
+  exit 1
+fi
+
 MODE=$([ "$SMOKE" = 1 ] && echo smoke || echo full) \
 FIG03_MS="$FIG03_MS" FLEET_MS="$FLEET_MS" \
 python3 - "$WORK" "$OUT" <<'PY'
@@ -147,6 +172,16 @@ with open(os.path.join(work, "introspect.out")) as f:
 if not introspect:
     errors.append("micro_introspect emitted no JSON result line")
 introspect["target_delta_pct"] = 5.0
+
+# micro_ingress prints a table plus one JSON object line (PSP_BENCH_JSON).
+ingress = {}
+with open(os.path.join(work, "ingress.out")) as f:
+    for line in f.read().splitlines():
+        if line.startswith("{"):
+            ingress = json.loads(line)
+            break
+if not ingress:
+    errors.append("micro_ingress emitted no JSON result line")
 
 def bench(table, name, field):
     if name not in table:
@@ -209,6 +244,7 @@ report = {
     "fleet_duration_ms": int(os.environ["FLEET_MS"]),
     "fleet_policies": fleet,
     "introspect": introspect,
+    "ingress": ingress,
 }
 
 # --- Validation ---------------------------------------------------------------
@@ -291,6 +327,30 @@ if introspect.get("delta_pct", 100.0) >= introspect["target_delta_pct"]:
     gates.append(
         f"scrape-under-load p99 delta {introspect.get('delta_pct'):.2f}% "
         f"above {introspect['target_delta_pct']:.0f}% budget (10 Hz /metrics)")
+
+# Socket-ingress gates: bounded p99.9 factor over the ring baseline (with
+# an absolute floor) and adaptive polling beating busy polling on idle CPU.
+if ingress:
+    bound = max(ingress.get("target_factor", 25.0) *
+                ingress.get("ring_p999_nanos", 0.0),
+                ingress.get("floor_nanos", 2e6))
+    for variant in ("udp_yield", "udp_adaptive"):
+        p999 = ingress.get(f"{variant}_p999_nanos", 0.0)
+        if p999 > bound:
+            gates.append(
+                f"ingress {variant} p99.9 {p999 / 1e3:.0f}us exceeds "
+                f"{bound / 1e3:.0f}us bound "
+                f"({ingress.get('target_factor'):.0f}x ring p99.9 "
+                f"{ingress.get('ring_p999_nanos', 0.0) / 1e3:.0f}us, floor "
+                f"{ingress.get('floor_nanos', 0.0) / 1e3:.0f}us)")
+    idle_busy = ingress.get("idle_cpu_busy", -1.0)
+    idle_adaptive = ingress.get("idle_cpu_adaptive", -1.0)
+    if idle_busy < 0 or idle_adaptive < 0:
+        errors.append("ingress idle-CPU stage produced no samples")
+    elif idle_adaptive >= idle_busy:
+        gates.append(
+            f"ingress adaptive idle CPU {idle_adaptive * 100:.1f}% does not "
+            f"undercut busy polling {idle_busy * 100:.1f}%")
 for msg in gates + fleet_gates:
     if mode == "full":
         errors.append(msg)
@@ -310,6 +370,15 @@ print(f"  spsc cycles/op: {chan['spsc_cycles_per_op']:.1f} single, "
       f"{chan['spsc_burst_cycles_per_op']:.1f} burst")
 print(f"  scrape-under-load p99 delta: {introspect.get('delta_pct', 0):.2f}% "
       f"({introspect.get('scrapes', 0):.0f} scrapes, budget < 5%)")
+if ingress:
+    print(f"  ingress p99.9: ring {ingress.get('ring_p999_nanos', 0) / 1e3:.0f}us, "
+          f"udp-yield {ingress.get('udp_yield_p999_nanos', 0) / 1e3:.0f}us, "
+          f"udp-adaptive {ingress.get('udp_adaptive_p999_nanos', 0) / 1e3:.0f}us "
+          f"(gate: <= {ingress.get('target_factor', 0):.0f}x ring)")
+    print(f"  ingress idle net-worker CPU: busy "
+          f"{ingress.get('idle_cpu_busy', 0) * 100:.1f}%, adaptive "
+          f"{ingress.get('idle_cpu_adaptive', 0) * 100:.1f}% "
+          "(gate: adaptive < busy)")
 for (workload, servers), pols in sorted(by_point.items()):
     if "random" in pols and "po2c" in pols and pols["po2c"] > 0:
         print(f"  fleet {workload} @70% {servers} servers: "

@@ -20,8 +20,12 @@
 #                       (examples/fleet_demo) twice with the same seed and
 #                       require byte-identical fleet.json artifacts, then a
 #                       different seed and require divergence.
+#   ingress           - socket-ingress smoke: a real two-process exchange over
+#                       loopback — examples/udp_server on an ephemeral port
+#                       driven by the external tools/psp_loadgen; responses
+#                       must come back and the server's books must balance.
 #   all               - all of the above.
-# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|all] [build-dir]
+# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|all] [build-dir]
 set -eu
 MODE=${1:-address}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -140,6 +144,64 @@ run_fleet() {
   echo "fleet smoke OK (same-seed byte-identical, seeds diverge)"
 }
 
+# Socket-ingress smoke: the kernel-UDP frontend as an operator would run it —
+# server and load generator in separate processes, datagrams over real
+# loopback sockets. Parses the announced ephemeral port off the server log,
+# requires the loadgen to see responses, and requires the server's shutdown
+# books to show completed requests. Inherits the build tree's sanitizer
+# flags, like run_introspect.
+run_ingress() {
+  local build=${1:-build}
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" --target udp_server psp_loadgen
+  local log="$build/ingress_smoke.log"
+  "$build/examples/udp_server" --port 0 --serve-ms 8000 >"$log" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^udp: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "ingress smoke: udp_server never announced its port" >&2
+    cat "$log" >&2
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  local rc=0
+  "$build/tools/psp_loadgen" --port "$port" --rate 2000 --requests 500 \
+    --json >"$build/ingress_smoke.json" || rc=$?
+  if [ "$rc" = 0 ]; then
+    python3 - "$build/ingress_smoke.json" <<'PY' || rc=$?
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+if report["received"] <= 0:
+    sys.exit(f"loadgen got no responses: {report}")
+print(f"  loadgen: {report['received']}/{report['sent']} responses, "
+      f"overall p99 {report['overall']['p99_us']:.0f}us")
+PY
+  fi
+  # The server exits on its own when the serve window closes; its exit code
+  # surfaces sanitizer findings hit while serving the datagrams.
+  wait "$pid" || rc=$?
+  if [ "$rc" != 0 ]; then
+    echo "ingress smoke FAILED (rc=$rc); server log:" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  local completed
+  completed=$(sed -n 's/^completed \([0-9]*\) requests.*/\1/p' "$log" | head -1)
+  if [ -z "$completed" ] || [ "$completed" = 0 ]; then
+    echo "ingress smoke FAILED: server completed no requests; log:" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  echo "ingress smoke OK (port $port, server completed $completed requests)"
+}
+
 run_bench() {
   local build=${1:-build-bench}
   # Smoke windows: short enough for CI, still runs every gate. The report
@@ -154,8 +216,9 @@ case "$MODE" in
   bench)   run_bench "${2:-build-bench}" ;;
   introspect) run_introspect "${2:-build}" ;;
   fleet)   run_fleet "${2:-build}" ;;
+  ingress) run_ingress "${2:-build}" ;;
   all)     run_address build-asan; run_thread build-tsan; run_fleet build;
-           run_bench build-bench ;;
-  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|all] [build-dir]" >&2
+           run_ingress build; run_bench build-bench ;;
+  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|all] [build-dir]" >&2
      exit 2 ;;
 esac

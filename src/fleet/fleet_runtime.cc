@@ -39,7 +39,7 @@ FleetRuntime::FleetRuntime(FleetRuntimeConfig config)
     : config_(ValidatedFleetConfig(std::move(config))),
       policy_(FleetDispatchPolicy::Create(config_.policy,
                                           config_.num_servers)),
-      ingress_(config_.ingress_depth),
+      ingress_(config_.ingress_depth, /*yield_on_idle=*/true),
       rng_(Rng::StreamSeed(config_.seed, 1)),
       depth_view_(config_.num_servers, 0),
       outstanding_(config_.num_servers, 0),
@@ -122,7 +122,7 @@ bool FleetRuntime::Submit(TypeId wire_type, uint32_t flow_hash,
     entry.payload_length = payload_length;
     std::memcpy(entry.payload, payload, payload_length);
   }
-  if (!ingress_.TryPush(entry)) {
+  if (!ingress_.ring().TryPush(entry)) {
     return false;
   }
   ++next_request_id_;
@@ -205,23 +205,24 @@ bool FleetRuntime::HarvestOneLocked(uint32_t i) {
 
 void FleetRuntime::FrontEndLoop() {
   constexpr size_t kBurst = 16;
+  SubmitEntry batch[kBurst];
   while (!stop_.load(std::memory_order_acquire)) {
     bool did_work = false;
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      SubmitEntry entry;
-      for (size_t n = 0; n < kBurst && ingress_.TryPop(&entry); ++n) {
-        DispatchLocked(entry);
-        did_work = true;
+      const size_t n = ingress_.PollBurst(batch, kBurst);
+      for (size_t i = 0; i < n; ++i) {
+        DispatchLocked(batch[i]);
       }
+      did_work = n > 0;
       for (uint32_t i = 0; i < config_.num_servers; ++i) {
-        for (size_t n = 0; n < kBurst && HarvestOneLocked(i); ++n) {
+        for (size_t h = 0; h < kBurst && HarvestOneLocked(i); ++h) {
           did_work = true;
         }
       }
     }
     if (!did_work) {
-      std::this_thread::yield();
+      ingress_.IdleHint();
     }
   }
   // Final sweep so responses in flight at stop time still count.

@@ -38,6 +38,7 @@
 #include "src/fleet/fleet_snapshot.h"
 #include "src/fleet/policy.h"
 #include "src/introspect/admin.h"
+#include "src/net/ingress.h"
 #include "src/runtime/persephone.h"
 
 namespace psp {
@@ -130,7 +131,11 @@ class FleetRuntime {
   std::vector<std::string> type_names_;  // parallel to registered wire ids
   std::vector<TypeId> type_ids_;
 
-  SpscRing<SubmitEntry> ingress_;
+  // The submit ring behind the same IngressSource seam the per-server
+  // runtime uses (typed SubmitEntry frames instead of packets): the client
+  // pushes into ingress_.ring(), the front-end thread is the single
+  // PollBurst consumer.
+  RingIngressSource<SubmitEntry> ingress_;
   std::thread front_end_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};

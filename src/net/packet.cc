@@ -80,6 +80,49 @@ uint32_t BuildRequestPacket(const RequestFrame& frame, std::byte* buf,
   return total;
 }
 
+uint32_t WrapDatagramFrame(std::byte* buf, uint32_t datagram_length,
+                           const FlowTuple& flow, uint16_t ident) {
+  const uint32_t total =
+      static_cast<uint32_t>(kHeadersSize) + datagram_length;
+  if (total > kMaxPacketSize) {
+    return 0;
+  }
+
+  auto* eth = reinterpret_cast<EthernetHeader*>(buf);
+  eth->dst = kServerMac;
+  eth->src = kClientMac;
+  eth->ether_type = HostToNet16(EthernetHeader::kEtherTypeIpv4);
+
+  auto* ip = reinterpret_cast<Ipv4Header*>(buf + sizeof(EthernetHeader));
+  ip->version_ihl = 0x45;
+  ip->tos = 0;
+  ip->total_length =
+      HostToNet16(static_cast<uint16_t>(total - sizeof(EthernetHeader)));
+  ip->identification = HostToNet16(ident);
+  ip->flags_fragment = HostToNet16(0x4000);
+  ip->ttl = 64;
+  ip->protocol = Ipv4Header::kProtocolUdp;
+  ip->src_addr = HostToNet32(flow.src_addr);
+  ip->dst_addr = HostToNet32(flow.dst_addr);
+  ip->checksum = 0;
+  ip->checksum = Ipv4Checksum(*ip);
+
+  auto* udp = reinterpret_cast<UdpHeader*>(buf + sizeof(EthernetHeader) +
+                                           sizeof(Ipv4Header));
+  udp->src_port = HostToNet16(flow.src_port);
+  udp->dst_port = HostToNet16(flow.dst_port);
+  udp->length = HostToNet16(
+      static_cast<uint16_t>(sizeof(UdpHeader) + datagram_length));
+  udp->checksum = 0;
+  return total;
+}
+
+uint16_t FrameIdent(const std::byte* frame) {
+  const auto* ip =
+      reinterpret_cast<const Ipv4Header*>(frame + sizeof(EthernetHeader));
+  return NetToHost16(ip->identification);
+}
+
 std::optional<ParsedRequest> ParseRequestPacket(const std::byte* data,
                                                 uint32_t length) {
   if (length < kHeadersSize + sizeof(PspHeader)) {

@@ -120,6 +120,21 @@ struct RequestFrame {
 uint32_t BuildRequestPacket(const RequestFrame& frame, std::byte* buf,
                             size_t buf_size);
 
+// Wraps a datagram already sitting at buf + kRequestOffset (as the UDP
+// socket ingress receives it: PspHeader + payload, the kernel having consumed
+// the real Ethernet/IP/UDP framing) into a full frame by synthesizing the
+// three wire headers in front of it, zero-copy. `flow` carries the datagram's
+// real endpoints (host byte order, as in BuildRequestPacket); `ident` is
+// stashed in the IPv4 identification field, where it survives
+// FormatResponseInPlace so the egress path can route the response back out
+// the socket shard the request arrived on. Returns the frame length, or 0 if
+// the datagram does not fit a standard frame.
+uint32_t WrapDatagramFrame(std::byte* buf, uint32_t datagram_length,
+                           const FlowTuple& flow, uint16_t ident);
+
+// Reads back the shard tag WrapDatagramFrame stored (egress side).
+uint16_t FrameIdent(const std::byte* frame);
+
 // Naturally-aligned copy of the wire PspHeader (the packed wire struct's
 // members have alignment 1, which poisons reference binding downstream).
 struct RequestHeaderView {

@@ -1,0 +1,299 @@
+#include "src/net/udp_ingress.h"
+
+#include <arpa/inet.h>
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/time.h"
+
+namespace psp {
+namespace {
+
+// Datagrams per recvmmsg/sendmmsg round; matches the runtime's ingress burst.
+constexpr size_t kBatch = 16;
+
+Nanos ThreadClockNanos(clockid_t clock) {
+  timespec ts{};
+  clock_gettime(clock, &ts);
+  return static_cast<Nanos>(ts.tv_sec) * kSecond + ts.tv_nsec;
+}
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+UdpIngress::UdpIngress(const IngressConfig& config, size_t ring_depth,
+                       MemoryPool* pool, bool yield_on_idle)
+    : config_(config),
+      ring_depth_(ring_depth),
+      pool_(pool),
+      yield_on_idle_(yield_on_idle) {
+  shards_.resize(config_.num_net_workers);
+  for (auto& shard : shards_) {
+    shard.ring = std::make_unique<SpscRing<PacketRef>>(ring_depth_);
+    shard.poller = std::make_unique<PollController>(config_.poll);
+  }
+}
+
+UdpIngress::~UdpIngress() { Close(); }
+
+std::string UdpIngress::Open() {
+  in_addr addr{};
+  if (inet_pton(AF_INET, config_.listen_addr.c_str(), &addr) != 1) {
+    return "ingress: cannot parse listen_addr '" + config_.listen_addr + "'";
+  }
+  listen_addr_host_ = NetToHost32(addr.s_addr);
+
+  uint16_t bound_port = static_cast<uint16_t>(config_.listen_port);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+      Close();
+      return Errno("ingress: socket");
+    }
+    shards_[i].fd = fd;
+    if (config_.reuseport) {
+      const int one = 1;
+      if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+        Close();
+        return Errno("ingress: SO_REUSEPORT");
+      }
+    }
+    // Best-effort buffer sizing: the kernel clamps to its own limits, and a
+    // smaller-than-requested buffer is a throughput matter, not an error.
+    const int buf = config_.socket_buffer_bytes;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_addr = addr;
+    sin.sin_port = htons(bound_port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+      Close();
+      return Errno("ingress: bind");
+    }
+    if (i == 0 && bound_port == 0) {
+      // Ephemeral bind: read the port back so the remaining reuseport shards
+      // (and the caller) target the same one.
+      socklen_t len = sizeof(sin);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len) != 0) {
+        Close();
+        return Errno("ingress: getsockname");
+      }
+      bound_port = ntohs(sin.sin_port);
+    }
+  }
+  port_ = bound_port;
+  return "";
+}
+
+void UdpIngress::Close() {
+  for (auto& shard : shards_) {
+    if (shard.fd >= 0) {
+      ::close(shard.fd);
+      shard.fd = -1;
+    }
+  }
+  port_ = 0;
+}
+
+void UdpIngress::RunNetWorker(uint32_t shard_index,
+                              const std::atomic<bool>& stop) {
+  Shard& shard = shards_[shard_index];
+  PollController& poller = *shard.poller;
+  BufferCache cache(pool_);
+
+  // Datagram capacity per buffer: the frame must also hold the synthesized
+  // headers and stay inside a standard frame.
+  const size_t cap =
+      std::min(pool_->buffer_size(), kMaxPacketSize) - kRequestOffset;
+
+  const Nanos wall_start = ThreadClockNanos(CLOCK_MONOTONIC);
+  const Nanos cpu_start = ThreadClockNanos(CLOCK_THREAD_CPUTIME_ID);
+
+  std::vector<std::byte*> bufs;  // receive slots for the next round
+  bufs.reserve(kBatch);
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    while (bufs.size() < kBatch) {
+      std::byte* buf = cache.Alloc();
+      if (buf == nullptr) {
+        break;  // pool exhausted: poll with what we have
+      }
+      bufs.push_back(buf);
+    }
+    if (bufs.empty()) {
+      // Every buffer is in flight; wait for the pipeline to recycle some.
+      poller.OnIdle();
+      continue;
+    }
+
+    sockaddr_in addrs[kBatch];
+    int received = 0;
+#if defined(__linux__)
+    mmsghdr msgs[kBatch];
+    iovec iovs[kBatch];
+    std::memset(msgs, 0, sizeof(mmsghdr) * bufs.size());
+    for (size_t i = 0; i < bufs.size(); ++i) {
+      iovs[i] = {bufs[i] + kRequestOffset, cap};
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+    }
+    received = ::recvmmsg(shard.fd, msgs, static_cast<unsigned>(bufs.size()),
+                          0, nullptr);
+#else
+    // Portable fallback: one datagram per round.
+    socklen_t addr_len = sizeof(addrs[0]);
+    const ssize_t r =
+        ::recvfrom(shard.fd, bufs[0] + kRequestOffset, cap, 0,
+                   reinterpret_cast<sockaddr*>(&addrs[0]), &addr_len);
+    received = r < 0 ? -1 : 1;
+    size_t fallback_len = r < 0 ? 0 : static_cast<size_t>(r);
+#endif
+
+    if (received <= 0) {
+      poller.OnIdle();
+      continue;
+    }
+    poller.OnWork();
+
+    size_t kept = 0;  // slots in bufs[] still free after this round
+    for (int i = 0; i < received; ++i) {
+      std::byte* buf = bufs[i];
+#if defined(__linux__)
+      const size_t len = msgs[i].msg_len;
+      const bool truncated = (msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0;
+#else
+      const size_t len = fallback_len;
+      const bool truncated = false;
+#endif
+      // The net worker's validation mirrors the paper's layer-2 forwarder:
+      // cheap structural checks only; full parsing stays with the dispatcher.
+      uint32_t magic = 0;
+      if (len >= sizeof(PspHeader)) {
+        std::memcpy(&magic, buf + kRequestOffset, sizeof(magic));
+      }
+      if (truncated || len < sizeof(PspHeader) || magic != PspHeader::kMagic) {
+        rx_malformed_.fetch_add(1, std::memory_order_relaxed);
+        bufs[kept++] = buf;  // reuse the slot next round
+        continue;
+      }
+
+      FlowTuple flow;
+      flow.src_addr = NetToHost32(addrs[i].sin_addr.s_addr);
+      flow.src_port = ntohs(addrs[i].sin_port);
+      flow.dst_addr = listen_addr_host_;
+      flow.dst_port = port_;
+      const uint32_t frame_len = WrapDatagramFrame(
+          buf, static_cast<uint32_t>(len), flow,
+          static_cast<uint16_t>(shard_index));
+      if (frame_len == 0) {
+        rx_malformed_.fetch_add(1, std::memory_order_relaxed);
+        bufs[kept++] = buf;
+        continue;
+      }
+
+      PacketRef pkt{buf, frame_len, TscClock::Global().Now(), 0};
+      if (shard.ring->TryPush(pkt)) {
+        rx_datagrams_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ring_full_drops_.fetch_add(1, std::memory_order_relaxed);
+        bufs[kept++] = buf;
+      }
+    }
+    // Untouched slots (beyond `received`) stay available too.
+    for (size_t i = static_cast<size_t>(received); i < bufs.size(); ++i) {
+      bufs[kept++] = bufs[i];
+    }
+    bufs.resize(kept);
+  }
+
+  for (std::byte* buf : bufs) {
+    cache.Free(buf);
+  }
+  net_cpu_nanos_.fetch_add(
+      static_cast<uint64_t>(ThreadClockNanos(CLOCK_THREAD_CPUTIME_ID) -
+                            cpu_start),
+      std::memory_order_relaxed);
+  net_wall_nanos_.fetch_add(
+      static_cast<uint64_t>(ThreadClockNanos(CLOCK_MONOTONIC) - wall_start),
+      std::memory_order_relaxed);
+}
+
+size_t UdpIngress::PollBurst(PacketRef* out, size_t max_n) {
+  size_t total = 0;
+  const size_t n = shards_.size();
+  for (size_t i = 0; i < n && total < max_n; ++i) {
+    Shard& shard = shards_[(next_shard_ + i) % n];
+    total += shard.ring->TryPopBurst(out + total, max_n - total);
+  }
+  next_shard_ = (next_shard_ + 1) % n;
+  return total;
+}
+
+void UdpIngress::IdleHint() {
+  if (yield_on_idle_) {
+    std::this_thread::yield();
+  }
+}
+
+size_t UdpIngress::SendBurst(const PacketRef* frames, size_t n,
+                             uint32_t queue) {
+  (void)queue;  // the shard tag inside each frame names the TX socket
+  for (size_t i = 0; i < n; ++i) {
+    const PacketRef& pkt = frames[i];
+    const auto* ip = reinterpret_cast<const Ipv4Header*>(
+        pkt.data + sizeof(EthernetHeader));
+    const auto* udp = reinterpret_cast<const UdpHeader*>(
+        pkt.data + sizeof(EthernetHeader) + sizeof(Ipv4Header));
+    const uint16_t shard_tag = FrameIdent(pkt.data);
+    const int fd = shards_[shard_tag % shards_.size()].fd;
+
+    // FormatResponseInPlace already swapped the endpoints: the frame's
+    // destination (network byte order throughout) is the original client.
+    sockaddr_in dst{};
+    dst.sin_family = AF_INET;
+    dst.sin_addr.s_addr = ip->dst_addr;
+    dst.sin_port = udp->dst_port;
+
+    const ssize_t sent = ::sendto(
+        fd, pkt.data + kRequestOffset, pkt.length - kHeadersSize, 0,
+        reinterpret_cast<const sockaddr*>(&dst), sizeof(dst));
+    if (sent >= 0) {
+      tx_datagrams_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      tx_drops_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pool_->FreeGlobal(pkt.data);
+  }
+  return n;
+}
+
+UdpIngressStats UdpIngress::stats() const {
+  UdpIngressStats s;
+  s.rx_datagrams = rx_datagrams_.load(std::memory_order_relaxed);
+  s.rx_malformed = rx_malformed_.load(std::memory_order_relaxed);
+  s.ring_full_drops = ring_full_drops_.load(std::memory_order_relaxed);
+  s.tx_datagrams = tx_datagrams_.load(std::memory_order_relaxed);
+  s.tx_drops = tx_drops_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    s.sleeps += shard.poller->sleeps();
+    s.slept_nanos += static_cast<uint64_t>(shard.poller->slept_nanos());
+  }
+  s.net_cpu_nanos = net_cpu_nanos_.load(std::memory_order_relaxed);
+  s.net_wall_nanos = net_wall_nanos_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace psp

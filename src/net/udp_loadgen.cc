@@ -1,0 +1,190 @@
+#include "src/net/udp_loadgen.h"
+
+#include <arpa/inet.h>
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "src/net/packet.h"
+
+namespace psp {
+namespace {
+
+// Datagram scratch: PSP header + payload must fit a standard frame's payload.
+constexpr size_t kDatagramCap = kMaxPacketSize - kHeadersSize;
+
+}  // namespace
+
+UdpLoadGenerator::UdpLoadGenerator(std::vector<UdpRequestSpec> mix,
+                                   UdpLoadGenConfig config)
+    : mix_(std::move(mix)), config_(config) {
+  assert(!mix_.empty());
+  double total = 0;
+  for (const auto& m : mix_) {
+    total += m.ratio;
+  }
+  double acc = 0;
+  for (const auto& m : mix_) {
+    acc += m.ratio / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;
+}
+
+UdpLoadGenReport UdpLoadGenerator::Run(std::string* error) {
+  UdpLoadGenReport report;
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why + ": " + std::strerror(errno);
+    }
+    return report;
+  };
+
+  sockaddr_in server{};
+  server.sin_family = AF_INET;
+  server.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &server.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "cannot parse host '" + config_.host + "'";
+    }
+    return report;
+  }
+
+  std::vector<int> fds;
+  const auto close_all = [&]() {
+    for (int fd : fds) {
+      ::close(fd);
+    }
+  };
+  for (uint32_t i = 0; i < std::max(1u, config_.num_flows); ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+      close_all();
+      return fail("socket");
+    }
+    fds.push_back(fd);
+    const int buf = config_.socket_buffer_bytes;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+    // connect() pins this flow's ephemeral source port — the reuseport
+    // steering key — and lets us use send()/recv().
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&server), sizeof(server)) !=
+        0) {
+      close_all();
+      return fail("connect");
+    }
+  }
+
+  Rng rng(config_.seed);
+  const TscClock& clock = TscClock::Global();
+  const double gap_mean = 1e9 / config_.rate_rps;
+
+  for (const auto& m : mix_) {
+    report.latency[m.wire_id];  // pre-create slots
+  }
+
+  const Nanos start = clock.Now();
+  const uint64_t warmup_cutoff = static_cast<uint64_t>(
+      config_.warmup_fraction * static_cast<double>(config_.total_requests));
+  Nanos next_send = start;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  Nanos last_activity = start;
+  std::byte datagram[kDatagramCap];
+  size_t drain_cursor = 0;
+
+  // Pull one response off any client socket; false when all are empty.
+  const auto drain_one = [&]() -> bool {
+    for (size_t i = 0; i < fds.size(); ++i) {
+      const int fd = fds[(drain_cursor + i) % fds.size()];
+      std::byte in[kDatagramCap];
+      const ssize_t r = ::recv(fd, in, sizeof(in), 0);
+      if (r < static_cast<ssize_t>(sizeof(PspHeader))) {
+        continue;
+      }
+      PspHeader psp;
+      std::memcpy(&psp, in, sizeof(psp));
+      if (psp.magic != PspHeader::kMagic) {
+        continue;
+      }
+      const Nanos now = clock.Now();
+      if (psp.request_id >= warmup_cutoff) {
+        const Nanos latency = now - psp.client_timestamp;
+        report.latency[psp.request_type].Add(latency);
+        report.overall.Add(latency);
+      }
+      ++received;
+      last_activity = now;
+      drain_cursor = (drain_cursor + i) % fds.size();
+      return true;
+    }
+    return false;
+  };
+
+  while (sent < config_.total_requests) {
+    const Nanos now = clock.Now();
+    if (now >= next_send) {
+      const double u = rng.NextDouble();
+      const size_t slot = static_cast<size_t>(
+          std::upper_bound(cumulative_.begin(), cumulative_.end(), u) -
+          cumulative_.begin());
+      const auto& spec = mix_[std::min(slot, mix_.size() - 1)];
+
+      PspHeader psp;
+      psp.magic = PspHeader::kMagic;
+      psp.request_type = spec.wire_id;
+      psp.request_id = sent;
+      psp.client_id = static_cast<uint32_t>(sent % fds.size());
+      psp.client_timestamp = clock.Now();
+      const uint32_t payload_len =
+          spec.build_payload
+              ? spec.build_payload(
+                    datagram + sizeof(PspHeader),
+                    static_cast<uint32_t>(kDatagramCap - sizeof(PspHeader)),
+                    rng)
+              : 0;
+      psp.payload_length = payload_len;
+      std::memcpy(datagram, &psp, sizeof(psp));
+
+      const int fd = fds[sent % fds.size()];
+      if (::send(fd, datagram, sizeof(PspHeader) + payload_len, 0) < 0) {
+        ++report.send_drops;
+      }
+      ++sent;
+      // Open loop: next send time never depends on responses.
+      double uu = rng.NextDouble();
+      if (uu <= 0) {
+        uu = 1e-18;
+      }
+      next_send += static_cast<Nanos>(-gap_mean * std::log(1.0 - uu)) + 1;
+      last_activity = now;
+    } else if (!drain_one()) {
+      std::this_thread::yield();
+    }
+  }
+
+  // Drain outstanding responses until quiescent or timeout. send_drops never
+  // produce responses; anything else lost on the wire hits the timeout.
+  while (received + report.send_drops < sent) {
+    if (!drain_one()) {
+      if (clock.Now() - last_activity > config_.drain_timeout) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  close_all();
+  report.sent = sent;
+  report.received = received;
+  report.elapsed = clock.Now() - start;
+  return report;
+}
+
+}  // namespace psp

@@ -1,0 +1,88 @@
+// Socket-side open-loop load generator: the external client for the UDP
+// ingress frontend. Plays the same role as the in-process LoadGenerator
+// (src/runtime/loadgen.h) — Poisson arrivals of typed requests, client-side
+// latency histograms — but speaks real datagrams from its own process, so it
+// measures the full path: kernel TX, loopback/NIC, recvmmsg net worker,
+// dispatch, worker, sendmsg back.
+//
+// Deliberately depends only on src/common + the wire format: tools/psp_loadgen
+// links this without pulling in the server runtime.
+#ifndef PSP_SRC_NET_UDP_LOADGEN_H_
+#define PSP_SRC_NET_UDP_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace psp {
+
+// One request type in the client mix (wire-level: no TypeId/registry here).
+// build_payload fills the application payload after the PSP header and
+// returns its length.
+struct UdpRequestSpec {
+  uint32_t wire_id = 0;
+  std::string name;
+  double ratio = 0;
+  std::function<uint32_t(std::byte* payload, uint32_t capacity, Rng& rng)>
+      build_payload;
+};
+
+struct UdpLoadGenConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double rate_rps = 2000;
+  uint64_t total_requests = 1000;
+  uint64_t seed = 1;
+  // Client sockets. Each connect()s from its own ephemeral source port, so
+  // with the server in reuseport mode the kernel spreads these flows across
+  // the net-worker shards. Requests round-robin over the flows.
+  uint32_t num_flows = 1;
+  // Discard this fraction of earliest sends from the report (matches the
+  // in-process LoadGenerator's warmup handling).
+  double warmup_fraction = 0.1;
+  // Give up waiting for outstanding responses this long after the last
+  // activity (datagrams are lossy by design).
+  Nanos drain_timeout = 500 * kMillisecond;
+  int socket_buffer_bytes = 1 << 20;
+};
+
+struct UdpLoadGenReport {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t send_drops = 0;  // kernel refused the datagram (buffer full)
+  Nanos elapsed = 0;
+  std::map<uint32_t, Histogram> latency;  // client-observed RTT per wire_id
+  Histogram overall;
+
+  double AchievedRps() const {
+    return elapsed > 0
+               ? static_cast<double>(sent) * 1e9 / static_cast<double>(elapsed)
+               : 0;
+  }
+};
+
+class UdpLoadGenerator {
+ public:
+  UdpLoadGenerator(std::vector<UdpRequestSpec> mix, UdpLoadGenConfig config);
+
+  // Opens the client sockets, runs the open loop in the calling thread until
+  // every request is sent and responses are drained (or the drain timeout
+  // expires), then closes the sockets. On socket setup failure, returns a
+  // report with sent == 0 and puts the reason in *error if non-null.
+  UdpLoadGenReport Run(std::string* error = nullptr);
+
+ private:
+  std::vector<UdpRequestSpec> mix_;
+  std::vector<double> cumulative_;
+  UdpLoadGenConfig config_;
+};
+
+}  // namespace psp
+
+#endif  // PSP_SRC_NET_UDP_LOADGEN_H_

@@ -65,6 +65,9 @@ std::string RuntimeConfig::Validate() const {
     return "runtime: outlier capture requires telemetry.enable_tracing (the "
            "feed is sampled lifecycle traces)";
   }
+  if (const std::string error = ingress.Validate(); !error.empty()) {
+    return "runtime: " + error;
+  }
   // Validate the scheduler config with the worker count the runtime will
   // actually impose on it.
   SchedulerConfig effective = scheduler;
@@ -95,8 +98,26 @@ Persephone::Persephone(RuntimeConfig config) : config_(std::move(config)) {
     channels_.push_back(std::make_unique<WorkerChannel>(config_.channel_depth));
     worker_counters_.push_back(std::make_unique<WorkerCounters>());
   }
-  if (config_.dedicated_net_worker) {
-    net_ring_ = std::make_unique<SpscRing<PacketRef>>(config_.nic_queue_depth);
+  // Wire the ingress/egress seam for the configured mode (see the member
+  // comment in the header for the map).
+  if (config_.ingress.mode == IngressMode::kUdp) {
+    udp_ = std::make_unique<UdpIngress>(config_.ingress,
+                                        config_.nic_queue_depth, pool_.get(),
+                                        config_.yield_when_idle);
+    ingress_source_ = udp_.get();
+    egress_sink_ = udp_.get();
+  } else {
+    nic_sink_ = std::make_unique<NicEgressSink>(nic_.get());
+    egress_sink_ = nic_sink_.get();
+    if (config_.ingress.dedicated_net_worker) {
+      ring_source_ = std::make_unique<RingIngressSource<PacketRef>>(
+          config_.nic_queue_depth, config_.yield_when_idle);
+      ingress_source_ = ring_source_.get();
+    } else {
+      nic_source_ = std::make_unique<NicIngressSource>(
+          nic_.get(), 0, config_.yield_when_idle);
+      ingress_source_ = nic_source_.get();
+    }
   }
   // Slot 0 (UNKNOWN) default handler: empty response.
   handlers_.push_back([](const std::byte*, uint32_t, std::byte*, uint32_t) {
@@ -161,7 +182,24 @@ void Persephone::Start() {
       scheduler_->profiler().HasDemands()) {
     scheduler_->ActivateSeededReservation(TscClock::Global().Now());
   }
-  if (config_.dedicated_net_worker) {
+  if (udp_) {
+    // Bind the shard sockets before any engine thread exists, so a failure
+    // (port taken, bad address) aborts the start cleanly.
+    if (const std::string error = udp_->Open(); !error.empty()) {
+      if (admin_) {
+        admin_->Stop();
+      }
+      throw std::runtime_error(error);
+    }
+    for (uint32_t i = 0; i < config_.ingress.num_net_workers; ++i) {
+      threads_.emplace_back([this, i] {
+        if (config_.pin_threads) {
+          PinCurrentThread(i);  // shard 0 shares core 0 with the dispatcher
+        }
+        udp_->RunNetWorker(i, stop_);
+      });
+    }
+  } else if (config_.ingress.dedicated_net_worker) {
     threads_.emplace_back([this] { NetWorkerLoop(); });
   }
   threads_.emplace_back([this] { DispatcherLoop(); });
@@ -190,6 +228,20 @@ void Persephone::Stop() {
     t.join();
   }
   threads_.clear();
+  // Release frames the dispatcher never consumed (net-worker forwarding
+  // rings, NIC RX) so the pool's buffer accounting balances across restarts.
+  {
+    PacketRef leftover[kIngressBurst];
+    size_t n;
+    while ((n = ingress_source_->PollBurst(leftover, kIngressBurst)) > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        pool_->FreeGlobal(leftover[i].data);
+      }
+    }
+  }
+  if (udp_) {
+    udp_->Close();
+  }
   // Drain completion signals the dispatcher had not absorbed before the stop
   // flag landed, so scheduler-side counts (the single source of truth for
   // `completed`) match the work the workers actually finished.
@@ -241,6 +293,18 @@ TelemetrySnapshot Persephone::telemetry_snapshot() const {
   TelemetrySnapshot snap = telemetry_->Snapshot();
   scheduler_->ExportTelemetry(&snap);
   snap.counters["nic.rx_drops"] += nic_->rx_drops();
+  if (udp_) {
+    // Socket-frontend counters, folded in here so psp_net stays free of the
+    // telemetry dependency.
+    const UdpIngressStats s = udp_->stats();
+    snap.counters["ingress.rx_datagrams"] += s.rx_datagrams;
+    snap.counters["ingress.malformed"] += s.rx_malformed;
+    snap.counters["ingress.ring_full_drops"] += s.ring_full_drops;
+    snap.counters["ingress.tx_datagrams"] += s.tx_datagrams;
+    snap.counters["ingress.tx_drops"] += s.tx_drops;
+    snap.counters["ingress.poll_sleeps"] += s.sleeps;
+    snap.counters["ingress.poll_slept_nanos"] += s.slept_nanos;
+  }
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
     const WorkerUtilization u = worker_utilization(w);
     const std::string prefix = "worker." + std::to_string(w);
@@ -356,7 +420,10 @@ void Persephone::NetWorkerLoop() {
   // checks on Ethernet and IP headers" (§6) before handing frames to the
   // dispatcher. Full request parsing/classification stays on the dispatcher.
   // Frames are gathered and forwarded in bursts (DPDK rx_burst-style): one
-  // shared-index update per burst on the forwarding ring.
+  // shared-index update per burst on the forwarding ring. Empty polls follow
+  // the configured pacing policy, like the UDP net workers.
+  PollController poller(config_.ingress.poll);
+  SpscRing<PacketRef>& ring = ring_source_->ring();
   PacketRef batch[kIngressBurst];
   while (!stop_.load(std::memory_order_acquire)) {
     size_t n = 0;
@@ -378,12 +445,13 @@ void Persephone::NetWorkerLoop() {
       batch[n++] = packet;
     }
     if (n == 0) {
-      IdlePause();
+      poller.OnIdle();
       continue;
     }
+    poller.OnWork();
     size_t forwarded = 0;
     while (forwarded < n) {
-      forwarded += net_ring_->TryPushBurst(batch + forwarded, n - forwarded);
+      forwarded += ring.TryPushBurst(batch + forwarded, n - forwarded);
       if (forwarded < n) {
         if (stop_.load(std::memory_order_acquire)) {
           for (size_t i = forwarded; i < n; ++i) {
@@ -439,7 +507,7 @@ void Persephone::DispatcherLoop() {
     // 2. Ingest new packets in bursts (one ring-index update per batch):
     // parse, classify, enqueue into typed queues.
     size_t n_rx;
-    while ((n_rx = PollIngressBurst(ingress, kIngressBurst)) > 0) {
+    while ((n_rx = ingress_source_->PollBurst(ingress, kIngressBurst)) > 0) {
       progressed = true;
       for (size_t rx = 0; rx < n_rx; ++rx) {
         IngestPacket(ingress[rx], now, &sampler, ts);
@@ -465,7 +533,9 @@ void Persephone::DispatcherLoop() {
     }
 
     if (!progressed) {
-      IdlePause();
+      // Let the source pace the idle round (yield, or nothing when the
+      // runtime is configured to busy-poll).
+      ingress_source_->IdleHint();
     }
   }
 }
@@ -562,10 +632,12 @@ void Persephone::SampleTimeSeriesGauges(IntervalRecord* rec) {
 
 void Persephone::WorkerLoop(uint32_t worker_id) {
   if (config_.pin_threads) {
-    PinCurrentThread(worker_id + 1);
+    // App workers start after the net-worker cores (see the core map in the
+    // header): base 1 covers the inline/dedicated ring paths, where net I/O
+    // shares core 0 with the dispatcher.
+    PinCurrentThread(std::max<uint32_t>(1, NumNetThreads()) + worker_id);
   }
   const TscClock& clock = TscClock::Global();
-  NetworkContext ctx(nic_.get(), worker_id + 1);
   WorkerChannel& channel = *channels_[worker_id];
   WorkerCounters& counters = *worker_counters_[worker_id];
   counters.started_at.store(clock.Now(), std::memory_order_relaxed);
@@ -601,7 +673,8 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
     }
 
     const uint32_t frame_len = FormatResponseInPlace(frame, response_len);
-    if (!ctx.Transmit(PacketRef{frame, frame_len})) {
+    const PacketRef response{frame, frame_len};
+    if (egress_sink_->SendBurst(&response, 1, worker_id + 1) == 0) {
       // Egress full (client not draining): release the buffer.
       pool_->FreeGlobal(frame);
     }

@@ -27,7 +27,9 @@
 #include "src/core/scheduler.h"
 #include "src/introspect/admin.h"
 #include "src/introspect/outliers.h"
+#include "src/net/ingress.h"
 #include "src/net/nic.h"
+#include "src/net/udp_ingress.h"
 #include "src/runtime/channel.h"
 #include "src/telemetry/telemetry.h"
 
@@ -51,16 +53,22 @@ struct RuntimeConfig {
   // paper's testbed).
   bool yield_when_idle = true;
   // Best-effort CPU pinning (the paper's testbed pins every role to a
-  // dedicated core via isolcpus): dispatcher (and net worker) on core 0,
-  // workers on cores 1..N modulo the machine's core count. No-op when the
-  // machine has fewer cores than threads or pinning is unsupported.
+  // dedicated core via isolcpus). Core map, with T = net-worker thread count
+  // (0 on the inline ring path, 1 for ring + dedicated_net_worker,
+  // ingress.num_net_workers in udp mode), everything modulo the online core
+  // count:
+  //   core 0              dispatcher, sharing with net worker 0 when one
+  //                       exists (the paper's shared-hardware-thread
+  //                       arrangement, §5.1)
+  //   cores 1 .. T-1      net workers 1 .. T-1 (udp mode with several shards)
+  //   core max(1,T) + w   application worker w
+  // No-op when the machine has fewer than two cores or pinning is
+  // unsupported.
   bool pin_threads = false;
-  // Run the net worker on its own thread (the Shinjuku/Shenango arrangement).
-  // Default false: net worker and dispatcher share one thread, Perséphone's
-  // own configuration ("Perséphone runs both its net worker and dispatcher
-  // on the same hardware thread", §5.1). The net worker performs the paper's
-  // layer-2 checks and forwards frames to the dispatcher over an SPSC ring.
-  bool dedicated_net_worker = false;
+  // Ingress frontend: where request frames come from (in-process ring vs
+  // kernel UDP sockets), net-worker threading and poll pacing. See
+  // src/net/ingress.h.
+  IngressConfig ingress;
   // Observability: lifecycle-trace sampling + ring sizing (see
   // src/telemetry/telemetry.h). Counters are always on.
   TelemetryConfig telemetry;
@@ -128,6 +136,12 @@ class Persephone {
   SimulatedNic& nic() { return *nic_; }
   MemoryPool& pool() { return *pool_; }
 
+  // UDP mode: the bound listen port (resolves an ephemeral bind; valid after
+  // Start()). 0 in ring mode or before the sockets are open.
+  uint16_t udp_port() const { return udp_ ? udp_->port() : 0; }
+  // UDP mode: the socket frontend, for its counters (nullptr in ring mode).
+  const UdpIngress* udp_ingress() const { return udp_.get(); }
+
   const DarcScheduler& scheduler() const { return *scheduler_; }
 
   // --- Observability ----------------------------------------------------------
@@ -165,26 +179,14 @@ class Persephone {
   // shallow enough not to add queueing delay at the dispatch stage.
   static constexpr size_t kIngressBurst = 16;
 
-  // Pulls the next ingress frame from whichever path is configured (direct
-  // NIC poll, or the net worker's forwarding ring).
-  bool PollIngress(PacketRef* out) {
-    if (config_.dedicated_net_worker) {
-      return net_ring_->TryPop(out);
+  // Net-worker threads this configuration runs (see the pin_threads core
+  // map): 0 on the inline ring path, 1 for ring + dedicated_net_worker,
+  // ingress.num_net_workers in udp mode.
+  uint32_t NumNetThreads() const {
+    if (config_.ingress.mode == IngressMode::kUdp) {
+      return config_.ingress.num_net_workers;
     }
-    return nic_->PollRx(0, out);
-  }
-  // Burst variant: fills up to `max_n` frames. On the dedicated-net-worker
-  // path this is one ring-index update per burst; on the direct path it
-  // drains the NIC queue up to the burst width.
-  size_t PollIngressBurst(PacketRef* out, size_t max_n) {
-    if (config_.dedicated_net_worker) {
-      return net_ring_->TryPopBurst(out, max_n);
-    }
-    size_t n = 0;
-    while (n < max_n && nic_->PollRx(0, &out[n])) {
-      ++n;
-    }
-    return n;
+    return config_.ingress.dedicated_net_worker ? 1 : 0;
   }
   // Parses, classifies and enqueues one ingress frame (dispatcher thread).
   void IngestPacket(const PacketRef& packet, Nanos now, TraceSampler* sampler,
@@ -207,7 +209,17 @@ class Persephone {
   std::unique_ptr<DarcScheduler> scheduler_;
   std::unique_ptr<RequestClassifier> classifier_;
   std::vector<std::unique_ptr<WorkerChannel>> channels_;
-  std::unique_ptr<SpscRing<PacketRef>> net_ring_;  // net worker -> dispatcher
+  // The ingress/egress seam (src/net/ingress.h). Exactly one owning pair is
+  // populated per mode; the raw pointers are what the engine threads use:
+  //   ring, inline:    nic_source_ + nic_sink_ (dispatcher polls RX itself)
+  //   ring, dedicated: ring_source_ + nic_sink_ (net worker feeds the ring)
+  //   udp:             udp_ is both source and sink
+  std::unique_ptr<NicIngressSource> nic_source_;
+  std::unique_ptr<RingIngressSource<PacketRef>> ring_source_;
+  std::unique_ptr<NicEgressSink> nic_sink_;
+  std::unique_ptr<UdpIngress> udp_;
+  IngressSource* ingress_source_ = nullptr;
+  EgressSink* egress_sink_ = nullptr;
   std::vector<RequestHandler> handlers_;  // indexed by TypeIndex
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};

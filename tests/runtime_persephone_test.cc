@@ -198,7 +198,7 @@ TEST(Runtime, ProfilerObservesRealServiceTimes) {
 
 TEST(Runtime, DedicatedNetWorkerPath) {
   RuntimeConfig config = SmallRuntime();
-  config.dedicated_net_worker = true;
+  config.ingress.dedicated_net_worker = true;
   Persephone server(config);
   server.RegisterType(1, "T", MakeSpinHandler(), FromMicros(2), 1.0);
   server.Start();
@@ -214,7 +214,7 @@ TEST(Runtime, DedicatedNetWorkerPath) {
 
   // Garbage frames are rejected by the net worker's L2 checks.
   RuntimeConfig config2 = SmallRuntime();
-  config2.dedicated_net_worker = true;
+  config2.ingress.dedicated_net_worker = true;
   Persephone server2(config2);
   server2.RegisterType(1, "T", MakeSpinHandler(), FromMicros(2), 1.0);
   server2.Start();

@@ -1,0 +1,233 @@
+// End-to-end tests for the kernel UDP socket ingress (IngressMode::kUdp):
+// an external-style client (UdpLoadGenerator over real loopback datagrams)
+// drives the full pipeline — recvmmsg net worker → dispatcher → DARC →
+// workers → sendmsg egress — and the books must balance. Kept small so they
+// run quickly on single-core machines.
+#include "src/runtime/persephone.h"
+
+#include <arpa/inet.h>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/synthetic.h"
+#include "src/net/udp_loadgen.h"
+
+namespace psp {
+namespace {
+
+RuntimeConfig UdpRuntime() {
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.scheduler.mode = PolicyMode::kDarc;
+  config.pool_buffers = 1024;
+  config.ingress.mode = IngressMode::kUdp;
+  config.ingress.listen_port = 0;  // ephemeral
+  return config;
+}
+
+UdpRequestSpec SpinSpec(uint32_t wire_id, std::string name, double ratio,
+                        Nanos spin) {
+  UdpRequestSpec spec;
+  spec.wire_id = wire_id;
+  spec.name = std::move(name);
+  spec.ratio = ratio;
+  spec.build_payload = [spin](std::byte* payload, uint32_t capacity,
+                              Rng&) -> uint32_t {
+    if (capacity < sizeof(Nanos)) {
+      return 0;
+    }
+    std::memcpy(payload, &spin, sizeof(spin));
+    return sizeof(spin);
+  };
+  return spec;
+}
+
+UdpLoadGenReport Drive(uint16_t port, uint64_t requests, uint32_t flows = 1) {
+  UdpLoadGenConfig lg;
+  lg.port = port;
+  lg.rate_rps = 2000;
+  lg.total_requests = requests;
+  lg.num_flows = flows;
+  lg.drain_timeout = 2 * kSecond;  // generous for loaded CI machines
+  UdpLoadGenerator gen({SpinSpec(1, "SHORT", 0.9, FromMicros(5)),
+                        SpinSpec(2, "LONG", 0.1, FromMicros(200))},
+                       lg);
+  std::string error;
+  const UdpLoadGenReport report = gen.Run(&error);
+  EXPECT_EQ(error, "");
+  return report;
+}
+
+TEST(RuntimeUdp, EchoesOverLoopbackEndToEnd) {
+  Persephone server(UdpRuntime());
+  server.RegisterType(1, "SHORT", MakeSpinHandler(), FromMicros(5), 0.9);
+  server.RegisterType(2, "LONG", MakeSpinHandler(), FromMicros(200), 0.1);
+  server.Start();
+  const uint16_t port = server.udp_port();
+  ASSERT_GT(port, 0);
+
+  const UdpLoadGenReport report = Drive(port, 300);
+  server.Stop();
+
+  EXPECT_EQ(report.sent, 300u);
+  // Loopback at this trivial rate: every request comes back, typed.
+  EXPECT_EQ(report.received, 300u);
+  EXPECT_GT(report.latency.at(1).Count(), 0u);
+  EXPECT_GT(report.latency.at(2).Count(), 0u);
+  // Client-observed RTT is at least the spun service time.
+  EXPECT_GE(report.latency.at(2).Min(), FromMicros(150));
+
+  // The books balance across every layer: socket frontend, dispatcher,
+  // scheduler, egress.
+  const TelemetrySnapshot snap = server.telemetry_snapshot();
+  EXPECT_EQ(snap.counter("ingress.rx_datagrams"), 300u);
+  EXPECT_EQ(snap.counter("runtime.rx_packets"), 300u);
+  EXPECT_EQ(snap.counter("scheduler.completed"), 300u);
+  EXPECT_EQ(snap.counter("ingress.tx_datagrams"), 300u);
+  EXPECT_EQ(snap.counter("ingress.malformed"), 0u);
+  EXPECT_EQ(snap.counter("ingress.tx_drops"), 0u);
+  EXPECT_EQ(snap.counter("runtime.malformed"), 0u);
+}
+
+TEST(RuntimeUdp, ReuseportShardsAcrossNetWorkers) {
+  RuntimeConfig config = UdpRuntime();
+  config.ingress.num_net_workers = 2;
+  config.ingress.reuseport = true;
+  Persephone server(config);
+  server.RegisterType(1, "SHORT", MakeSpinHandler(), FromMicros(5), 0.9);
+  server.RegisterType(2, "LONG", MakeSpinHandler(), FromMicros(200), 0.1);
+  server.Start();
+
+  // Several client flows (distinct source ports) so the kernel has something
+  // to spread across the two shard sockets.
+  const UdpLoadGenReport report = Drive(server.udp_port(), 200, /*flows=*/4);
+  server.Stop();
+
+  EXPECT_EQ(report.received, 200u);
+  const TelemetrySnapshot snap = server.telemetry_snapshot();
+  EXPECT_EQ(snap.counter("ingress.rx_datagrams"), 200u);
+  EXPECT_EQ(snap.counter("scheduler.completed"), 200u);
+}
+
+TEST(RuntimeUdp, AdaptivePollServesAndSleepsWhenIdle) {
+  RuntimeConfig config = UdpRuntime();
+  config.ingress.poll.policy = PollPolicy::kAdaptive;
+  config.ingress.poll.idle_streak_before_sleep = 8;
+  config.ingress.poll.min_sleep = 2 * kMicrosecond;
+  config.ingress.poll.wakeup_budget = 200 * kMicrosecond;
+  Persephone server(config);
+  server.RegisterType(1, "SHORT", MakeSpinHandler(), FromMicros(5), 0.9);
+  server.RegisterType(2, "LONG", MakeSpinHandler(), FromMicros(200), 0.1);
+  server.Start();
+
+  const UdpLoadGenReport report = Drive(server.udp_port(), 200);
+  // An idle stretch after the load: the adaptive poller must be sleeping,
+  // not spinning.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop();
+
+  EXPECT_EQ(report.received, 200u);
+  ASSERT_NE(server.udp_ingress(), nullptr);
+  const UdpIngressStats stats = server.udp_ingress()->stats();
+  EXPECT_GT(stats.sleeps, 0u);
+  EXPECT_GT(stats.slept_nanos, 0u);
+}
+
+TEST(RuntimeUdp, TruncatedDatagramFeedsDropTelemetry) {
+  Persephone server(UdpRuntime());
+  server.RegisterType(1, "T", MakeSpinHandler(), FromMicros(2), 1.0);
+  server.Start();
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_port = htons(server.udp_port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &dst.sin_addr), 1);
+
+  // A 4-byte runt never reaches the dispatcher: the net worker's structural
+  // checks drop it into the ingress malformed counter.
+  const char runt[4] = {9, 9, 9, 9};
+  ASSERT_EQ(::sendto(fd, runt, sizeof(runt), 0,
+                     reinterpret_cast<sockaddr*>(&dst), sizeof(dst)),
+            4);
+
+  // A datagram whose header lies about its payload length (claims 64 bytes,
+  // carries none) passes the net worker (magic is fine) and is rejected by
+  // the dispatcher's full parse — the existing runtime.malformed path.
+  PspHeader psp;
+  psp.magic = PspHeader::kMagic;
+  psp.request_type = 1;
+  psp.request_id = 0;
+  psp.client_id = 0;
+  psp.payload_length = 64;
+  psp.client_timestamp = 0;
+  ASSERT_EQ(::sendto(fd, &psp, sizeof(psp), 0,
+                     reinterpret_cast<sockaddr*>(&dst), sizeof(dst)),
+            static_cast<ssize_t>(sizeof(psp)));
+
+  const TscClock& clock = TscClock::Global();
+  const Nanos deadline = clock.Now() + 2 * kSecond;
+  while (clock.Now() < deadline) {
+    const TelemetrySnapshot snap = server.telemetry_snapshot();
+    if (snap.counter("ingress.malformed") >= 1 &&
+        snap.counter("runtime.malformed") >= 1) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  server.Stop();
+  ::close(fd);
+
+  const TelemetrySnapshot snap = server.telemetry_snapshot();
+  EXPECT_EQ(snap.counter("ingress.malformed"), 1u);
+  EXPECT_EQ(snap.counter("runtime.malformed"), 1u);
+  EXPECT_EQ(snap.counter("scheduler.completed"), 0u);
+}
+
+TEST(RuntimeUdp, ValidationRejectsNonsense) {
+  // udp mode without a port choice.
+  RuntimeConfig no_port;
+  no_port.ingress.mode = IngressMode::kUdp;
+  EXPECT_THROW(Persephone{no_port}, std::invalid_argument);
+
+  // reuseport with a single net worker.
+  RuntimeConfig one_worker = UdpRuntime();
+  one_worker.ingress.reuseport = true;
+  EXPECT_THROW(Persephone{one_worker}, std::invalid_argument);
+
+  // Several net workers without reuseport (they all bind one port).
+  RuntimeConfig no_reuse = UdpRuntime();
+  no_reuse.ingress.num_net_workers = 2;
+  EXPECT_THROW(Persephone{no_reuse}, std::invalid_argument);
+
+  // The ring-mode net-worker knob in udp mode.
+  RuntimeConfig mixed = UdpRuntime();
+  mixed.ingress.dedicated_net_worker = true;
+  EXPECT_THROW(Persephone{mixed}, std::invalid_argument);
+}
+
+TEST(RuntimeUdp, RestartsCleanly) {
+  Persephone server(UdpRuntime());
+  server.RegisterType(1, "SHORT", MakeSpinHandler(), FromMicros(5), 0.9);
+  server.RegisterType(2, "LONG", MakeSpinHandler(), FromMicros(200), 0.1);
+
+  server.Start();
+  const UdpLoadGenReport first = Drive(server.udp_port(), 100);
+  server.Stop();
+  EXPECT_EQ(first.received, 100u);
+
+  // Second lifecycle binds fresh sockets (a fresh ephemeral port is fine)
+  // and the pipeline serves again.
+  server.Start();
+  const UdpLoadGenReport second = Drive(server.udp_port(), 100);
+  server.Stop();
+  EXPECT_EQ(second.received, 100u);
+}
+
+}  // namespace
+}  // namespace psp

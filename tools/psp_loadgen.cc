@@ -1,0 +1,210 @@
+// psp_loadgen: external UDP load generator for a Perséphone server running
+// the socket ingress (IngressMode::kUdp). Open-loop Poisson arrivals of typed
+// spin requests; reports client-observed RTT percentiles per type.
+//
+// Two-terminal quickstart (see README.md):
+//   terminal 1:  ./examples/udp_server --port 9042
+//   terminal 2:  ./tools/psp_loadgen --port 9042 --rate 2000 --requests 5000
+//
+// Request mix: repeat --type id:NAME:ratio:spin_us (default 1:SHORT:0.9:5
+// plus 2:LONG:0.1:200, the paper's high-bimodal shape scaled down). The spin
+// duration rides the payload, matching the synthetic app's handler.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/net/udp_loadgen.h"
+
+namespace {
+
+struct TypeArg {
+  uint32_t wire_id;
+  std::string name;
+  double ratio;
+  double spin_us;
+};
+
+bool ParseTypeArg(const std::string& arg, TypeArg* out) {
+  // id:NAME:ratio:spin_us
+  unsigned id = 0;
+  char name[64] = {0};
+  double ratio = 0;
+  double spin_us = 0;
+  if (std::sscanf(arg.c_str(), "%u:%63[^:]:%lf:%lf", &id, name, &ratio,
+                  &spin_us) != 4 ||
+      ratio <= 0 || spin_us < 0) {
+    return false;
+  }
+  *out = TypeArg{id, name, ratio, spin_us};
+  return true;
+}
+
+psp::UdpRequestSpec SpinSpec(const TypeArg& t) {
+  psp::UdpRequestSpec spec;
+  spec.wire_id = t.wire_id;
+  spec.name = t.name;
+  spec.ratio = t.ratio;
+  const psp::Nanos spin = psp::FromMicros(t.spin_us);
+  spec.build_payload = [spin](std::byte* payload, uint32_t capacity,
+                              psp::Rng&) -> uint32_t {
+    if (capacity < sizeof(psp::Nanos)) {
+      return 0;
+    }
+    std::memcpy(payload, &spin, sizeof(spin));
+    return sizeof(spin);
+  };
+  return spec;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port P [--host H] [--rate RPS] [--requests N] [--seed S]\n"
+      "          [--flows F] [--type id:NAME:ratio:spin_us]... [--json]\n"
+      "Sends an open-loop Poisson stream of typed spin requests to a\n"
+      "Persephone UDP server and reports client-observed RTTs.\n"
+      "--flows F uses F client sockets (distinct source ports) so a\n"
+      "reuseport server spreads the flows across its net-worker shards.\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psp::UdpLoadGenConfig config;
+  std::vector<TypeArg> types;
+  bool json = false;
+  bool have_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.port = static_cast<uint16_t>(std::atoi(v));
+      have_port = true;
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.rate_rps = std::atof(v);
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.total_requests = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--flows") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.num_flows = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--type") {
+      const char* v = next();
+      TypeArg t;
+      if (v == nullptr || !ParseTypeArg(v, &t)) {
+        std::fprintf(stderr, "bad --type '%s' (want id:NAME:ratio:spin_us)\n",
+                     v == nullptr ? "" : v);
+        return 2;
+      }
+      types.push_back(t);
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (!have_port || config.port == 0 || config.rate_rps <= 0 ||
+      config.total_requests == 0 || config.num_flows == 0) {
+    return Usage(argv[0]);
+  }
+  if (types.empty()) {
+    types.push_back(TypeArg{1, "SHORT", 0.9, 5});
+    types.push_back(TypeArg{2, "LONG", 0.1, 200});
+  }
+
+  std::vector<psp::UdpRequestSpec> mix;
+  mix.reserve(types.size());
+  for (const TypeArg& t : types) {
+    mix.push_back(SpinSpec(t));
+  }
+
+  psp::UdpLoadGenerator gen(std::move(mix), config);
+  std::string error;
+  const psp::UdpLoadGenReport report = gen.Run(&error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "psp_loadgen: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (json) {
+    std::printf(
+        "{\"sent\":%llu,\"received\":%llu,\"send_drops\":%llu,"
+        "\"achieved_rps\":%.1f,\"overall\":{\"count\":%llu,\"p50_us\":%.1f,"
+        "\"p99_us\":%.1f,\"p999_us\":%.1f},\"types\":[",
+        static_cast<unsigned long long>(report.sent),
+        static_cast<unsigned long long>(report.received),
+        static_cast<unsigned long long>(report.send_drops),
+        report.AchievedRps(),
+        static_cast<unsigned long long>(report.overall.Count()),
+        psp::ToMicros(report.overall.Percentile(50)),
+        psp::ToMicros(report.overall.Percentile(99)),
+        psp::ToMicros(report.overall.Percentile(99.9)));
+    bool first = true;
+    for (const TypeArg& t : types) {
+      const auto it = report.latency.find(t.wire_id);
+      if (it == report.latency.end()) {
+        continue;
+      }
+      std::printf(
+          "%s{\"name\":\"%s\",\"wire_id\":%u,\"count\":%llu,\"p50_us\":%.1f,"
+          "\"p99_us\":%.1f,\"p999_us\":%.1f}",
+          first ? "" : ",", t.name.c_str(), t.wire_id,
+          static_cast<unsigned long long>(it->second.Count()),
+          psp::ToMicros(it->second.Percentile(50)),
+          psp::ToMicros(it->second.Percentile(99)),
+          psp::ToMicros(it->second.Percentile(99.9)));
+      first = false;
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf("sent %llu  received %llu  send_drops %llu  achieved %.0f rps\n",
+                static_cast<unsigned long long>(report.sent),
+                static_cast<unsigned long long>(report.received),
+                static_cast<unsigned long long>(report.send_drops),
+                report.AchievedRps());
+    for (const TypeArg& t : types) {
+      const auto it = report.latency.find(t.wire_id);
+      if (it == report.latency.end() || it->second.Count() == 0) {
+        continue;
+      }
+      std::printf("  %-8s n=%-7llu p50 %8.1f us  p99 %8.1f us  p99.9 %8.1f us\n",
+                  t.name.c_str(),
+                  static_cast<unsigned long long>(it->second.Count()),
+                  psp::ToMicros(it->second.Percentile(50)),
+                  psp::ToMicros(it->second.Percentile(99)),
+                  psp::ToMicros(it->second.Percentile(99.9)));
+    }
+    std::printf("  %-8s n=%-7llu p50 %8.1f us  p99 %8.1f us  p99.9 %8.1f us\n",
+                "ALL",
+                static_cast<unsigned long long>(report.overall.Count()),
+                psp::ToMicros(report.overall.Percentile(50)),
+                psp::ToMicros(report.overall.Percentile(99)),
+                psp::ToMicros(report.overall.Percentile(99.9)));
+  }
+  // A run that got nothing back is a failure for scripts (server down, wrong
+  // port, firewalled loopback).
+  return report.received > 0 ? 0 : 1;
+}

@@ -6,6 +6,8 @@
 //                 worker with yield-on-idle polling,
 //   udp-adaptive  same socket path with the Metronome-style adaptive sleep
 //                 controller,
+//   udp-sampled   the yield path with 1-in-64 distributed-trace sampling on
+//                 the wire (client stamps + server echo + lifecycle ring),
 // all at the same offered rate and mix (90% 5us / 10% 200us spins). Rounds
 // are interleaved and each variant keeps its min-across-rounds p99.9, the
 // same shared-box-noise defence micro_introspect uses.
@@ -16,9 +18,10 @@
 //
 // Gates (exit 1): each socket variant's p99.9 must stay within a bounded
 // factor of the ring baseline (with an absolute floor so a microsecond-level
-// ring round can't fail the socket path on syscall cost alone), and the
-// adaptive idle CPU fraction must undercut busy polling's. Exit 2 =
-// operational failure (loadgen error, nothing served, no idle sample).
+// ring round can't fail the socket path on syscall cost alone), the
+// adaptive idle CPU fraction must undercut busy polling's, and 1-in-64
+// trace sampling must cost < 5% of the unsampled yield path's p99.9. Exit 2
+// = operational failure (loadgen error, nothing served, no idle sample).
 //
 // Env: PSP_BENCH_REQUESTS (per round, default 2000), PSP_BENCH_ROUNDS
 // (default 2), PSP_BENCH_RATE (default 2000), PSP_BENCH_IDLE_MS (default
@@ -45,6 +48,12 @@ namespace {
 constexpr double kTargetFactor = 25.0;
 // ...or under this absolute floor (syscall cost dominates tiny baselines).
 constexpr double kFloorNanos = 2e6;
+// Wire-level trace sampling may regress the yield path's p99.9 by at most
+// this much (the tentpole's "tracing is cheap enough to leave on" budget).
+constexpr double kTraceOverheadBudgetPct = 5.0;
+// 1-in-N sampling used by the udp-sampled variant; matches the server-side
+// TelemetryConfig default so the bench measures the shipping configuration.
+constexpr uint32_t kTraceSampleEvery = 64;
 
 uint64_t EnvOr(const char* name, uint64_t fallback) {
   const char* value = std::getenv(name);
@@ -117,8 +126,9 @@ void RingRound(double rate, uint64_t requests, uint64_t seed, Row* row) {
 }
 
 // One round over real loopback datagrams through the kernel-socket frontend.
+// sample_every > 0 turns on client-side wire trace sampling (1-in-N).
 void UdpRound(PollPolicy policy, double rate, uint64_t requests, uint64_t seed,
-              Row* row) {
+              Row* row, uint32_t sample_every = 0) {
   RuntimeConfig config = BaseConfig();
   config.ingress.mode = IngressMode::kUdp;
   config.ingress.listen_port = 0;  // ephemeral
@@ -132,6 +142,7 @@ void UdpRound(PollPolicy policy, double rate, uint64_t requests, uint64_t seed,
   lg.rate_rps = rate;
   lg.total_requests = requests;
   lg.seed = seed;
+  lg.sample_every = sample_every;
   lg.drain_timeout = 2 * kSecond;
   UdpLoadGenerator gen({UdpSpin(1, "SHORT", 0.9, FromMicros(5)),
                         UdpSpin(2, "LONG", 0.1, FromMicros(200))},
@@ -188,19 +199,21 @@ int Main() {
              1, &scratch);
   }
 
-  Row ring, udp_yield, udp_adaptive;
+  Row ring, udp_yield, udp_adaptive, udp_sampled;
   for (int round = 0; round < rounds; ++round) {
     const uint64_t seed = 100 + static_cast<uint64_t>(round);
     RingRound(rate, requests, seed, &ring);
     UdpRound(PollPolicy::kYield, rate, requests, seed, &udp_yield);
     UdpRound(PollPolicy::kAdaptive, rate, requests, seed, &udp_adaptive);
+    UdpRound(PollPolicy::kYield, rate, requests, seed, &udp_sampled,
+             kTraceSampleEvery);
   }
 
   const double idle_busy = IdleCpuFraction(PollPolicy::kBusy, idle_ms);
   const double idle_adaptive = IdleCpuFraction(PollPolicy::kAdaptive, idle_ms);
 
-  if (!ring.ok || !udp_yield.ok || !udp_adaptive.ok || idle_busy < 0 ||
-      idle_adaptive < 0) {
+  if (!ring.ok || !udp_yield.ok || !udp_adaptive.ok || !udp_sampled.ok ||
+      idle_busy < 0 || idle_adaptive < 0) {
     std::fprintf(stderr, "micro_ingress: operational failure\n");
     return 2;
   }
@@ -217,6 +230,15 @@ int Main() {
   std::printf("%-14s %14.0f %12.0f %10" PRIu64 "\n", "udp-adaptive",
               udp_adaptive.p999_nanos, udp_adaptive.rps,
               udp_adaptive.received);
+  std::printf("%-14s %14.0f %12.0f %10" PRIu64 "\n", "udp-sampled",
+              udp_sampled.p999_nanos, udp_sampled.rps, udp_sampled.received);
+  const double trace_overhead_pct =
+      udp_yield.p999_nanos > 0
+          ? (udp_sampled.p999_nanos - udp_yield.p999_nanos) /
+                udp_yield.p999_nanos * 100.0
+          : 0.0;
+  std::printf("trace sampling (1-in-%u) p99.9 overhead: %.2f%%\n",
+              kTraceSampleEvery, trace_overhead_pct);
   std::printf("idle net-worker CPU over %" PRIu64
               " ms: busy %.1f%%, adaptive %.1f%%\n",
               idle_ms, idle_busy * 100.0, idle_adaptive * 100.0);
@@ -225,11 +247,14 @@ int Main() {
         "{\"ring_p999_nanos\":%.0f,\"ring_rps\":%.0f,"
         "\"udp_yield_p999_nanos\":%.0f,\"udp_yield_rps\":%.0f,"
         "\"udp_adaptive_p999_nanos\":%.0f,\"udp_adaptive_rps\":%.0f,"
+        "\"udp_sampled_p999_nanos\":%.0f,\"udp_sampled_rps\":%.0f,"
+        "\"trace_overhead_pct\":%.2f,\"trace_overhead_budget_pct\":%.1f,"
         "\"idle_cpu_busy\":%.4f,\"idle_cpu_adaptive\":%.4f,"
         "\"target_factor\":%.1f,\"floor_nanos\":%.0f}\n",
         ring.p999_nanos, ring.rps, udp_yield.p999_nanos, udp_yield.rps,
-        udp_adaptive.p999_nanos, udp_adaptive.rps, idle_busy, idle_adaptive,
-        kTargetFactor, kFloorNanos);
+        udp_adaptive.p999_nanos, udp_adaptive.rps, udp_sampled.p999_nanos,
+        udp_sampled.rps, trace_overhead_pct, kTraceOverheadBudgetPct,
+        idle_busy, idle_adaptive, kTargetFactor, kFloorNanos);
   }
 
   const double bound =
@@ -243,6 +268,18 @@ int Main() {
                 within ? "PASS" : "FAIL", row->p999_nanos, bound);
     ok = ok && within;
   }
+  // The sampled variant also rides the ring-relative bound...
+  const bool sampled_within = udp_sampled.p999_nanos <= bound;
+  std::printf("socket-tail-check (udp-sampled): %s (%.0f ns <= %.0f ns)\n",
+              sampled_within ? "PASS" : "FAIL", udp_sampled.p999_nanos,
+              bound);
+  ok = ok && sampled_within;
+  // ...and its marginal cost over the unsampled yield path is bounded.
+  const bool trace_ok = trace_overhead_pct < kTraceOverheadBudgetPct;
+  std::printf("trace-overhead-check: %s (%.2f%% < %.1f%%)\n",
+              trace_ok ? "PASS" : "FAIL", trace_overhead_pct,
+              kTraceOverheadBudgetPct);
+  ok = ok && trace_ok;
   const bool idle_ok = idle_adaptive < idle_busy;
   std::printf("idle-cpu-check: %s (adaptive %.1f%% < busy %.1f%%)\n",
               idle_ok ? "PASS" : "FAIL", idle_adaptive * 100.0,

@@ -15,8 +15,13 @@
 //   --serve-ms N     exit after N ms of serving (default: run until EOF on
 //                    stdin closes — Ctrl-D / kill)
 //
-// Prints "udp: listening on <addr>:<port>" once the sockets are bound;
-// scripts/check.sh's ingress smoke parses that line for the ephemeral port.
+// With PSP_ADMIN=1 in the environment the live admin plane comes up too
+// (ephemeral loopback port), making /metrics and /lifecycle.json scrapeable
+// by pspctl and psp_tracejoin while the server runs.
+//
+// Prints "udp: listening on <addr>:<port>" once the sockets are bound
+// (and "admin: listening on 127.0.0.1:<port>" when the admin plane is on);
+// scripts/check.sh's smokes parse those lines for the ephemeral ports.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +82,10 @@ int main(int argc, char** argv) {
   config.ingress.num_net_workers = net_workers;
   config.ingress.reuseport = net_workers > 1;
   config.ingress.poll.policy = poll;
+  if (const char* admin_env = std::getenv("PSP_ADMIN");
+      admin_env != nullptr && std::strcmp(admin_env, "1") == 0) {
+    config.admin.enabled = true;  // ephemeral loopback port, printed below
+  }
 
   psp::Persephone server(config);
   server.RegisterType(/*wire_id=*/1, "SHORT", psp::MakeSpinHandler(),
@@ -90,6 +99,9 @@ int main(int argc, char** argv) {
               config.ingress.listen_addr.c_str(), server.udp_port(),
               net_workers, net_workers == 1 ? "" : "s",
               psp::PollPolicyName(poll));
+  if (server.admin_port() != 0) {
+    std::printf("admin: listening on 127.0.0.1:%u\n", server.admin_port());
+  }
   std::fflush(stdout);
 
   if (serve_ms >= 0) {

@@ -24,10 +24,11 @@
 #     full mode, advisory in smoke.
 #   * ingress frontends: the kernel-UDP-socket path's p99.9 must stay within
 #     a bounded factor of the in-process ring baseline (absolute floor
-#     included — syscall cost dominates tiny baselines), and adaptive
-#     polling must burn less idle net-worker CPU than busy polling
-#     (bench/micro_ingress.cc); failed rounds are always fatal, both gates
-#     are fatal in full mode and advisory in smoke.
+#     included — syscall cost dominates tiny baselines), adaptive
+#     polling must burn less idle net-worker CPU than busy polling, and
+#     1-in-64 wire trace sampling must regress the yield path's p99.9 by
+#     less than 5% (bench/micro_ingress.cc); failed rounds are always
+#     fatal, the gates are fatal in full mode and advisory in smoke.
 #
 # Usage: scripts/bench_report.sh [--smoke] [build-dir] [output-json]
 #   --smoke   short benchmark windows (tier-2 CI gate, see scripts/check.sh)
@@ -334,7 +335,7 @@ if ingress:
     bound = max(ingress.get("target_factor", 25.0) *
                 ingress.get("ring_p999_nanos", 0.0),
                 ingress.get("floor_nanos", 2e6))
-    for variant in ("udp_yield", "udp_adaptive"):
+    for variant in ("udp_yield", "udp_adaptive", "udp_sampled"):
         p999 = ingress.get(f"{variant}_p999_nanos", 0.0)
         if p999 > bound:
             gates.append(
@@ -343,6 +344,14 @@ if ingress:
                 f"({ingress.get('target_factor'):.0f}x ring p99.9 "
                 f"{ingress.get('ring_p999_nanos', 0.0) / 1e3:.0f}us, floor "
                 f"{ingress.get('floor_nanos', 0.0) / 1e3:.0f}us)")
+    overhead = ingress.get("trace_overhead_pct")
+    budget = ingress.get("trace_overhead_budget_pct", 5.0)
+    if overhead is None:
+        errors.append("ingress result lacks trace_overhead_pct")
+    elif overhead >= budget:
+        gates.append(
+            f"ingress trace sampling p99.9 overhead {overhead:.2f}% at or "
+            f"above {budget:.1f}% budget (1-in-64 wire sampling)")
     idle_busy = ingress.get("idle_cpu_busy", -1.0)
     idle_adaptive = ingress.get("idle_cpu_adaptive", -1.0)
     if idle_busy < 0 or idle_adaptive < 0:
@@ -373,8 +382,12 @@ print(f"  scrape-under-load p99 delta: {introspect.get('delta_pct', 0):.2f}% "
 if ingress:
     print(f"  ingress p99.9: ring {ingress.get('ring_p999_nanos', 0) / 1e3:.0f}us, "
           f"udp-yield {ingress.get('udp_yield_p999_nanos', 0) / 1e3:.0f}us, "
-          f"udp-adaptive {ingress.get('udp_adaptive_p999_nanos', 0) / 1e3:.0f}us "
+          f"udp-adaptive {ingress.get('udp_adaptive_p999_nanos', 0) / 1e3:.0f}us, "
+          f"udp-sampled {ingress.get('udp_sampled_p999_nanos', 0) / 1e3:.0f}us "
           f"(gate: <= {ingress.get('target_factor', 0):.0f}x ring)")
+    print(f"  ingress trace-sampling p99.9 overhead: "
+          f"{ingress.get('trace_overhead_pct', 0):.2f}% "
+          f"(gate: < {ingress.get('trace_overhead_budget_pct', 5.0):.1f}%)")
     print(f"  ingress idle net-worker CPU: busy "
           f"{ingress.get('idle_cpu_busy', 0) * 100:.1f}%, adaptive "
           f"{ingress.get('idle_cpu_adaptive', 0) * 100:.1f}% "

@@ -24,8 +24,15 @@
 #                       loopback — examples/udp_server on an ephemeral port
 #                       driven by the external tools/psp_loadgen; responses
 #                       must come back and the server's books must balance.
+#   trace             - distributed-tracing smoke: udp_server with the admin
+#                       plane on, psp_loadgen sampling 1-in-64 on the wire,
+#                       psp_tracejoin fetching /lifecycle.json live and
+#                       joining both halves into a Perfetto trace (validated
+#                       with python3), pspctl checkfile on the loadgen's
+#                       --prom page, and a two-server pspctl federate merge
+#                       validated by --check.
 #   all               - all of the above.
-# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|all] [build-dir]
+# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|all] [build-dir]
 set -eu
 MODE=${1:-address}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -202,6 +209,107 @@ PY
   echo "ingress smoke OK (port $port, server completed $completed requests)"
 }
 
+# Distributed-tracing smoke: the full cross-process story in real processes.
+# One udp_server with the admin plane on; psp_loadgen stamps 1-in-64 requests
+# with the wire sampling bit; psp_tracejoin fetches the server's sampled
+# lifecycle records over the live admin endpoint and joins the two clock
+# domains into one Perfetto trace covering client-queue → wire → all seven
+# server stages. A second server then joins for the federation leg: pspctl
+# federate merges both /metrics pages and --check gates the merged page.
+run_trace() {
+  local build=${1:-build}
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" \
+    --target udp_server psp_loadgen psp_tracejoin pspctl
+  local work="$build/trace_smoke"
+  rm -rf "$work"
+  mkdir -p "$work"
+
+  local log_a="$work/server_a.log" log_b="$work/server_b.log"
+  PSP_ADMIN=1 "$build/examples/udp_server" --port 0 --serve-ms 10000 \
+    >"$log_a" 2>&1 &
+  local pid_a=$!
+  PSP_ADMIN=1 "$build/examples/udp_server" --port 0 --serve-ms 10000 \
+    >"$log_b" 2>&1 &
+  local pid_b=$!
+
+  local udp_port="" admin_a="" admin_b=""
+  for _ in $(seq 1 100); do
+    udp_port=$(sed -n 's/^udp: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log_a" | head -1)
+    admin_a=$(sed -n 's/^admin: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log_a" | head -1)
+    admin_b=$(sed -n 's/^admin: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log_b" | head -1)
+    [ -n "$udp_port" ] && [ -n "$admin_a" ] && [ -n "$admin_b" ] && break
+    sleep 0.1
+  done
+  if [ -z "$udp_port" ] || [ -z "$admin_a" ] || [ -z "$admin_b" ]; then
+    echo "trace smoke: servers never announced their ports" >&2
+    cat "$log_a" "$log_b" >&2
+    kill "$pid_a" "$pid_b" 2>/dev/null || true
+    return 1
+  fi
+
+  local rc=0
+  # Client half: 1-in-64 wire sampling, JSON report + Prometheus page.
+  "$build/tools/psp_loadgen" --port "$udp_port" --rate 2000 --requests 1000 \
+    --sample 64 --json --prom "$work/client.prom" \
+    >"$work/client.json" || rc=$?
+  # The network-time exposition page must be well-formed Prometheus text.
+  if [ "$rc" = 0 ]; then
+    "$build/tools/pspctl" checkfile "$work/client.prom" || rc=$?
+  fi
+  # Join against the live admin endpoint (exit 0 requires joined spans).
+  if [ "$rc" = 0 ]; then
+    "$build/tools/psp_tracejoin" --client "$work/client.json" \
+      --admin "127.0.0.1:$admin_a" --out "$work/trace.json" || rc=$?
+  fi
+  if [ "$rc" = 0 ]; then
+    python3 - "$work/trace.json" <<'PY' || rc=$?
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+if not events:
+    sys.exit("joined trace has no events")
+names = {e.get("name") for e in events}
+phases = {e.get("ph") for e in events}
+for need in ("client-queue", "wire-out", "wire-back", "classify", "enqueue",
+             "queue", "handoff", "service", "reply"):
+    if need not in names:
+        sys.exit(f"joined trace lacks {need!r} slices: {sorted(names)}")
+if not {"b", "e"} <= phases:
+    sys.exit(f"joined trace lacks async span pairs: {sorted(phases)}")
+spans = sum(1 for e in events if e.get("ph") == "b")
+print(f"  tracejoin: {spans} sampled spans, {len(events)} events")
+PY
+  fi
+  # Federation leg: merge both live servers, gate the merged page.
+  if [ "$rc" = 0 ]; then
+    "$build/tools/pspctl" --check --out "$work/federated.prom" \
+      federate "127.0.0.1:$admin_a" "127.0.0.1:$admin_b" || rc=$?
+  fi
+  if [ "$rc" = 0 ]; then
+    grep -q 'psp_fleet_servers 2' "$work/federated.prom" || {
+      echo "trace smoke: federated page lacks psp_fleet_servers 2" >&2
+      rc=1
+    }
+    grep -q 'server="1"' "$work/federated.prom" || {
+      echo "trace smoke: federated page lacks server=\"1\" samples" >&2
+      rc=1
+    }
+  fi
+  wait "$pid_a" || rc=$?
+  wait "$pid_b" || rc=$?
+  if [ "$rc" != 0 ]; then
+    echo "trace smoke FAILED (rc=$rc); server logs:" >&2
+    cat "$log_a" "$log_b" >&2
+    return 1
+  fi
+  echo "trace smoke OK (udp $udp_port, admin $admin_a + $admin_b federated)"
+}
+
 run_bench() {
   local build=${1:-build-bench}
   # Smoke windows: short enough for CI, still runs every gate. The report
@@ -217,8 +325,9 @@ case "$MODE" in
   introspect) run_introspect "${2:-build}" ;;
   fleet)   run_fleet "${2:-build}" ;;
   ingress) run_ingress "${2:-build}" ;;
+  trace)   run_trace "${2:-build}" ;;
   all)     run_address build-asan; run_thread build-tsan; run_fleet build;
-           run_ingress build; run_bench build-bench ;;
-  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|all] [build-dir]" >&2
+           run_ingress build; run_trace build; run_bench build-bench ;;
+  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|all] [build-dir]" >&2
      exit 2 ;;
 esac

@@ -39,6 +39,11 @@ struct Request {
   // buffer); unused by the simulator.
   void* payload = nullptr;
   uint32_t payload_length = 0;
+  // Wire identity from the PSP header (client's request_id / client_id),
+  // preserved so sampled lifecycle records can be joined with client-side
+  // trace samples across the process boundary. 0 when not from a wire.
+  uint64_t wire_id = 0;
+  uint32_t client_id = 0;
   // Lifecycle trace stamps, carried in-band while the request flows through
   // the pipeline. Zero-initialised and inert unless trace.sampled is set.
   TraceContext trace;

@@ -115,6 +115,37 @@ std::string TimeseriesJsonFromSnapshot(const TelemetrySnapshot& snapshot) {
   return trimmed.ToJson();
 }
 
+std::string LifecycleJsonFromSnapshot(const TelemetrySnapshot& snapshot) {
+  std::string out = "{\"traces\":[";
+  bool first = true;
+  for (const RequestTrace& t : snapshot.traces) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"request_id\":" + std::to_string(t.request_id) +
+           ",\"type\":" + std::to_string(t.type);
+    const auto name = snapshot.type_names.find(t.type);
+    if (name != snapshot.type_names.end()) {
+      out += ",\"type_name\":\"" + JsonEscapeError(name->second) + "\"";
+    }
+    out += ",\"worker\":" + std::to_string(t.worker) +
+           ",\"wire_request_id\":" + std::to_string(t.wire_request_id) +
+           ",\"client_id\":" + std::to_string(t.client_id) + ",\"stamps\":{";
+    for (size_t i = 0; i < kNumTraceStages; ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += '"';
+      out += TraceStageName(static_cast<TraceStage>(i));
+      out += "\":" + std::to_string(t.stamp[i]);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
 AdminServer::AdminServer(AdminConfig config, AdminHooks hooks)
     : config_(std::move(config)), hooks_(std::move(hooks)) {}
 
@@ -413,6 +444,13 @@ void AdminServer::HandleRequest(const std::string& method,
       *response = hooks_.timeseries_json
                       ? hooks_.timeseries_json()
                       : TimeseriesJsonFromSnapshot(hooks_.snapshot());
+      return;
+    }
+    if (path == "/lifecycle.json") {
+      *content_type = "application/json";
+      *response = hooks_.lifecycle_json
+                      ? hooks_.lifecycle_json()
+                      : LifecycleJsonFromSnapshot(hooks_.snapshot());
       return;
     }
     if (path == "/outliers.json") {

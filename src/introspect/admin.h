@@ -16,6 +16,7 @@
 //   GET  /snapshot.json        full TelemetrySnapshot JSON
 //   GET  /timeseries.json      time-series intervals (snapshot JSON subset)
 //   GET  /outliers.json        K-slowest-per-type tail capture
+//   GET  /lifecycle.json       sampled per-request lifecycle records
 //   GET  /fleet.json           fleet-wide aggregation (fleet endpoints only)
 //   GET  /healthz              liveness probe ("ok")
 //   POST /trace/start          arm an on-demand bounded Perfetto capture
@@ -66,6 +67,10 @@ struct AdminHooks {
   // Default (unset): derived from snapshot() — intervals + type names only.
   std::function<std::string()> timeseries_json;
   std::function<std::string()> outliers_json;
+  // GET /lifecycle.json: sampled lifecycle records with wire identity, the
+  // server half of the cross-process trace join (tools/psp_tracejoin).
+  // Default (unset): derived from snapshot().
+  std::function<std::string()> lifecycle_json;
   // POST handlers return the response body; on failure they return "" and
   // set *error (the server answers 409 with the error text).
   std::function<std::string(std::string* error)> trace_start;
@@ -79,6 +84,12 @@ struct AdminHooks {
 // Builds the /timeseries.json body from a snapshot by re-exporting only the
 // interval records + type names through TelemetrySnapshot::ToJson.
 std::string TimeseriesJsonFromSnapshot(const TelemetrySnapshot& snapshot);
+
+// Builds the /lifecycle.json body: every sampled RequestTrace in the
+// snapshot's rings as one record with wire identity (wire_request_id /
+// client_id) and the 7 stage stamps keyed by TraceStageName. This is the
+// fetchable server half of a distributed trace.
+std::string LifecycleJsonFromSnapshot(const TelemetrySnapshot& snapshot);
 
 class AdminServer {
  public:

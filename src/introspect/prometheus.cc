@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <utility>
 #include <vector>
@@ -9,25 +10,26 @@
 namespace psp {
 namespace {
 
-// Splits "worker.<N>.<field>" into (N, field); false for any other shape.
-bool SplitWorkerMetric(const std::string& name, std::string* worker,
-                       std::string* field) {
-  constexpr const char kPrefix[] = "worker.";
-  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
-  if (name.compare(0, kPrefixLen, kPrefix) != 0) {
+// Splits "<prefix><N>.<field>" into (N, field); false for any other shape.
+// Folds indexed instrument names ("worker.3.requests",
+// "ingress.shard.1.rx_datagrams") into one labelled metric per field.
+bool SplitIndexedMetric(const std::string& name, const char* prefix,
+                        std::string* index, std::string* field) {
+  const size_t prefix_len = std::strlen(prefix);
+  if (name.compare(0, prefix_len, prefix) != 0) {
     return false;
   }
-  const size_t dot = name.find('.', kPrefixLen);
-  if (dot == std::string::npos || dot == kPrefixLen ||
+  const size_t dot = name.find('.', prefix_len);
+  if (dot == std::string::npos || dot == prefix_len ||
       dot + 1 >= name.size()) {
     return false;
   }
-  for (size_t i = kPrefixLen; i < dot; ++i) {
+  for (size_t i = prefix_len; i < dot; ++i) {
     if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
       return false;
     }
   }
-  *worker = name.substr(kPrefixLen, dot - kPrefixLen);
+  *index = name.substr(prefix_len, dot - prefix_len);
   *field = name.substr(dot + 1);
   return true;
 }
@@ -73,13 +75,19 @@ std::string ResolveTypeName(const TelemetrySnapshot& snap, uint32_t type) {
 template <typename Map>
 void RenderScalars(std::string* out, const Map& values, const char* prom_type,
                    const char* suffix, const char* source_kind) {
-  // field -> [(worker, value)]; plain names render directly in map order.
+  // field -> [(index, value)]; plain names render directly in map order.
   std::map<std::string, std::vector<std::pair<std::string, std::string>>>
       per_worker;
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      per_shard;
   for (const auto& [name, value] : values) {
-    std::string worker, field;
-    if (SplitWorkerMetric(name, &worker, &field)) {
-      per_worker[field].emplace_back(worker, std::to_string(value));
+    std::string index, field;
+    if (SplitIndexedMetric(name, "worker.", &index, &field)) {
+      per_worker[field].emplace_back(index, std::to_string(value));
+      continue;
+    }
+    if (SplitIndexedMetric(name, "ingress.shard.", &index, &field)) {
+      per_shard[field].emplace_back(index, std::to_string(value));
       continue;
     }
     const std::string metric = "psp_" + PrometheusMetricName(name) + suffix;
@@ -95,6 +103,16 @@ void RenderScalars(std::string* out, const Map& values, const char* prom_type,
                          "\" per worker");
     for (const auto& [worker, value] : samples) {
       AppendSample(out, metric, "worker", worker, value);
+    }
+  }
+  for (const auto& [field, samples] : per_shard) {
+    const std::string metric =
+        "psp_ingress_shard_" + PrometheusMetricName(field) + suffix;
+    AppendTypeHeader(out, metric, prom_type,
+                     std::string(source_kind) + " \"ingress.shard.<N>." +
+                         field + "\" per socket shard");
+    for (const auto& [shard, value] : samples) {
+      AppendSample(out, metric, "shard", shard, value);
     }
   }
 }

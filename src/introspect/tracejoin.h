@@ -1,0 +1,122 @@
+// Cross-process trace join: pairs the loadgen's sampled per-request records
+// (client clock) with the server's sampled lifecycle records fetched from
+// /lifecycle.json (server clock), estimates the clock offset between the two
+// domains by min-one-way-delay alignment, and renders one catapult/Perfetto
+// trace where each sampled request is a single async span decomposed into
+// client-queue → wire-out → the server's 7 lifecycle stages → wire-back.
+//
+// The two processes share no clock. Both one-way delays embed the unknown
+// offset with opposite sign:
+//   forward  = server_rx - client_send =  offset + out_delay
+//   backward = client_recv - server_tx = -offset + back_delay
+// Taking the minimum of each over many samples and assuming the *minimum*
+// out/back delays are symmetric (the standard NTP argument) gives
+//   offset ≈ (min_forward - min_backward) / 2
+// with uncertainty (min_forward + min_backward) / 2 — the minimum RTT the
+// estimate cannot see inside. On loopback this is a few microseconds.
+//
+// Everything here is snapshot-shaped (no sockets): callers fetch the JSON
+// bodies (pspctl lifecycle / psp_loadgen --json) and hand them over. The
+// parse functions are exposed so adversarial-timing tests can drive the
+// estimator and join directly.
+#ifndef PSP_SRC_INTROSPECT_TRACEJOIN_H_
+#define PSP_SRC_INTROSPECT_TRACEJOIN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/telemetry/lifecycle.h"
+
+namespace psp {
+
+// One sampled request as the client saw it (psp_loadgen --json "samples").
+// Client-clock ns except the echoed server stamps.
+struct ClientTraceRecord {
+  uint64_t request_id = 0;
+  uint32_t flow = 0;       // wire client_id
+  uint32_t wire_type = 0;
+  Nanos due_ns = 0;        // scheduled open-loop send instant
+  Nanos send_ns = 0;
+  Nanos recv_ns = 0;
+  Nanos server_rx_ns = 0;  // server clock; 0 = not stamped
+  Nanos server_tx_ns = 0;  // server clock
+};
+
+// One sampled request as the server saw it (/lifecycle.json "traces").
+struct ServerTraceRecord {
+  uint64_t request_id = 0;  // server-local id, not the join key
+  uint32_t type = 0;
+  std::string type_name;
+  uint32_t worker = 0;
+  uint64_t wire_request_id = 0;  // join key, with client_id
+  uint32_t client_id = 0;
+  std::array<Nanos, kNumTraceStages> stamp{};
+};
+
+struct ClockOffsetEstimate {
+  bool valid = false;
+  Nanos offset = 0;       // server clock minus client clock
+  Nanos uncertainty = 0;  // half the minimum observable RTT
+  size_t samples = 0;     // records that contributed (stamped both ways)
+
+  // Maps a server-clock instant into the client clock domain.
+  Nanos ToClientClock(Nanos server_ns) const { return server_ns - offset; }
+};
+
+// Parses the psp_loadgen --json report (or a bare array of sample objects)
+// into client records. Returns false and sets *error on malformed input; a
+// report without a "samples" key parses as an empty vector.
+bool ParseClientSamplesJson(const std::string& json,
+                            std::vector<ClientTraceRecord>* out,
+                            std::string* error);
+
+// Parses a /lifecycle.json body into server records.
+bool ParseLifecycleJson(const std::string& json,
+                        std::vector<ServerTraceRecord>* out,
+                        std::string* error);
+
+// Min-one-way-delay clock alignment over the echoed stamps. Records without
+// server stamps are skipped; with zero usable records the estimate is
+// invalid (offset 0 — callers should then render server spans verbatim or
+// drop them).
+ClockOffsetEstimate EstimateClockOffset(
+    const std::vector<ClientTraceRecord>& samples);
+
+// One request across both processes. has_server is false when no lifecycle
+// record matched (ring overwrote it, or the response was lost after the
+// server stamped it).
+struct JoinedSpan {
+  ClientTraceRecord client;
+  ServerTraceRecord server;
+  bool has_server = false;
+};
+
+struct JoinStats {
+  size_t joined = 0;
+  size_t client_only = 0;     // sampled response seen, no lifecycle record
+  size_t server_only = 0;     // lifecycle record, no client sample
+  size_t duplicate_keys = 0;  // server records sharing (client_id, req_id)
+};
+
+// Joins on (client_id, wire_request_id) — request_ids repeat across flows,
+// so the flow index must be part of the key. First server record wins on
+// duplicates. Output is sorted by client send time (ties by request_id) for
+// deterministic export.
+std::vector<JoinedSpan> JoinTraces(
+    const std::vector<ClientTraceRecord>& client,
+    const std::vector<ServerTraceRecord>& server, JoinStats* stats);
+
+// Renders the joined spans as catapult trace-event JSON ({"traceEvents":...})
+// in the client clock domain: pid 1 = client process (client-queue slices +
+// per-request async spans + wire-out/wire-back slices on a "network" track),
+// pid 2 = server process (per-worker tracks, one slice per consecutive
+// lifecycle stage pair). Deterministic for deterministic input.
+std::string ExportJoinedTrace(const std::vector<JoinedSpan>& spans,
+                              const ClockOffsetEstimate& clocks);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_INTROSPECT_TRACEJOIN_H_

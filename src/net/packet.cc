@@ -71,6 +71,10 @@ uint32_t BuildRequestPacket(const RequestFrame& frame, std::byte* buf,
   psp.client_id = frame.client_id;
   psp.payload_length = frame.payload_length;
   psp.client_timestamp = frame.client_timestamp;
+  psp.trace_flags = frame.trace_flags;
+  psp.reserved = 0;
+  psp.server_rx_timestamp = 0;
+  psp.server_tx_timestamp = 0;
   std::memcpy(buf + kRequestOffset, &psp, sizeof(psp));
 
   if (frame.payload_length > 0 && frame.payload != nullptr) {
@@ -152,6 +156,9 @@ std::optional<ParsedRequest> ParseRequestPacket(const std::byte* data,
   out.psp.client_id = wire.client_id;
   out.psp.payload_length = wire.payload_length;
   out.psp.client_timestamp = wire.client_timestamp;
+  out.psp.trace_flags = wire.trace_flags;
+  out.psp.server_rx_timestamp = wire.server_rx_timestamp;
+  out.psp.server_tx_timestamp = wire.server_tx_timestamp;
   if (out.psp.magic != PspHeader::kMagic) {
     return std::nullopt;
   }
@@ -201,6 +208,16 @@ uint32_t FormatResponseInPlace(std::byte* data, uint32_t response_payload_len) {
   udp->length = HostToNet16(static_cast<uint16_t>(
       sizeof(UdpHeader) + sizeof(PspHeader) + response_payload_len));
   return total;
+}
+
+void StampServerTimestamps(std::byte* frame, Nanos server_rx,
+                           Nanos server_tx) {
+  const int64_t rx = server_rx;
+  const int64_t tx = server_tx;
+  std::memcpy(frame + kRequestOffset + offsetof(PspHeader, server_rx_timestamp),
+              &rx, sizeof(rx));
+  std::memcpy(frame + kRequestOffset + offsetof(PspHeader, server_tx_timestamp),
+              &tx, sizeof(tx));
 }
 
 }  // namespace psp

@@ -54,6 +54,13 @@ struct UdpHeader {
 static_assert(sizeof(UdpHeader) == 8);
 
 // Application-level request header (layer 4+ payload prefix).
+//
+// The trailing four fields are the wire-level trace context (Dapper-style
+// in-band propagation): the client sets trace_flags and client_timestamp on
+// the request; the server echoes the whole header on the response, stamping
+// server_rx/tx_timestamp (its own clock domain) for sampled requests so an
+// offline join can decompose client RTT into wire time and server sojourn
+// without synchronised clocks.
 struct PspHeader {
   uint32_t magic;        // kMagic
   uint32_t request_type; // application request type id (classifier input)
@@ -61,10 +68,18 @@ struct PspHeader {
   uint32_t client_id;
   uint32_t payload_length;  // bytes following this header
   int64_t client_timestamp; // client send time (ns) for RTT accounting
+  uint32_t trace_flags;     // kFlagTraceSampled etc.; echoed on the response
+  uint32_t reserved;        // keeps the 64-bit stamps 8-byte positioned
+  int64_t server_rx_timestamp;  // server clock; 0 until the server stamps it
+  int64_t server_tx_timestamp;  // server clock; 0 until the server stamps it
 
   static constexpr uint32_t kMagic = 0x50535031;  // "PSP1"
+  // Request bit: the client elected this request for distributed tracing.
+  // The server honors it (forces lifecycle sampling) and echoes it back so
+  // the client knows which responses carry server stamps.
+  static constexpr uint32_t kFlagTraceSampled = 1u << 0;
 };
-static_assert(sizeof(PspHeader) == 32);
+static_assert(sizeof(PspHeader) == 56);
 
 #pragma pack(pop)
 
@@ -111,6 +126,7 @@ struct RequestFrame {
   uint64_t request_id = 0;
   uint32_t client_id = 0;
   Nanos client_timestamp = 0;
+  uint32_t trace_flags = 0;
   const std::byte* payload = nullptr;
   uint32_t payload_length = 0;
 };
@@ -144,6 +160,9 @@ struct RequestHeaderView {
   uint32_t client_id = 0;
   uint32_t payload_length = 0;
   int64_t client_timestamp = 0;
+  uint32_t trace_flags = 0;
+  int64_t server_rx_timestamp = 0;
+  int64_t server_tx_timestamp = 0;
 };
 
 // Parsed view of a received request packet. The payload pointer aliases the
@@ -167,6 +186,12 @@ std::optional<ParsedRequest> ParseRequestPacket(const std::byte* data,
 // the paper's buffer-reuse TX path ("the worker reuses the ingress network
 // buffer to host the egress packet", §4.3.1). Returns the new frame length.
 uint32_t FormatResponseInPlace(std::byte* data, uint32_t response_payload_len);
+
+// Writes the server's rx/tx lifecycle stamps into the PSP header of a frame
+// about to leave as a response (the distributed-tracing echo). Same unaligned
+// memcpy discipline as FormatResponseInPlace; call it after the response is
+// formatted and immediately before the frame hits the egress sink.
+void StampServerTimestamps(std::byte* frame, Nanos server_rx, Nanos server_tx);
 
 // IPv4 header checksum (RFC 1071) over the 20-byte header.
 uint16_t Ipv4Checksum(const Ipv4Header& header);

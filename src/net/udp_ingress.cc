@@ -40,6 +40,7 @@ UdpIngress::UdpIngress(const IngressConfig& config, size_t ring_depth,
   for (auto& shard : shards_) {
     shard.ring = std::make_unique<SpscRing<PacketRef>>(ring_depth_);
     shard.poller = std::make_unique<PollController>(config_.poll);
+    shard.rx = std::make_unique<std::atomic<uint64_t>>(0);
   }
 }
 
@@ -207,6 +208,7 @@ void UdpIngress::RunNetWorker(uint32_t shard_index,
       PacketRef pkt{buf, frame_len, TscClock::Global().Now(), 0};
       if (shard.ring->TryPush(pkt)) {
         rx_datagrams_.fetch_add(1, std::memory_order_relaxed);
+        shard.rx->fetch_add(1, std::memory_order_relaxed);
       } else {
         ring_full_drops_.fetch_add(1, std::memory_order_relaxed);
         bufs[kept++] = buf;
@@ -287,9 +289,11 @@ UdpIngressStats UdpIngress::stats() const {
   s.ring_full_drops = ring_full_drops_.load(std::memory_order_relaxed);
   s.tx_datagrams = tx_datagrams_.load(std::memory_order_relaxed);
   s.tx_drops = tx_drops_.load(std::memory_order_relaxed);
+  s.rx_per_shard.reserve(shards_.size());
   for (const auto& shard : shards_) {
     s.sleeps += shard.poller->sleeps();
     s.slept_nanos += static_cast<uint64_t>(shard.poller->slept_nanos());
+    s.rx_per_shard.push_back(shard.rx->load(std::memory_order_relaxed));
   }
   s.net_cpu_nanos = net_cpu_nanos_.load(std::memory_order_relaxed);
   s.net_wall_nanos = net_wall_nanos_.load(std::memory_order_relaxed);

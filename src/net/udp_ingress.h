@@ -47,6 +47,9 @@ struct UdpIngressStats {
   uint64_t slept_nanos = 0;     // total time adaptive pollers spent asleep
   uint64_t net_cpu_nanos = 0;   // CLOCK_THREAD_CPUTIME_ID across net workers
   uint64_t net_wall_nanos = 0;  // wall time the net-worker loops were live
+  // Accepted datagrams per shard socket (index = shard/net-worker). With
+  // reuseport this is the observable skew of the kernel's flow sharding.
+  std::vector<uint64_t> rx_per_shard;
 };
 
 class UdpIngress final : public IngressSource, public EgressSink {
@@ -96,6 +99,9 @@ class UdpIngress final : public IngressSource, public EgressSink {
     int fd = -1;
     std::unique_ptr<SpscRing<PacketRef>> ring;
     std::unique_ptr<PollController> poller;
+    // unique_ptr keeps Shard movable for shards_.resize(); a bare atomic
+    // member would delete the move constructor.
+    std::unique_ptr<std::atomic<uint64_t>> rx;
   };
 
   IngressConfig config_;

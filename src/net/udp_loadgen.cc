@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
+#include <unordered_map>
 
 #include "src/net/packet.h"
 
@@ -98,6 +99,10 @@ UdpLoadGenReport UdpLoadGenerator::Run(std::string* error) {
   Nanos last_activity = start;
   std::byte datagram[kDatagramCap];
   size_t drain_cursor = 0;
+  // Scheduled send instants of in-flight sampled requests, keyed by
+  // request_id (globally unique here — one counter across all flows). Small:
+  // at most outstanding/sample_every entries.
+  std::unordered_map<uint64_t, Nanos> sampled_due;
 
   // Pull one response off any client socket; false when all are empty.
   const auto drain_one = [&]() -> bool {
@@ -118,6 +123,32 @@ UdpLoadGenReport UdpLoadGenerator::Run(std::string* error) {
         const Nanos latency = now - psp.client_timestamp;
         report.latency[psp.request_type].Add(latency);
         report.overall.Add(latency);
+        if ((psp.trace_flags & PspHeader::kFlagTraceSampled) != 0) {
+          ClientSpanRecord rec;
+          rec.request_id = psp.request_id;
+          rec.flow = psp.client_id;
+          rec.wire_type = psp.request_type;
+          rec.send_ns = psp.client_timestamp;
+          rec.recv_ns = now;
+          rec.server_rx_ns = psp.server_rx_timestamp;
+          rec.server_tx_ns = psp.server_tx_timestamp;
+          const auto due = sampled_due.find(psp.request_id);
+          rec.due_ns = due != sampled_due.end() ? due->second : rec.send_ns;
+          report.samples.push_back(rec);
+          // Sojourn is offset-free (both stamps on the server clock);
+          // network time is what remains of the RTT. Guard against an
+          // unstamped echo or cross-clock skew making either negative.
+          if (rec.server_tx_ns >= rec.server_rx_ns && rec.server_rx_ns > 0) {
+            const Nanos sojourn = rec.server_tx_ns - rec.server_rx_ns;
+            report.server_sojourn[psp.request_type].Add(sojourn);
+            if (latency >= sojourn) {
+              report.net_time[psp.request_type].Add(latency - sojourn);
+            }
+          }
+        }
+      }
+      if ((psp.trace_flags & PspHeader::kFlagTraceSampled) != 0) {
+        sampled_due.erase(psp.request_id);
       }
       ++received;
       last_activity = now;
@@ -136,12 +167,23 @@ UdpLoadGenReport UdpLoadGenerator::Run(std::string* error) {
           cumulative_.begin());
       const auto& spec = mix_[std::min(slot, mix_.size() - 1)];
 
+      const bool sampled =
+          config_.sample_every > 0 && sent % config_.sample_every == 0;
       PspHeader psp;
       psp.magic = PspHeader::kMagic;
       psp.request_type = spec.wire_id;
       psp.request_id = sent;
       psp.client_id = static_cast<uint32_t>(sent % fds.size());
       psp.client_timestamp = clock.Now();
+      psp.trace_flags = sampled ? PspHeader::kFlagTraceSampled : 0;
+      psp.reserved = 0;
+      psp.server_rx_timestamp = 0;
+      psp.server_tx_timestamp = 0;
+      if (sampled) {
+        // `next_send` is still this request's scheduled instant; due→send
+        // is the client-queue span in the joined trace.
+        sampled_due[sent] = next_send;
+      }
       const uint32_t payload_len =
           spec.build_payload
               ? spec.build_payload(

@@ -50,6 +50,25 @@ struct UdpLoadGenConfig {
   // activity (datagrams are lossy by design).
   Nanos drain_timeout = 500 * kMillisecond;
   int socket_buffer_bytes = 1 << 20;
+  // Distributed-tracing sampling: every Nth request carries the PSP
+  // kFlagTraceSampled bit (forcing a server-side lifecycle record) and
+  // produces a ClientSpanRecord on the response. 0 disables tracing.
+  uint32_t sample_every = 0;
+};
+
+// Client-side view of one sampled request, all client-clock nanoseconds
+// except the echoed server stamps (server clock; the trace join aligns the
+// domains by min-one-way-delay). due_ns is the open-loop scheduled send
+// instant, so due→send is client-queue time (send-loop backlog).
+struct ClientSpanRecord {
+  uint64_t request_id = 0;
+  uint32_t flow = 0;       // wire client_id (socket index)
+  uint32_t wire_type = 0;  // request_type on the wire
+  Nanos due_ns = 0;
+  Nanos send_ns = 0;
+  Nanos recv_ns = 0;
+  Nanos server_rx_ns = 0;  // server clock, 0 if the server did not stamp
+  Nanos server_tx_ns = 0;  // server clock
 };
 
 struct UdpLoadGenReport {
@@ -59,6 +78,15 @@ struct UdpLoadGenReport {
   Nanos elapsed = 0;
   std::map<uint32_t, Histogram> latency;  // client-observed RTT per wire_id
   Histogram overall;
+  // Sampled per-request records (empty unless config.sample_every > 0),
+  // in receive order. Post-warmup requests only, like the histograms.
+  std::vector<ClientSpanRecord> samples;
+  // Network-time decomposition over the sampled subset, per wire_id:
+  // server sojourn (server_tx - server_rx, offset-free — both stamps share
+  // the server clock) and network time (RTT minus sojourn: kernel TX path,
+  // wire both ways, kernel RX path, and both NIC queues).
+  std::map<uint32_t, Histogram> server_sojourn;
+  std::map<uint32_t, Histogram> net_time;
 
   double AchievedRps() const {
     return elapsed > 0

@@ -19,6 +19,10 @@ struct WorkOrder {
   void* payload = nullptr;      // NIC buffer (zero-copy handoff)
   uint32_t payload_length = 0;
   uint32_t frame_length = 0;    // full frame length for TX reuse
+  // Wire identity (PSP header request_id / client_id) carried through so the
+  // worker can commit it with the lifecycle record for cross-process joins.
+  uint64_t wire_id = 0;
+  uint32_t client_id = 0;
   // Lifecycle trace stamps accumulated on the dispatcher side; the worker
   // adds its stages and commits the record (inert unless trace.sampled).
   TraceContext trace;

@@ -304,6 +304,10 @@ TelemetrySnapshot Persephone::telemetry_snapshot() const {
     snap.counters["ingress.tx_drops"] += s.tx_drops;
     snap.counters["ingress.poll_sleeps"] += s.sleeps;
     snap.counters["ingress.poll_slept_nanos"] += s.slept_nanos;
+    for (size_t i = 0; i < s.rx_per_shard.size(); ++i) {
+      snap.counters["ingress.shard." + std::to_string(i) + ".rx_datagrams"] +=
+          s.rx_per_shard[i];
+    }
   }
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
     const WorkerUtilization u = worker_utilization(w);
@@ -522,6 +526,8 @@ void Persephone::DispatcherLoop() {
       order.arrival = assignment->request.arrival;
       order.payload = assignment->request.payload;
       order.payload_length = assignment->request.payload_length;
+      order.wire_id = assignment->request.wire_id;
+      order.client_id = assignment->request.client_id;
       order.trace = assignment->request.trace;
       if (order.trace.sampled != 0) {
         order.trace.Mark(TraceStage::kDispatched, clock.Now());
@@ -559,7 +565,15 @@ void Persephone::IngestPacket(const PacketRef& packet, Nanos now,
   request.arrival = now;
   request.payload = packet.data;
   request.payload_length = packet.length;
-  if (sampler->Tick()) {
+  request.wire_id = parsed->psp.request_id;
+  request.client_id = parsed->psp.client_id;
+  // The client's in-band sampling election forces a lifecycle record (the
+  // distributed-tracing join needs exactly these requests); local 1-in-N
+  // sampling still ticks independently so server-only visibility survives
+  // clients that never set the bit.
+  const bool wire_sampled =
+      (parsed->psp.trace_flags & PspHeader::kFlagTraceSampled) != 0;
+  if (sampler->Tick() || wire_sampled) {
     request.trace.sampled = 1;
     // The NIC's hardware-style stamp captures RX-queue wait; fall back to
     // the poll instant for frames delivered without one.
@@ -673,6 +687,16 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
     }
 
     const uint32_t frame_len = FormatResponseInPlace(frame, response_len);
+    if (order.trace.sampled != 0) {
+      // Echo the server's rx/tx stamps onto the wire BEFORE the frame leaves
+      // (the egress sink may hand the buffer to the kernel immediately), so
+      // the client can decompose its RTT into wire time and server sojourn.
+      const Nanos tx_now = clock.Now();
+      order.trace.Mark(TraceStage::kTx, tx_now);
+      StampServerTimestamps(
+          frame, order.trace.stamp[static_cast<size_t>(TraceStage::kRx)],
+          tx_now);
+    }
     const PacketRef response{frame, frame_len};
     if (egress_sink_->SendBurst(&response, 1, worker_id + 1) == 0) {
       // Egress full (client not draining): release the buffer.
@@ -684,11 +708,12 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
     counters.requests.fetch_add(1, std::memory_order_relaxed);
     if (order.trace.sampled != 0) {
       // Commit the completed lifecycle record into this worker's ring.
-      order.trace.Mark(TraceStage::kTx, start + service);
       RequestTrace record;
       record.request_id = order.request_id;
       record.type = order.type;
       record.worker = worker_id;
+      record.wire_request_id = order.wire_id;
+      record.client_id = order.client_id;
       record.stamp = order.trace.stamp;
       telemetry_->ring(worker_id).Push(record);
       if (outliers_) {

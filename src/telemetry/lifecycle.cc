@@ -50,6 +50,8 @@ void TraceRing::Push(const RequestTrace& record) {
   slot.request_id.store(record.request_id, std::memory_order_relaxed);
   slot.type.store(record.type, std::memory_order_relaxed);
   slot.worker.store(record.worker, std::memory_order_relaxed);
+  slot.wire_request_id.store(record.wire_request_id, std::memory_order_relaxed);
+  slot.client_id.store(record.client_id, std::memory_order_relaxed);
   for (size_t i = 0; i < kNumTraceStages; ++i) {
     slot.stamp[i].store(record.stamp[i], std::memory_order_relaxed);
   }
@@ -72,6 +74,8 @@ size_t TraceRing::Snapshot(std::vector<RequestTrace>* out) const {
     copy.request_id = slot.request_id.load(std::memory_order_relaxed);
     copy.type = slot.type.load(std::memory_order_relaxed);
     copy.worker = slot.worker.load(std::memory_order_relaxed);
+    copy.wire_request_id = slot.wire_request_id.load(std::memory_order_relaxed);
+    copy.client_id = slot.client_id.load(std::memory_order_relaxed);
     for (size_t i = 0; i < kNumTraceStages; ++i) {
       copy.stamp[i] = slot.stamp[i].load(std::memory_order_relaxed);
     }

@@ -49,6 +49,12 @@ struct RequestTrace {
   uint64_t request_id = 0;
   uint32_t type = 0;
   uint32_t worker = 0;
+  // Wire identity (client's request_id / client_id echoed from the PSP
+  // header). Lets an offline join pair this server-side record with the
+  // client's per-request sample; both 0 for requests that never crossed a
+  // wire (simulator, in-process NIC ring).
+  uint64_t wire_request_id = 0;
+  uint32_t client_id = 0;
   // Stamp per stage; 0 = the stage was never reached/recorded.
   std::array<Nanos, kNumTraceStages> stamp{};
 
@@ -149,6 +155,8 @@ class TraceRing {
     std::atomic<uint64_t> request_id{0};
     std::atomic<uint32_t> type{0};
     std::atomic<uint32_t> worker{0};
+    std::atomic<uint64_t> wire_request_id{0};
+    std::atomic<uint32_t> client_id{0};
     std::array<std::atomic<Nanos>, kNumTraceStages> stamp{};
   };
 

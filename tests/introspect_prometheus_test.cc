@@ -97,6 +97,51 @@ TEST(Prometheus, WorkerMetricsFoldIntoLabels) {
   EXPECT_FALSE(Contains(text, "worker_0_requests"));
 }
 
+// Golden-format contract for the socket-ingress counter families the
+// runtime folds out of UdpIngressStats: flat ingress.* counters plus the
+// per-shard rx fold into a shard label.
+TEST(Prometheus, IngressCountersGoldenFormat) {
+  TelemetrySnapshot snap;
+  snap.counters["ingress.rx_datagrams"] = 1000;
+  snap.counters["ingress.malformed"] = 7;
+  snap.counters["ingress.ring_full_drops"] = 2;
+  snap.counters["ingress.tx_datagrams"] = 998;
+  snap.counters["ingress.tx_drops"] = 0;
+  snap.counters["ingress.poll_sleeps"] = 55;
+  snap.counters["ingress.poll_slept_nanos"] = 123456;
+  snap.counters["ingress.shard.0.rx_datagrams"] = 600;
+  snap.counters["ingress.shard.1.rx_datagrams"] = 400;
+
+  const std::string text = RenderPrometheusText(snap);
+
+  // Flat families: HELP + TYPE + _total, exact sample lines.
+  EXPECT_TRUE(Contains(text, "# TYPE psp_ingress_rx_datagrams_total counter\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_ingress_rx_datagrams_total 1000\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE psp_ingress_malformed_total counter\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_ingress_malformed_total 7\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_ingress_ring_full_drops_total 2\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_ingress_tx_datagrams_total 998\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_ingress_tx_drops_total 0\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE psp_ingress_poll_sleeps_total counter\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_ingress_poll_sleeps_total 55\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_ingress_poll_slept_nanos_total 123456\n"));
+
+  // Per-shard rx folds into one family with a shard label, like workers.
+  EXPECT_TRUE(Contains(
+      text, "psp_ingress_shard_rx_datagrams_total{shard=\"0\"} 600\n"));
+  EXPECT_TRUE(Contains(
+      text, "psp_ingress_shard_rx_datagrams_total{shard=\"1\"} 400\n"));
+  size_t headers = 0;
+  for (const std::string& line : Lines(text)) {
+    if (line == "# TYPE psp_ingress_shard_rx_datagrams_total counter") {
+      ++headers;
+    }
+  }
+  EXPECT_EQ(headers, 1u);
+  // The raw dotted per-shard name must not leak through as a flat metric.
+  EXPECT_FALSE(Contains(text, "ingress_shard_0_rx_datagrams"));
+}
+
 TEST(Prometheus, LatestIntervalPerTypeGauges) {
   TelemetrySnapshot snap;
   snap.type_names[0] = "SHORT";

@@ -134,6 +134,63 @@ TEST(Packet, FormatResponseInPlaceSwapsDirections) {
   EXPECT_EQ(Ipv4Checksum(*ip), ip->checksum);
 }
 
+// --- Wire-level trace context ------------------------------------------------
+
+TEST(Packet, TraceFlagsRoundTrip) {
+  std::byte buf[kMaxPacketSize];
+  RequestFrame f = SampleFrame();
+  f.trace_flags = PspHeader::kFlagTraceSampled;
+  const uint32_t len = BuildRequestPacket(f, buf, sizeof(buf));
+  ASSERT_GT(len, 0u);
+  const auto parsed = ParseRequestPacket(buf, len);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->psp.trace_flags, PspHeader::kFlagTraceSampled);
+  // Fresh requests carry zero server stamps — the server hasn't seen them.
+  EXPECT_EQ(parsed->psp.server_rx_timestamp, 0);
+  EXPECT_EQ(parsed->psp.server_tx_timestamp, 0);
+}
+
+TEST(Packet, TraceFlagsDefaultUnsampled) {
+  std::byte buf[kMaxPacketSize];
+  const uint32_t len = BuildRequestPacket(SampleFrame(), buf, sizeof(buf));
+  const auto parsed = ParseRequestPacket(buf, len);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->psp.trace_flags, 0u);
+}
+
+TEST(Packet, StampServerTimestampsRoundTrip) {
+  std::byte buf[kMaxPacketSize];
+  RequestFrame f = SampleFrame();
+  f.trace_flags = PspHeader::kFlagTraceSampled;
+  const uint32_t len = BuildRequestPacket(f, buf, sizeof(buf));
+  ASSERT_GT(len, 0u);
+  StampServerTimestamps(buf, 111222333, 444555666);
+  const auto parsed = ParseRequestPacket(buf, len);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->psp.server_rx_timestamp, 111222333);
+  EXPECT_EQ(parsed->psp.server_tx_timestamp, 444555666);
+  // Stamping must not disturb neighbouring fields.
+  EXPECT_EQ(parsed->psp.request_id, 77u);
+  EXPECT_EQ(parsed->psp.client_timestamp, 123456789);
+  EXPECT_EQ(parsed->psp.trace_flags, PspHeader::kFlagTraceSampled);
+}
+
+TEST(Packet, FormatResponsePreservesTraceContext) {
+  std::byte buf[kMaxPacketSize];
+  RequestFrame f = SampleFrame();
+  f.trace_flags = PspHeader::kFlagTraceSampled;
+  BuildRequestPacket(f, buf, sizeof(buf));
+  StampServerTimestamps(buf, 1000, 2000);
+  // The zero-copy TX rewrite must keep the echoed trace context intact.
+  const uint32_t resp_len = FormatResponseInPlace(buf, 8);
+  const auto parsed = ParseRequestPacket(buf, resp_len);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->psp.trace_flags, PspHeader::kFlagTraceSampled);
+  EXPECT_EQ(parsed->psp.server_rx_timestamp, 1000);
+  EXPECT_EQ(parsed->psp.server_tx_timestamp, 2000);
+  EXPECT_EQ(parsed->psp.client_timestamp, 123456789);
+}
+
 // --- RSS ---------------------------------------------------------------------
 
 TEST(Rss, DeterministicPerFlow) {

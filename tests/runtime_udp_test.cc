@@ -93,6 +93,61 @@ TEST(RuntimeUdp, EchoesOverLoopbackEndToEnd) {
   EXPECT_EQ(snap.counter("runtime.malformed"), 0u);
 }
 
+TEST(RuntimeUdp, WireSamplingEchoesServerStampsEndToEnd) {
+  // The distributed-tracing wire contract over real loopback datagrams:
+  // every 1-in-N client-sampled request comes back with the server's
+  // rx/tx stamps echoed in the PSP header, and the server's lifecycle ring
+  // holds records carrying the wire identity for the trace join.
+  Persephone server(UdpRuntime());
+  server.RegisterType(1, "SHORT", MakeSpinHandler(), FromMicros(5), 0.9);
+  server.RegisterType(2, "LONG", MakeSpinHandler(), FromMicros(200), 0.1);
+  server.Start();
+
+  UdpLoadGenConfig lg;
+  lg.port = server.udp_port();
+  lg.rate_rps = 2000;
+  lg.total_requests = 256;
+  lg.sample_every = 8;
+  lg.warmup_fraction = 0.0;  // count every sampled id, 1-in-8 exactly
+  lg.drain_timeout = 2 * kSecond;
+  UdpLoadGenerator gen({SpinSpec(1, "SHORT", 0.9, FromMicros(5)),
+                        SpinSpec(2, "LONG", 0.1, FromMicros(200))},
+                       lg);
+  std::string error;
+  const UdpLoadGenReport report = gen.Run(&error);
+  ASSERT_EQ(error, "");
+  server.Stop();
+
+  ASSERT_EQ(report.received, 256u);
+  // 1-in-8 of 256: every sampled response echoed its stamps and recorded.
+  EXPECT_EQ(report.samples.size(), 256u / 8u);
+  for (const ClientSpanRecord& rec : report.samples) {
+    EXPECT_GT(rec.server_rx_ns, 0);
+    EXPECT_GE(rec.server_tx_ns, rec.server_rx_ns);
+    EXPECT_GE(rec.recv_ns, rec.send_ns);
+    // Server sojourn fits inside the client-observed RTT (same TSC domain
+    // in-process, so this holds exactly).
+    EXPECT_LE(rec.server_tx_ns - rec.server_rx_ns, rec.recv_ns - rec.send_ns);
+  }
+  EXPECT_GT(report.server_sojourn.at(1).Count() +
+                (report.server_sojourn.count(2) != 0
+                     ? report.server_sojourn.at(2).Count()
+                     : 0),
+            0u);
+
+  // The server half: lifecycle records exist whose wire identity matches
+  // client-sampled request ids (multiples of sample_every).
+  const TelemetrySnapshot snap = server.telemetry_snapshot();
+  size_t wire_sampled = 0;
+  for (const RequestTrace& trace : snap.traces) {
+    if (trace.wire_request_id % lg.sample_every == 0) {
+      ++wire_sampled;
+      EXPECT_EQ(trace.client_id, 0u);  // single flow
+    }
+  }
+  EXPECT_GT(wire_sampled, 0u);
+}
+
 TEST(RuntimeUdp, ReuseportShardsAcrossNetWorkers) {
   RuntimeConfig config = UdpRuntime();
   config.ingress.num_net_workers = 2;

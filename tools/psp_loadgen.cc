@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -65,12 +66,69 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --port P [--host H] [--rate RPS] [--requests N] [--seed S]\n"
       "          [--flows F] [--type id:NAME:ratio:spin_us]... [--json]\n"
+      "          [--sample N] [--prom FILE]\n"
       "Sends an open-loop Poisson stream of typed spin requests to a\n"
       "Persephone UDP server and reports client-observed RTTs.\n"
       "--flows F uses F client sockets (distinct source ports) so a\n"
-      "reuseport server spreads the flows across its net-worker shards.\n",
+      "reuseport server spreads the flows across its net-worker shards.\n"
+      "--sample N marks every Nth request for distributed tracing (the\n"
+      "server echoes its rx/tx stamps); sampled per-request records land in\n"
+      "the --json report, and --prom FILE writes the psp_net_* network-time\n"
+      "decomposition as Prometheus text exposition.\n",
       argv0);
   return 2;
+}
+
+// Writes the client-side network-time decomposition (sampled subset) as
+// Prometheus text exposition 0.0.4: RTT, echoed server sojourn, and their
+// difference (time on the wire + kernel + NIC queues), per type, as
+// summaries; sample counts as a counter. Same conventions as the server's
+// /metrics page so `pspctl checkfile` accepts it.
+bool WriteNetProm(const char* path, const std::vector<TypeArg>& types,
+                  const psp::UdpLoadGenReport& report) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const auto summary = [&](const char* name, const char* help,
+                           const std::map<uint32_t, psp::Histogram>& per_type) {
+    std::fprintf(f, "# HELP %s %s\n# TYPE %s summary\n", name, help, name);
+    for (const TypeArg& t : types) {
+      const auto it = per_type.find(t.wire_id);
+      if (it == per_type.end() || it->second.Count() == 0) {
+        continue;
+      }
+      const psp::Histogram& h = it->second;
+      for (const auto& [q, p] : {std::pair<const char*, double>{"0.5", 50},
+                                 {"0.99", 99},
+                                 {"0.999", 99.9}}) {
+        std::fprintf(f, "%s{type=\"%s\",quantile=\"%s\"} %.3f\n", name,
+                     t.name.c_str(), q, psp::ToMicros(h.Percentile(p)));
+      }
+      std::fprintf(f, "%s_sum{type=\"%s\"} %.3f\n", name, t.name.c_str(),
+                   psp::ToMicros(static_cast<psp::Nanos>(
+                       h.Mean() * static_cast<double>(h.Count()))));
+      std::fprintf(f, "%s_count{type=\"%s\"} %llu\n", name, t.name.c_str(),
+                   static_cast<unsigned long long>(h.Count()));
+    }
+  };
+  summary("psp_net_client_rtt_us",
+          "Client-observed RTT per type (post-warmup requests).",
+          report.latency);
+  summary("psp_net_server_sojourn_us",
+          "Server sojourn echoed on sampled responses (server tx - rx).",
+          report.server_sojourn);
+  summary("psp_net_time_us",
+          "Network time: client RTT minus echoed server sojourn.",
+          report.net_time);
+  std::fprintf(f,
+               "# HELP psp_net_samples_total Sampled trace records captured.\n"
+               "# TYPE psp_net_samples_total counter\n"
+               "psp_net_samples_total %llu\n",
+               static_cast<unsigned long long>(report.samples.size()));
+  std::fprintf(f, "psp_up 1\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -80,6 +138,7 @@ int main(int argc, char** argv) {
   std::vector<TypeArg> types;
   bool json = false;
   bool have_port = false;
+  const char* prom_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,6 +179,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       types.push_back(t);
+    } else if (arg == "--sample") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.sample_every = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--prom") {
+      prom_path = next();
+      if (prom_path == nullptr) return Usage(argv[0]);
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -178,7 +244,52 @@ int main(int argc, char** argv) {
           psp::ToMicros(it->second.Percentile(99.9)));
       first = false;
     }
-    std::printf("]}\n");
+    std::printf("]");
+    if (config.sample_every > 0) {
+      // Per-request trace records (see docs/API.md "psp_loadgen --json").
+      // Client-clock fields are ns; server stamps are the server's clock.
+      std::printf(",\"sample_every\":%u,\"samples\":[", config.sample_every);
+      first = true;
+      for (const psp::ClientSpanRecord& s : report.samples) {
+        std::printf("%s{\"request_id\":%llu,\"flow\":%u,\"wire_type\":%u,"
+                    "\"due_ns\":%lld,\"send_ns\":%lld,\"recv_ns\":%lld,"
+                    "\"server_rx_ns\":%lld,\"server_tx_ns\":%lld}",
+                    first ? "" : ",",
+                    static_cast<unsigned long long>(s.request_id), s.flow,
+                    s.wire_type, static_cast<long long>(s.due_ns),
+                    static_cast<long long>(s.send_ns),
+                    static_cast<long long>(s.recv_ns),
+                    static_cast<long long>(s.server_rx_ns),
+                    static_cast<long long>(s.server_tx_ns));
+        first = false;
+      }
+      std::printf("],\"net\":[");
+      first = true;
+      for (const TypeArg& t : types) {
+        const auto sj = report.server_sojourn.find(t.wire_id);
+        const auto nt = report.net_time.find(t.wire_id);
+        if (sj == report.server_sojourn.end() || sj->second.Count() == 0) {
+          continue;
+        }
+        std::printf(
+            "%s{\"name\":\"%s\",\"wire_id\":%u,\"count\":%llu,"
+            "\"sojourn_p50_us\":%.1f,\"sojourn_p99_us\":%.1f,"
+            "\"net_p50_us\":%.1f,\"net_p99_us\":%.1f}",
+            first ? "" : ",", t.name.c_str(), t.wire_id,
+            static_cast<unsigned long long>(sj->second.Count()),
+            psp::ToMicros(sj->second.Percentile(50)),
+            psp::ToMicros(sj->second.Percentile(99)),
+            nt != report.net_time.end() && nt->second.Count() > 0
+                ? psp::ToMicros(nt->second.Percentile(50))
+                : 0.0,
+            nt != report.net_time.end() && nt->second.Count() > 0
+                ? psp::ToMicros(nt->second.Percentile(99))
+                : 0.0);
+        first = false;
+      }
+      std::printf("]");
+    }
+    std::printf("}\n");
   } else {
     std::printf("sent %llu  received %llu  send_drops %llu  achieved %.0f rps\n",
                 static_cast<unsigned long long>(report.sent),
@@ -203,6 +314,14 @@ int main(int argc, char** argv) {
                 psp::ToMicros(report.overall.Percentile(50)),
                 psp::ToMicros(report.overall.Percentile(99)),
                 psp::ToMicros(report.overall.Percentile(99.9)));
+  }
+  if (!json && config.sample_every > 0) {
+    std::printf("  sampled %zu trace records (1 in %u)\n",
+                report.samples.size(), config.sample_every);
+  }
+  if (prom_path != nullptr && !WriteNetProm(prom_path, types, report)) {
+    std::fprintf(stderr, "psp_loadgen: cannot write %s\n", prom_path);
+    return 1;
   }
   // A run that got nothing back is a failure for scripts (server down, wrong
   // port, firewalled loopback).

@@ -1,0 +1,221 @@
+// psp_tracejoin: joins the client and server halves of a sampled
+// distributed trace into one Perfetto/catapult file.
+//
+//   psp_tracejoin --client report.json [--server lifecycle.json]
+//                 [--admin HOST:PORT] --out trace.json
+//
+// --client takes the psp_loadgen --json report (run the loadgen with
+// --sample N so it contains "samples"). The server half comes from a file
+// (--server, a saved /lifecycle.json body, e.g. `pspctl lifecycle --out f`)
+// or straight from a live admin endpoint (--admin fetches /lifecycle.json).
+// The tool estimates the client↔server clock offset by min-one-way-delay
+// alignment, joins on (client_id, request_id), and writes a trace where
+// each sampled request decomposes into client-queue → wire-out → the
+// server's seven lifecycle stages → wire-back.
+//
+// Exit codes: 0 success, 1 usage, 2 I/O or transport failure, 3 malformed
+// input, 4 join produced no spans (the trace file is still written).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/introspect/tracejoin.h"
+
+namespace {
+
+int Usage(const char* detail) {
+  std::fprintf(stderr,
+               "psp_tracejoin: %s\n"
+               "usage: psp_tracejoin --client REPORT.json "
+               "[--server LIFECYCLE.json | --admin HOST:PORT] "
+               "--out TRACE.json\n",
+               detail);
+  return 1;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// One-shot HTTP GET of /lifecycle.json from the admin endpoint (same minimal
+// client shape as pspctl; this tool stays usable without it on the box).
+bool FetchLifecycle(const std::string& host, int port, std::string* body,
+                    std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address: " + host;
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = host + ":" + std::to_string(port) + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string req = "GET /lifecycle.json HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\nContent-Length: 0\r\n\r\n";
+  size_t done = 0;
+  while (done < req.size()) {
+    const ssize_t n = ::write(fd, req.data() + done, req.size() - done);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      *error = "send failed";
+      ::close(fd);
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos ||
+      response.compare(0, 5, "HTTP/") != 0) {
+    *error = "malformed HTTP response";
+    return false;
+  }
+  const int status = std::atoi(response.c_str() + response.find(' ') + 1);
+  if (status != 200) {
+    *error = "HTTP " + std::to_string(status);
+    return false;
+  }
+  *body = response.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string client_path;
+  std::string server_path;
+  std::string admin_host;
+  int admin_port = 0;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psp_tracejoin: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--client") {
+      client_path = next("--client");
+    } else if (arg == "--server") {
+      server_path = next("--server");
+    } else if (arg == "--admin") {
+      const std::string hp = next("--admin");
+      const size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        return Usage("--admin expects HOST:PORT");
+      }
+      admin_host = hp.substr(0, colon);
+      admin_port = std::atoi(hp.c_str() + colon + 1);
+    } else if (arg == "--out") {
+      out_path = next("--out");
+    } else {
+      return Usage(("unknown argument: " + arg).c_str());
+    }
+  }
+  if (client_path.empty() || out_path.empty()) {
+    return Usage("--client and --out are required");
+  }
+  if (server_path.empty() && admin_port <= 0) {
+    return Usage("need a server half: --server FILE or --admin HOST:PORT");
+  }
+
+  std::string client_json;
+  if (!ReadFile(client_path, &client_json)) {
+    std::fprintf(stderr, "psp_tracejoin: cannot read %s\n",
+                 client_path.c_str());
+    return 2;
+  }
+  std::string server_json;
+  if (!server_path.empty()) {
+    if (!ReadFile(server_path, &server_json)) {
+      std::fprintf(stderr, "psp_tracejoin: cannot read %s\n",
+                   server_path.c_str());
+      return 2;
+    }
+  } else {
+    std::string error;
+    if (!FetchLifecycle(admin_host, admin_port, &server_json, &error)) {
+      std::fprintf(stderr, "psp_tracejoin: fetch lifecycle: %s\n",
+                   error.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<psp::ClientTraceRecord> client;
+  std::vector<psp::ServerTraceRecord> server;
+  std::string error;
+  if (!psp::ParseClientSamplesJson(client_json, &client, &error)) {
+    std::fprintf(stderr, "psp_tracejoin: client report: %s\n", error.c_str());
+    return 3;
+  }
+  if (!psp::ParseLifecycleJson(server_json, &server, &error)) {
+    std::fprintf(stderr, "psp_tracejoin: lifecycle: %s\n", error.c_str());
+    return 3;
+  }
+
+  const psp::ClockOffsetEstimate clocks = psp::EstimateClockOffset(client);
+  psp::JoinStats stats;
+  const std::vector<psp::JoinedSpan> spans =
+      psp::JoinTraces(client, server, &stats);
+  const std::string trace = psp::ExportJoinedTrace(spans, clocks);
+
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(trace.data(), static_cast<std::streamsize>(trace.size()));
+  if (!out) {
+    std::fprintf(stderr, "psp_tracejoin: write %s failed\n", out_path.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "joined %zu spans (%zu client-only, %zu server-only, "
+               "%zu duplicate keys) from %zu client / %zu server records\n",
+               stats.joined, stats.client_only, stats.server_only,
+               stats.duplicate_keys, client.size(), server.size());
+  if (clocks.valid) {
+    std::fprintf(stderr,
+                 "clock offset (server - client): %lld ns "
+                 "(± %lld ns, %zu samples)\n",
+                 static_cast<long long>(clocks.offset),
+                 static_cast<long long>(clocks.uncertainty), clocks.samples);
+  } else {
+    std::fprintf(stderr, "clock offset: no usable samples\n");
+  }
+  return stats.joined > 0 ? 0 : 4;
+}

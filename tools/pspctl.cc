@@ -12,11 +12,19 @@
 //   fleet              GET /fleet.json (fleet endpoints only; 404 elsewhere)
 //   timeseries         GET /timeseries.json
 //   outliers           GET /outliers.json
+//   lifecycle          GET /lifecycle.json (sampled per-request records)
 //   health             GET /healthz
 //   trace start        POST /trace/start   (arms an on-demand capture)
 //   trace stop         POST /trace/stop    (returns the trace; use --out)
 //   flight             POST /flightrecorder/dump
 //   set KEY=VALUE...   POST /config  (e.g. set sampling=64)
+//   federate H:P...    scrape /metrics from N independent server processes
+//                      and merge: every sample gains a server="i" label,
+//                      counter families are summed into psp_fleet_*
+//                      families, psp_fleet_servers counts the endpoints.
+//                      --check validates the merged page.
+//   checkfile FILE     run the --check exposition validator on a local file
+//                      (e.g. psp_loadgen --prom output); no endpoint needed.
 //
 // The port defaults to $PSP_ADMIN_PORT. Exit codes: 0 success, 1 usage,
 // 2 connect/transport failure, 3 HTTP error status, 4 --check failed.
@@ -34,7 +42,9 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -53,7 +63,9 @@ int UsageError(const char* detail) {
                "usage: pspctl [--port P | --host H:P | --uds PATH] "
                "[--out FILE] [--check]\n"
                "              metrics|snapshot|fleet|timeseries|outliers|"
-               "health|flight|trace start|stop|set K=V...\n",
+               "lifecycle|health|flight|trace start|stop|set K=V...\n"
+               "       pspctl [--out FILE] [--check] federate HOST:PORT...\n"
+               "       pspctl checkfile FILE\n",
                detail);
   return 1;
 }
@@ -231,6 +243,213 @@ std::string CheckExposition(const std::string& text) {
   return "";
 }
 
+// One parsed exposition sample: name, the raw label block (without braces,
+// possibly empty) and the value text.
+struct Sample {
+  std::string name;
+  std::string labels;
+  std::string value;
+};
+
+// Splits a non-comment exposition line; false for lines CheckExposition
+// would reject anyway (federate runs after per-page validation).
+bool ParseSampleLine(const std::string& line, Sample* out) {
+  size_t i = 0;
+  while (i < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[i])) ||
+          line[i] == '_' || line[i] == ':')) {
+    ++i;
+  }
+  if (i == 0) {
+    return false;
+  }
+  out->name = line.substr(0, i);
+  out->labels.clear();
+  if (i < line.size() && line[i] == '{') {
+    const size_t open = i;
+    bool in_quotes = false;
+    bool escaped = false;
+    ++i;
+    for (; i < line.size(); ++i) {
+      const char c = line[i];
+      if (escaped) {
+        escaped = false;
+        continue;
+      }
+      if (in_quotes && c == '\\') {
+        escaped = true;
+        continue;
+      }
+      if (c == '"') {
+        in_quotes = !in_quotes;
+        continue;
+      }
+      if (!in_quotes && c == '}') {
+        break;
+      }
+    }
+    if (i >= line.size()) {
+      return false;
+    }
+    out->labels = line.substr(open + 1, i - open - 1);
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    return false;
+  }
+  out->value = line.substr(i + 1);
+  return true;
+}
+
+// Merges N /metrics pages from independent server processes into one
+// exposition: per-server samples labelled server="i" (family HELP/TYPE kept
+// from the first page that declares them), counter families summed across
+// servers into psp_fleet_* (the same labelling convention FleetSnapshot uses
+// for in-process fleets), plus psp_fleet_servers and a terminal psp_up.
+std::string FederateMetrics(const std::vector<std::string>& pages) {
+  struct Family {
+    std::string help;
+    std::string type;
+    // Per-server sample lines, already server-labelled.
+    std::vector<std::string> lines;
+    // Aggregation: labels -> summed value (counters only).
+    std::vector<std::pair<std::string, double>> sums;
+    bool integral = true;
+  };
+  std::vector<std::string> order;  // first-seen family order
+  std::vector<Family> families;
+  const auto family_of = [&](const std::string& name) -> Family& {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == name) {
+        return families[i];
+      }
+    }
+    order.push_back(name);
+    families.emplace_back();
+    return families.back();
+  };
+
+  for (size_t server = 0; server < pages.size(); ++server) {
+    const std::string& page = pages[server];
+    size_t pos = 0;
+    while (pos < page.size()) {
+      size_t eol = page.find('\n', pos);
+      if (eol == std::string::npos) {
+        eol = page.size();
+      }
+      const std::string line = page.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) {
+        continue;
+      }
+      if (line[0] == '#') {
+        // "# HELP name text" / "# TYPE name kind"
+        const bool is_help = line.compare(0, 7, "# HELP ") == 0;
+        const bool is_type = line.compare(0, 7, "# TYPE ") == 0;
+        if (!is_help && !is_type) {
+          continue;
+        }
+        const size_t name_begin = 7;
+        const size_t name_end = line.find(' ', name_begin);
+        if (name_end == std::string::npos) {
+          continue;
+        }
+        Family& fam = family_of(line.substr(name_begin, name_end - name_begin));
+        std::string& slot = is_help ? fam.help : fam.type;
+        if (slot.empty()) {
+          slot = line.substr(name_end + 1);
+        }
+        continue;
+      }
+      Sample sample;
+      if (!ParseSampleLine(line, &sample)) {
+        continue;
+      }
+      if (sample.name == "psp_up") {
+        continue;  // re-emitted once, terminal, for the merged page
+      }
+      Family& fam = family_of(sample.name);
+      std::string labelled = "server=\"" + std::to_string(server) + "\"";
+      if (!sample.labels.empty()) {
+        labelled += "," + sample.labels;
+      }
+      fam.lines.push_back(sample.name + "{" + labelled + "} " + sample.value);
+      char* end = nullptr;
+      const double v = std::strtod(sample.value.c_str(), &end);
+      if (end != sample.value.c_str() && *end == '\0') {
+        bool found = false;
+        for (auto& [labels, sum] : fam.sums) {
+          if (labels == sample.labels) {
+            sum += v;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          fam.sums.emplace_back(sample.labels, v);
+        }
+        if (v != static_cast<double>(static_cast<long long>(v))) {
+          fam.integral = false;
+        }
+      }
+    }
+  }
+
+  std::string out;
+  const auto append_value = [&](double v, bool integral) {
+    char buf[64];
+    if (integral && v < 9e15 && v > -9e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+    }
+    out += buf;
+  };
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Family& fam = families[i];
+    if (fam.lines.empty()) {
+      continue;
+    }
+    if (!fam.help.empty()) {
+      out += "# HELP " + order[i] + " " + fam.help + "\n";
+    }
+    if (!fam.type.empty()) {
+      out += "# TYPE " + order[i] + " " + fam.type + "\n";
+    }
+    for (const std::string& line : fam.lines) {
+      out += line + "\n";
+    }
+  }
+  // Fleet roll-up: counters are meaningfully summable across processes.
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Family& fam = families[i];
+    if (fam.type != "counter" || fam.sums.empty()) {
+      continue;
+    }
+    const std::string fleet_name =
+        order[i].compare(0, 4, "psp_") == 0
+            ? "psp_fleet_" + order[i].substr(4)
+            : "psp_fleet_" + order[i];
+    out += "# HELP " + fleet_name + " Sum of " + order[i] +
+           " across federated servers.\n";
+    out += "# TYPE " + fleet_name + " counter\n";
+    for (const auto& [labels, sum] : fam.sums) {
+      out += fleet_name;
+      if (!labels.empty()) {
+        out += "{" + labels + "}";
+      }
+      out += " ";
+      append_value(sum, fam.integral);
+      out += "\n";
+    }
+  }
+  out += "# HELP psp_fleet_servers Endpoints merged into this page.\n";
+  out += "# TYPE psp_fleet_servers gauge\n";
+  out += "psp_fleet_servers " + std::to_string(pages.size()) + "\n";
+  out += "psp_up 1\n";
+  return out;
+}
+
 int Emit(const Options& opt, const std::string& body) {
   if (opt.out_file.empty()) {
     std::fwrite(body.data(), 1, body.size(), stdout);
@@ -288,6 +507,72 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     return UsageError("missing command");
   }
+
+  // Commands with their own endpoint story come first: checkfile is purely
+  // local, federate names its endpoints as positional HOST:PORT arguments.
+  if (args[0] == "checkfile") {
+    if (args.size() != 2) {
+      return UsageError("checkfile expects exactly one FILE argument");
+    }
+    std::ifstream in(args[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "pspctl: cannot read %s\n", args[1].c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (const std::string problem = CheckExposition(ss.str());
+        !problem.empty()) {
+      std::fprintf(stderr, "pspctl: %s: malformed exposition: %s\n",
+                   args[1].c_str(), problem.c_str());
+      return 4;
+    }
+    return 0;
+  }
+  if (args[0] == "federate") {
+    if (args.size() < 2) {
+      return UsageError("federate expects one or more HOST:PORT arguments");
+    }
+    std::vector<std::string> pages;
+    for (size_t i = 1; i < args.size(); ++i) {
+      const size_t colon = args[i].rfind(':');
+      if (colon == std::string::npos) {
+        return UsageError(("federate endpoint is not HOST:PORT: " + args[i])
+                              .c_str());
+      }
+      Options endpoint;
+      endpoint.host = args[i].substr(0, colon);
+      endpoint.port = std::atoi(args[i].c_str() + colon + 1);
+      if (endpoint.port <= 0) {
+        return UsageError(("bad port in endpoint: " + args[i]).c_str());
+      }
+      std::string body;
+      std::string error;
+      const int status =
+          Request(endpoint, "GET", "/metrics", "", &body, &error);
+      if (status < 0) {
+        std::fprintf(stderr, "pspctl: %s: %s\n", args[i].c_str(),
+                     error.c_str());
+        return 2;
+      }
+      if (status >= 400) {
+        std::fprintf(stderr, "pspctl: %s: HTTP %d\n", args[i].c_str(), status);
+        return 3;
+      }
+      pages.push_back(std::move(body));
+    }
+    const std::string merged = FederateMetrics(pages);
+    if (opt.check) {
+      if (const std::string problem = CheckExposition(merged);
+          !problem.empty()) {
+        std::fprintf(stderr, "pspctl: malformed federated exposition: %s\n",
+                     problem.c_str());
+        return 4;
+      }
+    }
+    return Emit(opt, merged);
+  }
+
   if (opt.uds_path.empty() && opt.port <= 0) {
     return UsageError("no endpoint: pass --port/--host/--uds or set "
                       "PSP_ADMIN_PORT");
@@ -307,6 +592,8 @@ int main(int argc, char** argv) {
     path = "/timeseries.json";
   } else if (cmd == "outliers") {
     path = "/outliers.json";
+  } else if (cmd == "lifecycle") {
+    path = "/lifecycle.json";
   } else if (cmd == "health") {
     path = "/healthz";
   } else if (cmd == "flight") {

@@ -20,8 +20,14 @@
 // factor of the ring baseline (with an absolute floor so a microsecond-level
 // ring round can't fail the socket path on syscall cost alone), the
 // adaptive idle CPU fraction must undercut busy polling's, and 1-in-64
-// trace sampling must cost < 5% of the unsampled yield path's p99.9. Exit 2
-// = operational failure (loadgen error, nothing served, no idle sample).
+// trace sampling must cost < 5% of the unsampled yield path's p99.9. The
+// trace-overhead gate is enforced only when the host has enough cores to
+// run the pipeline's threads in parallel — on an oversubscribed box the
+// p99.9 delta between two multi-threaded runs measures the kernel
+// scheduler, not the tracing code; the number is still printed and exported
+// (trace_overhead_enforced=0 in the JSON line) but does not fail the bench.
+// Exit 2 = operational failure (loadgen error, nothing served, no idle
+// sample).
 //
 // Env: PSP_BENCH_REQUESTS (per round, default 2000), PSP_BENCH_ROUNDS
 // (default 2), PSP_BENCH_RATE (default 2000), PSP_BENCH_IDLE_MS (default
@@ -212,6 +218,13 @@ int Main() {
   const double idle_busy = IdleCpuFraction(PollPolicy::kBusy, idle_ms);
   const double idle_adaptive = IdleCpuFraction(PollPolicy::kAdaptive, idle_ms);
 
+  // Threads a UDP round needs runnable at once: net worker + dispatcher +
+  // app workers + the loadgen client. Below that, p99.9 deltas between two
+  // runs are scheduler noise and the trace-overhead gate goes advisory.
+  const unsigned threads_needed = 1 + 1 + BaseConfig().num_workers + 1;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool trace_overhead_enforced = cores >= threads_needed;
+
   if (!ring.ok || !udp_yield.ok || !udp_adaptive.ok || !udp_sampled.ok ||
       idle_busy < 0 || idle_adaptive < 0) {
     std::fprintf(stderr, "micro_ingress: operational failure\n");
@@ -249,12 +262,14 @@ int Main() {
         "\"udp_adaptive_p999_nanos\":%.0f,\"udp_adaptive_rps\":%.0f,"
         "\"udp_sampled_p999_nanos\":%.0f,\"udp_sampled_rps\":%.0f,"
         "\"trace_overhead_pct\":%.2f,\"trace_overhead_budget_pct\":%.1f,"
+        "\"trace_overhead_enforced\":%d,"
         "\"idle_cpu_busy\":%.4f,\"idle_cpu_adaptive\":%.4f,"
         "\"target_factor\":%.1f,\"floor_nanos\":%.0f}\n",
         ring.p999_nanos, ring.rps, udp_yield.p999_nanos, udp_yield.rps,
         udp_adaptive.p999_nanos, udp_adaptive.rps, udp_sampled.p999_nanos,
         udp_sampled.rps, trace_overhead_pct, kTraceOverheadBudgetPct,
-        idle_busy, idle_adaptive, kTargetFactor, kFloorNanos);
+        trace_overhead_enforced ? 1 : 0, idle_busy, idle_adaptive,
+        kTargetFactor, kFloorNanos);
   }
 
   const double bound =
@@ -276,10 +291,17 @@ int Main() {
   ok = ok && sampled_within;
   // ...and its marginal cost over the unsampled yield path is bounded.
   const bool trace_ok = trace_overhead_pct < kTraceOverheadBudgetPct;
-  std::printf("trace-overhead-check: %s (%.2f%% < %.1f%%)\n",
-              trace_ok ? "PASS" : "FAIL", trace_overhead_pct,
-              kTraceOverheadBudgetPct);
-  ok = ok && trace_ok;
+  if (trace_overhead_enforced) {
+    std::printf("trace-overhead-check: %s (%.2f%% < %.1f%%)\n",
+                trace_ok ? "PASS" : "FAIL", trace_overhead_pct,
+                kTraceOverheadBudgetPct);
+    ok = ok && trace_ok;
+  } else {
+    std::printf(
+        "trace-overhead-check: SKIP (%.2f%% measured; host has %u cores "
+        "< %u pipeline threads, p99.9 delta is scheduler noise)\n",
+        trace_overhead_pct, cores, threads_needed);
+  }
   const bool idle_ok = idle_adaptive < idle_busy;
   std::printf("idle-cpu-check: %s (adaptive %.1f%% < busy %.1f%%)\n",
               idle_ok ? "PASS" : "FAIL", idle_adaptive * 100.0,

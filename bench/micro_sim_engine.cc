@@ -172,8 +172,15 @@ BENCHMARK(BM_LegacyScheduleDrain)->Arg(256)->Arg(4096);
 // the code; interleaving at round granularity (tens of microseconds) makes
 // the noise hit both engines equally and cancel in the ratio. This counter
 // is what scripts/bench_report.sh gates on.
-void BM_ScheduleDrainSpeedup(benchmark::State& state) {
-  Simulation engine;
+//
+// Three backend flavours: the default (auto — what every experiment binary
+// runs, with a `wheel_active` counter recording which backend the density
+// heuristic settled on) plus heap- and wheel-pinned runs so the report can
+// show both backends' curves side by side. The wheel variant also reports
+// cascades per event — near zero here, since churn schedules land within a
+// 16K-tick horizon (at most two levels).
+void RunSpeedupChurn(benchmark::State& state, EngineBackend backend) {
+  Simulation engine(backend);
   LegacySimulation legacy;
   uint64_t fired = 0;
   const auto batch = static_cast<uint64_t>(state.range(0));
@@ -191,14 +198,101 @@ void BM_ScheduleDrainSpeedup(benchmark::State& state) {
     tsc_legacy += t2 - t1;
   }
   benchmark::DoNotOptimize(fired);
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch *
-                          2);
+  const auto events = static_cast<uint64_t>(state.iterations()) * batch;
+  state.SetItemsProcessed(static_cast<int64_t>(events) * 2);
   if (tsc_engine > 0) {
     state.counters["speedup"] = benchmark::Counter(
         static_cast<double>(tsc_legacy) / static_cast<double>(tsc_engine));
   }
+  if (backend == EngineBackend::kAuto) {
+    // The selection decision: 1 when the density heuristic kept (or chose)
+    // the wheel for this batch size, 0 when it migrated to the heap.
+    state.counters["wheel_active"] =
+        benchmark::Counter(engine.wheel_active() ? 1.0 : 0.0);
+    state.counters["backend_switches"] =
+        benchmark::Counter(static_cast<double>(engine.backend_switches()));
+  }
+  if (backend == EngineBackend::kWheel && events > 0) {
+    state.counters["cascades_per_event"] = benchmark::Counter(
+        static_cast<double>(engine.wheel_cascades()) /
+        static_cast<double>(events));
+  }
 }
-BENCHMARK(BM_ScheduleDrainSpeedup)->Arg(256)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_ScheduleDrainSpeedup(benchmark::State& state) {
+  RunSpeedupChurn(state, EngineBackend::kAuto);
+}
+BENCHMARK(BM_ScheduleDrainSpeedup)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_ScheduleDrainSpeedupHeap(benchmark::State& state) {
+  RunSpeedupChurn(state, EngineBackend::kHeap);
+}
+BENCHMARK(BM_ScheduleDrainSpeedupHeap)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_ScheduleDrainSpeedupWheel(benchmark::State& state) {
+  RunSpeedupChurn(state, EngineBackend::kWheel);
+}
+BENCHMARK(BM_ScheduleDrainSpeedupWheel)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+// Adversarial wheel workload: every schedule lands far outside the level-0
+// window (spans up to ~2^34 ticks), so each event is inserted at level 3-4
+// and must cascade down through every intermediate level before it can run.
+// This is the wheel's worst case — the report gates that it stays
+// allocation-free and records the cascade amplification (moves per event).
+void BM_CascadeStress(benchmark::State& state) {
+  Simulation engine(EngineBackend::kWheel);
+  uint64_t fired = 0;
+  const auto batch = static_cast<uint64_t>(state.range(0));
+  auto round = [&] {
+    const Nanos base = engine.Now() + 1;
+    for (uint64_t i = 0; i < batch; ++i) {
+      // Deterministic spread over a ~2^34-tick horizon: bits of a cheap
+      // integer hash, biased so every level 0-4 gets traffic.
+      const uint64_t h = (i * 0x9E3779B97F4A7C15ull) >> 30;
+      engine.ScheduleAt(base + static_cast<Nanos>(h),
+                        ChurnHandler{&fired, i, i + 1, i + 2});
+    }
+    engine.RunToCompletion();
+  };
+  round();  // warmup: size arena + wheel nodes
+  const uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  const uint64_t cascades_before = engine.wheel_cascades();
+  for (auto _ : state) {
+    round();
+  }
+  const uint64_t allocs_after = g_heap_allocs.load(std::memory_order_relaxed);
+  benchmark::DoNotOptimize(fired);
+  const auto events = static_cast<uint64_t>(state.iterations()) * batch;
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      events > 0
+          ? static_cast<double>(allocs_after - allocs_before) /
+                static_cast<double>(events)
+          : 0.0);
+  state.counters["cascades_per_event"] = benchmark::Counter(
+      events > 0
+          ? static_cast<double>(engine.wheel_cascades() - cascades_before) /
+                static_cast<double>(events)
+          : 0.0);
+  state.counters["rollovers"] =
+      benchmark::Counter(static_cast<double>(engine.wheel_rollovers()));
+}
+BENCHMARK(BM_CascadeStress)->Arg(4096);
 
 // Steady-state self-rescheduling: a fixed population of pending events where
 // every handler re-arms itself — the simulator's hot loop shape (arrivals

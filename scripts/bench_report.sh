@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # Benchmark trajectory harness: runs the engine/channel microbenchmarks, a
 # fig03 smoke sweep and the fleet inter-server policy sweep, merges
-# everything into one machine-readable report (default BENCH_PR3.json) and
-# validates it.
+# everything into one machine-readable report (default BENCH_PR8.json) and
+# validates it. Each stage prints its wall-clock seconds so sweep-level
+# speedups (e.g. the fleet stage on the timer-wheel event core) are visible
+# directly in CI output.
 #
 # Gates:
 #   * report schema (always): required sections/keys present, non-empty sweep;
-#   * zero steady-state allocations per event in the sim engine (always);
-#   * >= 3x paired speedup over the legacy std::function engine at the
-#     representative pending-event populations (256/512/1024 — real paper
-#     experiments keep O(100) events pending), full mode only. The paired
+#   * zero steady-state allocations per event in the sim engine, on both the
+#     churn and the cascade-stress (timer-wheel worst case) paths (always);
+#   * >= 3x paired speedup over the legacy std::function engine at every
+#     gated pending-event population — 256/512/1024 (what real paper
+#     experiments keep in flight) AND the 4096 stress point, which the
+#     hierarchical timer wheel now clears (the old 4-ary-heap-only engine
+#     collapsed to ~1.5x there; it carried a 1.2x floor until PR 8). The
+#     16384 point keeps a lower floor: at ~2.8 MB of combined working set the
+#     interleaved measurement is memory-bound for both engines. The paired
 #     benchmark interleaves engine and legacy rounds so the shared-box clock
 #     wander cancels in the ratio; see bench/micro_sim_engine.cc and
-#     docs/PERF.md for the methodology and for why the 4096 stress point has
-#     a lower floor.
+#     docs/PERF.md for the methodology. The report also records which backend
+#     the auto heuristic selected per batch (engine.backend_selected_*).
 #   * scrape-under-load: a 10 Hz GET /metrics scraper against the live admin
 #     plane must keep the client-observed p99 within 5% of baseline
 #     (bench/micro_introspect.cc); failed scrapes are always fatal, the 5%
@@ -28,7 +35,10 @@
 #     polling must burn less idle net-worker CPU than busy polling, and
 #     1-in-64 wire trace sampling must regress the yield path's p99.9 by
 #     less than 5% (bench/micro_ingress.cc); failed rounds are always
-#     fatal, the gates are fatal in full mode and advisory in smoke.
+#     fatal, the gates are fatal in full mode and advisory in smoke. The
+#     trace-overhead gate is additionally advisory when the bench reports
+#     trace_overhead_enforced=0 (host too small to run the pipeline's
+#     threads in parallel — the p99.9 delta measures the scheduler).
 #
 # Usage: scripts/bench_report.sh [--smoke] [build-dir] [output-json]
 #   --smoke   short benchmark windows (tier-2 CI gate, see scripts/check.sh)
@@ -40,9 +50,24 @@ if [ "${1:-}" = "--smoke" ]; then
   shift
 fi
 BUILD=${1:-build-bench}
-OUT=${2:-BENCH_PR3.json}
+OUT=${2:-BENCH_PR8.json}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
+
+# Per-stage wall clock: stage <name> starts a stage, stage_done closes it.
+STAGE_NAME=""
+STAGE_T0=0
+stage_done() {
+  if [ -n "$STAGE_NAME" ]; then
+    echo "   [$STAGE_NAME: $((SECONDS - STAGE_T0))s wall]"
+  fi
+}
+stage() {
+  stage_done
+  STAGE_NAME="$1"
+  STAGE_T0=$SECONDS
+  echo "== $2"
+}
 
 # Benchmarks are only meaningful optimised: force a Release tree of our own
 # so a Debug/sanitizer main build is never measured by accident.
@@ -60,17 +85,17 @@ else
   ENGINE_MIN_TIME=1
 fi
 
-echo "== micro_sim_engine (events/sec, allocs/event, paired speedup)"
+stage engine "micro_sim_engine (events/sec, allocs/event, paired speedup x3 backends)"
 "$BUILD/bench/micro_sim_engine" \
   --benchmark_min_time="$ENGINE_MIN_TIME" \
   --benchmark_format=json >"$WORK/engine.json"
 
-echo "== micro_channel (cycles/op, single vs burst)"
+stage channel "micro_channel (cycles/op, single vs burst)"
 "$BUILD/bench/micro_channel" \
   --benchmark_filter='Cycles' \
   --benchmark_format=json >"$WORK/channel.json"
 
-echo "== fig03 smoke sweep (High Bimodal, d-FCFS / c-FCFS / DARC)"
+stage fig03 "fig03 smoke sweep (High Bimodal, d-FCFS / c-FCFS / DARC)"
 if [ "$SMOKE" = 1 ]; then
   FIG03_MS=${PSP_BENCH_DURATION_MS:-20}
 else
@@ -79,7 +104,7 @@ fi
 PSP_BENCH_JSON=1 PSP_BENCH_DURATION_MS="$FIG03_MS" \
   "$BUILD/bench/fig03_high_bimodal_policies" >"$WORK/fig03.out"
 
-echo "== fig_fleet_policies (inter-server policies, 2-8 DARC servers)"
+stage fleet "fig_fleet_policies (inter-server policies, 2-8 DARC servers)"
 if [ "$SMOKE" = 1 ]; then
   FLEET_MS=${PSP_BENCH_DURATION_MS:-20}
 else
@@ -88,7 +113,7 @@ fi
 PSP_BENCH_JSON=1 PSP_BENCH_DURATION_MS="$FLEET_MS" \
   "$BUILD/bench/fig_fleet_policies" >"$WORK/fleet.out"
 
-echo "== micro_introspect (p99 with vs without 10 Hz /metrics scrape)"
+stage introspect "micro_introspect (p99 with vs without 10 Hz /metrics scrape)"
 if [ "$SMOKE" = 1 ]; then
   INTROSPECT_REQS=4000 INTROSPECT_ROUNDS=2
 else
@@ -106,7 +131,7 @@ if [ "$INTROSPECT_RC" -ge 2 ]; then
   exit 1
 fi
 
-echo "== micro_ingress (ring vs UDP socket ingress, idle net-worker CPU)"
+stage ingress "micro_ingress (ring vs UDP socket ingress, idle net-worker CPU)"
 if [ "$SMOKE" = 1 ]; then
   INGRESS_REQS=600 INGRESS_ROUNDS=1 INGRESS_IDLE_MS=150
 else
@@ -124,6 +149,8 @@ if [ "$INGRESS_RC" -ge 2 ]; then
   echo "micro_ingress: rounds failed (rc=$INGRESS_RC)" >&2
   exit 1
 fi
+
+stage_done
 
 MODE=$([ "$SMOKE" = 1 ] && echo smoke || echo full) \
 FIG03_MS="$FIG03_MS" FLEET_MS="$FLEET_MS" \
@@ -204,9 +231,24 @@ for batch in (256, 4096):
     eng[f"legacy_events_per_sec_{batch}"] = old
 # Paired speedups: engine and legacy rounds interleaved in one measured loop,
 # ratio of TSC totals — clock wander cancels. These are the gated numbers.
-for batch in (256, 512, 1024, 4096):
+# The default (auto-selected) engine is what gates; heap-/wheel-pinned runs
+# record both backends' curves, and backend_selected_* records the auto
+# heuristic's per-batch decision.
+for batch in (256, 512, 1024, 4096, 16384):
     eng[f"paired_speedup_{batch}"] = bench(
         engine, f"BM_ScheduleDrainSpeedup/{batch}", "speedup")
+    eng[f"heap_paired_speedup_{batch}"] = bench(
+        engine, f"BM_ScheduleDrainSpeedupHeap/{batch}", "speedup")
+    eng[f"wheel_paired_speedup_{batch}"] = bench(
+        engine, f"BM_ScheduleDrainSpeedupWheel/{batch}", "speedup")
+    wheel_active = bench(
+        engine, f"BM_ScheduleDrainSpeedup/{batch}", "wheel_active")
+    eng[f"backend_selected_{batch}"] = (
+        "wheel" if wheel_active >= 0.5 else "heap")
+eng["cascade_stress_allocs_per_event"] = bench(
+    engine, "BM_CascadeStress/4096", "allocs_per_event")
+eng["cascade_stress_cascades_per_event"] = bench(
+    engine, "BM_CascadeStress/4096", "cascades_per_event")
 eng["steady_events_per_sec"] = bench(
     engine, "BM_EngineSteadyState", "items_per_second")
 eng["legacy_steady_events_per_sec"] = bench(
@@ -220,7 +262,7 @@ eng["steady_arena_growths"] = bench(
 eng["schedule_drain_allocs_per_event"] = bench(
     engine, "BM_EngineScheduleDrain/4096", "allocs_per_event")
 eng["target_speedup"] = 3.0
-eng["stress_floor_speedup"] = 1.2
+eng["stress_floor_speedup"] = 2.5  # 16384-batch floor (memory-bound regime)
 
 chan = {
     "spsc_cycles_per_op": bench(
@@ -305,23 +347,28 @@ if eng["schedule_drain_allocs_per_event"] > 0.01:
     errors.append(
         "engine schedule+drain allocates: "
         f"{eng['schedule_drain_allocs_per_event']:.4f} allocs/event (want 0)")
+if eng["cascade_stress_allocs_per_event"] > 0.01:
+    errors.append(
+        "timer-wheel cascade stress allocates: "
+        f"{eng['cascade_stress_allocs_per_event']:.4f} allocs/event (want 0)")
 
-# Speedup gates. Representative pending populations (what the paper-figure
-# experiments actually hold in flight) must clear 3x; the 4096 stress point
-# is L2-bound and the interleaved measurement makes the two engines evict
-# each other's 300KB+ working sets, so it carries a floor, not the 3x bar
-# (standalone ratios there run ~2.5x; see docs/PERF.md).
+# Speedup gates. With the timer wheel, every population the paper-figure
+# experiments and the fleet sweeps hold in flight — 256 through 4096 — must
+# clear the full 3x bar (the heap-only engine collapsed to ~1.5x at 4096;
+# its curve is still recorded under heap_paired_speedup_*). Only the 16384
+# point keeps a floor: ~2.8 MB of combined engine+legacy working set makes
+# the interleaved measurement memory-bound for both sides. See docs/PERF.md.
 rep_speedup = min(eng["paired_speedup_256"], eng["paired_speedup_512"],
-                  eng["paired_speedup_1024"])
+                  eng["paired_speedup_1024"], eng["paired_speedup_4096"])
 gates = []
 if rep_speedup < eng["target_speedup"]:
     gates.append(f"paired speedup {rep_speedup:.2f}x below "
-                 f"{eng['target_speedup']:.1f}x target (representative "
-                 "batches 256/512/1024)")
-if eng["paired_speedup_4096"] < eng["stress_floor_speedup"]:
-    gates.append(f"paired speedup {eng['paired_speedup_4096']:.2f}x below "
+                 f"{eng['target_speedup']:.1f}x target (gated "
+                 "batches 256/512/1024/4096)")
+if eng["paired_speedup_16384"] < eng["stress_floor_speedup"]:
+    gates.append(f"paired speedup {eng['paired_speedup_16384']:.2f}x below "
                  f"{eng['stress_floor_speedup']:.1f}x stress floor "
-                 "(batch 4096)")
+                 "(batch 16384)")
 if introspect.get("scrapes", 0) <= 0 or introspect.get("bad_scrapes", 1) > 0:
     errors.append("introspect scrape-under-load bench had failed scrapes")
 if introspect.get("delta_pct", 100.0) >= introspect["target_delta_pct"]:
@@ -346,12 +393,16 @@ if ingress:
                 f"{ingress.get('floor_nanos', 0.0) / 1e3:.0f}us)")
     overhead = ingress.get("trace_overhead_pct")
     budget = ingress.get("trace_overhead_budget_pct", 5.0)
+    enforced = ingress.get("trace_overhead_enforced", 1)
     if overhead is None:
         errors.append("ingress result lacks trace_overhead_pct")
     elif overhead >= budget:
-        gates.append(
-            f"ingress trace sampling p99.9 overhead {overhead:.2f}% at or "
-            f"above {budget:.1f}% budget (1-in-64 wire sampling)")
+        msg = (f"ingress trace sampling p99.9 overhead {overhead:.2f}% at or "
+               f"above {budget:.1f}% budget (1-in-64 wire sampling)")
+        if enforced:
+            gates.append(msg)
+        else:
+            print(f"WARNING (host oversubscribed, not fatal): {msg}")
     idle_busy = ingress.get("idle_cpu_busy", -1.0)
     idle_adaptive = ingress.get("idle_cpu_adaptive", -1.0)
     if idle_busy < 0 or idle_adaptive < 0:
@@ -371,8 +422,19 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path}")
 print("  paired engine speedup: " + ", ".join(
-    f"{eng[f'paired_speedup_{b}']:.2f}x@{b}" for b in (256, 512, 1024, 4096))
-    + " (target >= 3x at 256/512/1024)")
+    f"{eng[f'paired_speedup_{b}']:.2f}x@{b}"
+    for b in (256, 512, 1024, 4096, 16384))
+    + " (target >= 3x at 256-4096, floor 2.5x at 16384)")
+print("  backend selected (auto): " + ", ".join(
+    f"{eng[f'backend_selected_{b}']}@{b}"
+    for b in (256, 512, 1024, 4096, 16384)))
+print("  wheel-pinned speedup: " + ", ".join(
+    f"{eng[f'wheel_paired_speedup_{b}']:.2f}x@{b}"
+    for b in (256, 1024, 4096, 16384))
+    + f"; heap-pinned @4096: {eng['heap_paired_speedup_4096']:.2f}x")
+print(f"  cascade stress: "
+      f"{eng['cascade_stress_cascades_per_event']:.2f} cascades/event, "
+      f"{eng['cascade_stress_allocs_per_event']:.4f} allocs/event (want 0)")
 print(f"  steady-state allocs/event: {eng['steady_allocs_per_event']:.4f} "
       f"(legacy {eng['legacy_steady_allocs_per_event']:.2f})")
 print(f"  spsc cycles/op: {chan['spsc_cycles_per_op']:.1f} single, "

@@ -1,4 +1,4 @@
-// Discrete-event simulation core: a time-ordered event heap with stable FIFO
+// Discrete-event simulation core: a time-ordered event queue with stable FIFO
 // ordering for simultaneous events, driving all paper-figure experiments.
 //
 // The engine is allocation-free in steady state (the substrate discipline the
@@ -8,19 +8,34 @@
 //     inline POD payload (the handler's captures), the whole slot
 //     static-asserted to fit one cache line. There is no std::function and no
 //     per-event heap allocation; the only allocations ever made are geometric
-//     growths of the slot arena and heap array, which stop once the run
+//     growths of the slot arena and queue storage, which stop once the run
 //     reaches its peak pending-event count (see arena_allocations()).
 //   * Slots are recycled through an intrusive free list threaded through the
 //     arena (the link reuses the payload bytes of free slots).
-//   * The ready queue is a 4-ary implicit heap of 16-byte (time, seq-packed)
-//     entries in 64-byte-aligned storage, laid out so each 4-sibling group is
-//     exactly one cache line: a sift level costs one line fetch, and the tree
-//     is half the depth of a binary heap.
+//   * The ready queue has TWO backends behind one API, selected by
+//     EngineBackend (default: auto):
+//       - a 4-ary implicit heap of 16-byte (time, seq-packed) entries in
+//         64-byte-aligned storage (one cache line per sibling group, half a
+//         binary heap's depth) — O(log n), best for sparse far-future
+//         schedules;
+//       - a hierarchical timer wheel (Eiffel-style calendar queue): 8 levels
+//         of 256 single-byte-indexed buckets with a find-first-set bitmap
+//         summary per level, covering the full 64-bit time range, with
+//         cascade-on-rollover pouring higher-level buckets into lower ones —
+//         O(1) amortised enqueue/dequeue, best for the dense short-horizon
+//         schedules every paper sweep produces (see docs/PERF.md §1b).
+//     Auto mode observes horizon density (mean schedule span vs pending
+//     population) every kAutoWindow schedules and migrates between backends;
+//     both directions preserve the ordering contract exactly.
 //
 // Ordering contract (unchanged from the seed engine, and what the
 // determinism goldens rely on): events execute in ascending (time, seq)
 // order, where seq is the global schedule-call sequence number — FIFO among
-// simultaneous events.
+// simultaneous events. Both backends reproduce this bit-for-bit: the heap
+// compares packed (time, seq) keys; the wheel relies on the invariant that
+// every bucket list holds its same-tick events in seq order (appends happen
+// in global seq order, cascades preserve relative order, and backend
+// migrations drain in (time, seq) order).
 #ifndef PSP_SRC_SIM_EVENT_QUEUE_H_
 #define PSP_SRC_SIM_EVENT_QUEUE_H_
 
@@ -41,6 +56,36 @@ namespace psp {
 // core does not depend on the concurrency headers).
 inline constexpr size_t kEventCacheLine = 64;
 
+// Ready-queue backend selection. kAuto starts on the wheel (the common dense
+// case) and re-evaluates horizon density as the run unfolds; kHeap/kWheel
+// pin one backend (config override / paired benchmarking).
+enum class EngineBackend : uint8_t { kAuto = 0, kHeap = 1, kWheel = 2 };
+
+inline const char* EngineBackendName(EngineBackend backend) {
+  switch (backend) {
+    case EngineBackend::kHeap:
+      return "heap";
+    case EngineBackend::kWheel:
+      return "wheel";
+    default:
+      return "auto";
+  }
+}
+
+// Parses "auto" / "heap" / "wheel"; returns false on anything else.
+inline bool ParseEngineBackend(const char* name, EngineBackend* out) {
+  if (std::strcmp(name, "auto") == 0) {
+    *out = EngineBackend::kAuto;
+  } else if (std::strcmp(name, "heap") == 0) {
+    *out = EngineBackend::kHeap;
+  } else if (std::strcmp(name, "wheel") == 0) {
+    *out = EngineBackend::kWheel;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 class Simulation {
  public:
   // Inline payload budget for a scheduled handler's captures. Big enough for
@@ -49,22 +94,33 @@ class Simulation {
   static constexpr size_t kEventPayloadSize =
       kEventCacheLine - sizeof(void (*)(void*));
 
-  Simulation() = default;
-  ~Simulation() { std::free(heap_); }
+  explicit Simulation(EngineBackend backend = EngineBackend::kAuto)
+      : requested_(backend),
+        use_wheel_(backend != EngineBackend::kHeap) {}
+  ~Simulation() {
+    std::free(heap_);
+    std::free(wheel_);
+  }
 
-  // The heap array is manually managed; nothing in the tree copies engines.
+  // The queue storage is manually managed; nothing in the tree copies engines.
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   Nanos Now() const { return now_; }
 
-  // Pre-sizes the arena and heap for `events` concurrently-pending events so
-  // even the first iterations allocate nothing.
+  // Pre-sizes the arena and ready queue for `events` concurrently-pending
+  // events so even the first iterations allocate nothing.
   void Reserve(size_t events) {
     if (events + kHeapPad > heap_cap_) {
       GrowHeap(events + kHeapPad);
     }
     ReserveSlots(events);
+    if (requested_ != EngineBackend::kHeap) {
+      EnsureWheel();
+      if (events > wheel_nodes_.capacity()) {
+        wheel_nodes_.reserve(events);
+      }
+    }
   }
 
   // Schedules `fn` to run at absolute simulated time `t` (>= Now()).
@@ -82,6 +138,8 @@ class Simulation {
                   "capture a pointer to the state instead");
     static_assert(alignof(Fn) <= alignof(void*),
                   "over-aligned captures are not supported");
+    assert(t >= 0 && "simulated time is non-negative");
+    assert(t >= now_ && "events must not be scheduled in the past");
     const uint32_t slot = AllocSlot();
     EventSlot& s = slots_[slot];
     // The trampoline copies the captures to its own stack before running the
@@ -92,7 +150,15 @@ class Simulation {
       handler();
     };
     ::new (static_cast<void*>(s.payload)) Fn(fn);
-    HeapPush(t, slot);
+    const uint64_t lo = (next_seq_++ << kSlotBits) | slot;
+    if (use_wheel_) {
+      WheelInsert(static_cast<uint64_t>(t), lo);
+    } else {
+      HeapPushEntry(static_cast<uint64_t>(t), lo);
+    }
+    if (requested_ == EngineBackend::kAuto) {
+      AutoObserve(t);
+    }
   }
 
   template <typename Fn>
@@ -104,7 +170,14 @@ class Simulation {
   // Events scheduled at exactly `until` do run; Now() lands on `until` even
   // when the queue drains early.
   void RunUntil(Nanos until) {
-    while (heap_count_ > 0 && heap_[kHeapRoot].time() <= until) {
+    Nanos t;
+    // The peek is bounded by `until`: on the wheel backend an unbounded peek
+    // would commit wheel_time_ to the next pending tick even when that tick
+    // is beyond the horizon, and events scheduled afterwards in the gap
+    // [until, tick) would land behind the wheel. Bounding keeps
+    // wheel_time_ <= until = Now() on exit, preserving the wheel's
+    // lower-bound invariant for any follow-up ScheduleAt.
+    while (PeekNextTime(until, &t)) {
       StepOne();
     }
     if (now_ < until) {
@@ -114,19 +187,34 @@ class Simulation {
 
   // Runs until the event queue is completely drained.
   void RunToCompletion() {
-    while (heap_count_ > 0) {
+    while (pending_events() > 0) {
       StepOne();
     }
   }
 
   uint64_t executed_events() const { return executed_; }
-  size_t pending_events() const { return heap_count_; }
+  size_t pending_events() const {
+    return use_wheel_ ? wheel_count_ : heap_count_;
+  }
 
-  // Number of heap allocations the engine has performed (arena + heap-array
-  // growths). Flat across iterations once warmed up — the property
+  // Number of heap allocations the engine has performed (arena + queue
+  // storage growths). Flat across iterations once warmed up — the property
   // bench/micro_sim_engine gates on.
   uint64_t arena_allocations() const { return arena_allocations_; }
   size_t arena_capacity() const { return slots_.capacity(); }
+
+  // --- Backend introspection --------------------------------------------------
+  EngineBackend requested_backend() const { return requested_; }
+  bool wheel_active() const { return use_wheel_; }
+  const char* active_backend_name() const {
+    return use_wheel_ ? "wheel" : "heap";
+  }
+  // Entries poured one level down during a bucket rollover (per-event moves).
+  uint64_t wheel_cascades() const { return cascades_; }
+  // Higher-level buckets cascaded (per-bucket rollover operations).
+  uint64_t wheel_rollovers() const { return rollovers_; }
+  // Auto-mode backend migrations (0 when a backend is pinned).
+  uint64_t backend_switches() const { return backend_switches_; }
 
  private:
   using InvokeFn = void (*)(void* payload);
@@ -143,6 +231,38 @@ class Simulation {
   // Heaps up to this many entries (32 KiB of the 48 KiB L1D) take the
   // unrolled sift-down; larger ones the rolled loop. See HeapPop.
   static constexpr size_t kUnrolledPopLimit = 2048;
+
+  // --- Wheel layout ----------------------------------------------------------
+  // 8 levels of 256 buckets, one byte of the event time per level: level l
+  // bucket index is byte l of the time, and 8 levels cover the full 64-bit
+  // range — there is no overflow list; arbitrarily far-future events simply
+  // start at a high level and cascade down as the wheel reaches them. Each
+  // level carries a 256-bit occupancy bitmap for find-first-set scans.
+  //
+  // wheel_time_ is the tick the wheel has advanced to (every pending event's
+  // time is >= it). An event inserts at the HIGHEST byte in which its time
+  // differs from wheel_time_ (level 0 for same-tick). Consequences that make
+  // the O(1) pop work:
+  //   * a level-0 bucket inside the current 256-tick window holds exactly one
+  //     tick's events, in seq order (appends happen in global seq order and
+  //     cascades preserve relative order);
+  //   * at any level, bucket indices below wheel_time_'s byte are empty (they
+  //     were drained or cascaded when the wheel passed them), so a bitmap
+  //     find-first-set from that byte finds the next pending work.
+  static constexpr uint32_t kWheelLevelBits = 8;
+  static constexpr uint32_t kWheelBuckets = 1u << kWheelLevelBits;  // 256
+  static constexpr uint32_t kWheelLevels = 8;  // 8 bytes = full uint64 range
+  static constexpr uint32_t kWheelBitmapWords = kWheelBuckets / 64;
+
+  // Auto-selection heuristic: every kAutoWindow schedules, compare the mean
+  // schedule span (t - Now()) against the pending population. The wheel wins
+  // while events land densely within a short horizon (cascades stay shallow
+  // and buckets stay hot); the heap wins when few events spread over a huge
+  // horizon (log n of a small n beats walking empty levels). The 4x band is
+  // hysteresis so borderline runs don't thrash. Decisions depend only on the
+  // schedule sequence (virtual time), so they are deterministic per seed.
+  static constexpr uint32_t kAutoWindow = 1024;
+  static constexpr uint32_t kDensityShift = 12;  // span/4096 vs pending
 
   // A pending event's storage: trampoline + inline captures. Free slots
   // thread the arena free list through their payload bytes.
@@ -179,6 +299,26 @@ class Simulation {
   };
   static_assert(sizeof(HeapEntry) == 16);
 
+  // Wheel node for a pending event, indexed by its arena slot (each pending
+  // event owns exactly one slot, so the parallel array needs no free list of
+  // its own). `lo` keeps the packed (seq, slot) key so a backend switch can
+  // rebuild heap entries without re-sequencing.
+  struct WheelNode {
+    uint64_t time;
+    uint64_t lo;
+    uint32_t next;  // next slot in the bucket's list; kNoSlot at the tail
+  };
+
+  struct WheelBucket {
+    uint32_t head;
+    uint32_t tail;
+  };
+
+  struct WheelLevel {
+    WheelBucket buckets[kWheelBuckets];
+    uint64_t bitmap[kWheelBitmapWords];
+  };
+
   static constexpr uint32_t kSlotBits = 24;
   static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
 
@@ -202,6 +342,9 @@ class Simulation {
     slots_.emplace_back();
     if (slots_.capacity() != old_cap) {
       ++arena_allocations_;
+      if (wheel_ != nullptr) {
+        wheel_nodes_.reserve(slots_.capacity());
+      }
     }
     assert(slots_.size() <= kSlotMask && "pending-event arena exceeds 2^24");
     return static_cast<uint32_t>(slots_.size() - 1);
@@ -241,10 +384,8 @@ class Simulation {
     ++arena_allocations_;
   }
 
-  void HeapPush(Nanos time, uint32_t slot) {
-    assert(time >= 0 && "simulated time is non-negative");
-    const HeapEntry entry{static_cast<uint64_t>(time),
-                          (next_seq_++ << kSlotBits) | slot};
+  void HeapPushEntry(uint64_t hi, uint64_t lo) {
+    const HeapEntry entry{hi, lo};
     if (heap_count_ + kHeapPad + 1 > heap_cap_) {
       GrowHeap(heap_count_ + kHeapPad + 1);
     }
@@ -339,13 +480,290 @@ class Simulation {
     h[i] = last;
   }
 
+  // --- Wheel operations -------------------------------------------------------
+
+  void EnsureWheel() {
+    if (wheel_ != nullptr) {
+      return;
+    }
+    wheel_ = static_cast<WheelLevel*>(
+        std::malloc(sizeof(WheelLevel) * kWheelLevels));
+    if (wheel_ == nullptr) {
+      throw std::bad_alloc();
+    }
+    ++arena_allocations_;
+    for (uint32_t level = 0; level < kWheelLevels; ++level) {
+      // 0xFF bytes make every head/tail kNoSlot in one pass.
+      std::memset(wheel_[level].buckets, 0xFF, sizeof(wheel_[level].buckets));
+      std::memset(wheel_[level].bitmap, 0, sizeof(wheel_[level].bitmap));
+    }
+    if (!wheel_nodes_.empty() || slots_.capacity() > 0) {
+      wheel_nodes_.reserve(slots_.capacity());
+    }
+  }
+
+  // First set bucket index >= `from`, or -1. Bits below the wheel's current
+  // byte are structurally clear (see the layout comment), so this is the
+  // "next pending bucket" scan.
+  static int BitmapFindFrom(const uint64_t* words, uint32_t from) {
+    uint32_t w = from >> 6;
+    uint64_t cur = words[w] & (~uint64_t{0} << (from & 63));
+    for (;;) {
+      if (cur != 0) {
+        return static_cast<int>(w * 64 +
+                                static_cast<uint32_t>(__builtin_ctzll(cur)));
+      }
+      if (++w >= kWheelBitmapWords) {
+        return -1;
+      }
+      cur = words[w];
+    }
+  }
+
+  // Appends `slot` (whose node carries `time`) to the bucket for the highest
+  // byte in which `time` differs from wheel_time_. Appending at the tail is
+  // what preserves per-tick seq order.
+  void WheelEnqueue(uint64_t time, uint32_t slot) {
+    const uint64_t diff = time ^ wheel_time_;
+    const uint32_t level =
+        diff == 0
+            ? 0
+            : (63u - static_cast<uint32_t>(__builtin_clzll(diff))) >>
+                  3;  // byte index of the highest differing bit
+    const uint32_t index =
+        static_cast<uint32_t>(time >> (level * kWheelLevelBits)) &
+        (kWheelBuckets - 1);
+    WheelLevel& L = wheel_[level];
+    WheelBucket& bucket = L.buckets[index];
+    if (bucket.head == kNoSlot) {
+      bucket.head = slot;
+      bucket.tail = slot;
+      L.bitmap[index >> 6] |= uint64_t{1} << (index & 63);
+    } else {
+      wheel_nodes_[bucket.tail].next = slot;
+      bucket.tail = slot;
+    }
+  }
+
+  void WheelInsert(uint64_t time, uint64_t lo) {
+    if (wheel_ == nullptr) {
+      EnsureWheel();
+    }
+    assert(time >= wheel_time_ && "wheel time lower-bounds pending events");
+    const uint32_t slot = static_cast<uint32_t>(lo) & kSlotMask;
+    if (slot >= wheel_nodes_.size()) {
+      wheel_nodes_.resize(slots_.size());
+    }
+    WheelNode& node = wheel_nodes_[slot];
+    node.time = time;
+    node.lo = lo;
+    node.next = kNoSlot;
+    WheelEnqueue(time, slot);
+    ++wheel_count_;
+  }
+
+  // Advances the wheel so the earliest pending event sits at the head of its
+  // exact-tick level-0 bucket, cascading higher-level buckets down as needed;
+  // returns true and writes that tick when it is <= `bound`. wheel_time_
+  // NEVER advances past `bound`: a bounded peek (RunUntil's horizon check)
+  // must not move the wheel beyond times the caller may still schedule into,
+  // or a later ScheduleAt in the gap would land behind the wheel and become
+  // undiscoverable. Idempotent and cheap to repeat (the level-0 bitmap hit
+  // short-circuits), so peek + pop is fine.
+  bool WheelPrepareMin(uint64_t bound, uint64_t* time_out) {
+    if (wheel_count_ == 0) {
+      return false;
+    }
+    for (;;) {
+      const uint32_t idx0 =
+          static_cast<uint32_t>(wheel_time_) & (kWheelBuckets - 1);
+      const int hit = BitmapFindFrom(wheel_[0].bitmap, idx0);
+      if (hit >= 0) {
+        const uint64_t tick = (wheel_time_ & ~uint64_t{kWheelBuckets - 1}) |
+                              static_cast<uint32_t>(hit);
+        if (tick > bound) {
+          return false;
+        }
+        wheel_time_ = tick;
+        *time_out = tick;
+        return true;
+      }
+      // Level 0 is drained: roll the first pending bucket of the lowest
+      // non-empty level over, pouring its entries one level down (they
+      // re-enqueue relative to the advanced wheel_time_).
+      uint32_t level = 1;
+      int bucket = -1;
+      for (; level < kWheelLevels; ++level) {
+        const uint32_t from = static_cast<uint32_t>(
+                                  wheel_time_ >> (level * kWheelLevelBits)) &
+                              (kWheelBuckets - 1);
+        bucket = BitmapFindFrom(wheel_[level].bitmap, from);
+        if (bucket >= 0) {
+          break;
+        }
+      }
+      assert(bucket >= 0 && "wheel_count_ > 0 but every bitmap is empty");
+      const uint32_t shift = level * kWheelLevelBits;
+      // Jump to the start of the bucket's span: keep the bytes above the
+      // level, set the level's byte, zero everything below. When the bucket
+      // is the current byte's own, this moves wheel_time_ *down* within its
+      // span — safe, since it lowers every byte and scans only start earlier.
+      const uint64_t keep_mask =
+          level + 1 >= kWheelLevels
+              ? uint64_t{0}
+              : ~uint64_t{0} << ((level + 1) * kWheelLevelBits);
+      const uint64_t jump = (wheel_time_ & keep_mask) |
+                            (static_cast<uint64_t>(bucket) << shift);
+      if (jump > bound) {
+        // Every pending event's time >= the start of this bucket's span.
+        return false;
+      }
+      wheel_time_ = jump;
+      WheelLevel& L = wheel_[level];
+      WheelBucket& b = L.buckets[bucket];
+      uint32_t cur = b.head;
+      b.head = kNoSlot;
+      b.tail = kNoSlot;
+      L.bitmap[bucket >> 6] &= ~(uint64_t{1} << (bucket & 63));
+      ++rollovers_;
+      while (cur != kNoSlot) {
+        const uint32_t next = wheel_nodes_[cur].next;
+        wheel_nodes_[cur].next = kNoSlot;
+        WheelEnqueue(wheel_nodes_[cur].time, cur);
+        ++cascades_;
+        cur = next;
+      }
+    }
+  }
+
+  // Unlinks and returns the head of the current tick's bucket. Only valid
+  // directly after WheelPrepareMin returned true.
+  uint32_t WheelPopFront() {
+    const uint32_t index =
+        static_cast<uint32_t>(wheel_time_) & (kWheelBuckets - 1);
+    WheelBucket& bucket = wheel_[0].buckets[index];
+    const uint32_t slot = bucket.head;
+    assert(slot != kNoSlot);
+    bucket.head = wheel_nodes_[slot].next;
+    if (bucket.head == kNoSlot) {
+      bucket.tail = kNoSlot;
+      wheel_[0].bitmap[index >> 6] &= ~(uint64_t{1} << (index & 63));
+    }
+    --wheel_count_;
+    return slot;
+  }
+
+  // --- Backend selection and migration ---------------------------------------
+
+  void AutoObserve(Nanos t) {
+    window_span_sum_ += static_cast<uint64_t>(t - now_);
+    if (++window_scheduled_ < kAutoWindow) {
+      return;
+    }
+    // sum >> 12 compared against pending * 1024 is mean_span/4096 vs pending.
+    const uint64_t span_scaled = window_span_sum_ >> kDensityShift;
+    const uint64_t pivot =
+        (static_cast<uint64_t>(pending_events()) + 1) * kAutoWindow;
+    if (use_wheel_) {
+      if (span_scaled > pivot * 4) {
+        SwitchToHeap();
+      }
+    } else {
+      if (span_scaled * 4 < pivot) {
+        SwitchToWheel();
+      }
+    }
+    window_span_sum_ = 0;
+    window_scheduled_ = 0;
+  }
+
+  void SwitchToWheel() {
+    EnsureWheel();
+    // wheel_time_ must lower-bound every pending time; events are never
+    // scheduled in the past, so Now() qualifies (and never lower it).
+    if (static_cast<uint64_t>(now_) > wheel_time_) {
+      wheel_time_ = static_cast<uint64_t>(now_);
+    }
+    // Drain the heap in (time, seq) order so every bucket receives its
+    // same-tick events in FIFO order — the invariant the wheel's O(1) pop
+    // relies on for the bit-for-bit ordering contract.
+    use_wheel_ = true;
+    while (heap_count_ > 0) {
+      const HeapEntry top = heap_[kHeapRoot];
+      HeapPop();
+      WheelInsert(top.hi, top.lo);
+    }
+    ++backend_switches_;
+  }
+
+  void SwitchToHeap() {
+    // Bucket walk order is irrelevant: the heap orders by the full
+    // (time, seq) key, which every wheel node carries.
+    for (uint32_t level = 0; level < kWheelLevels; ++level) {
+      WheelLevel& L = wheel_[level];
+      for (uint32_t w = 0; w < kWheelBitmapWords; ++w) {
+        uint64_t bits = L.bitmap[w];
+        L.bitmap[w] = 0;
+        while (bits != 0) {
+          const uint32_t index =
+              w * 64 + static_cast<uint32_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          uint32_t cur = L.buckets[index].head;
+          L.buckets[index].head = kNoSlot;
+          L.buckets[index].tail = kNoSlot;
+          while (cur != kNoSlot) {
+            const uint32_t next = wheel_nodes_[cur].next;
+            HeapPushEntry(wheel_nodes_[cur].time, wheel_nodes_[cur].lo);
+            cur = next;
+          }
+        }
+      }
+    }
+    wheel_count_ = 0;
+    use_wheel_ = false;
+    ++backend_switches_;
+  }
+
+  // --- Dispatch ---------------------------------------------------------------
+
+  // True iff an event is pending at a time <= `bound`; writes that time.
+  // On the wheel backend this may advance wheel_time_ (never past `bound`).
+  bool PeekNextTime(Nanos bound, Nanos* t) {
+    if (use_wheel_) {
+      uint64_t wheel_t;
+      if (!WheelPrepareMin(static_cast<uint64_t>(bound), &wheel_t)) {
+        return false;
+      }
+      *t = static_cast<Nanos>(wheel_t);
+      return true;
+    }
+    if (heap_count_ == 0 || heap_[kHeapRoot].time() > bound) {
+      return false;
+    }
+    *t = heap_[kHeapRoot].time();
+    return true;
+  }
+
   void StepOne() {
-    const HeapEntry top = heap_[kHeapRoot];
-    const uint32_t slot = top.slot();
-    // Pull the slot's line into cache while the sift-down below runs.
-    __builtin_prefetch(&slots_[slot]);
-    HeapPop();
-    now_ = top.time();
+    uint32_t slot;
+    if (use_wheel_) {
+      uint64_t t;
+      // Unbounded prepare is safe here: the pop below immediately brings
+      // now_ up to wheel_time_, so no schedule can land behind the wheel.
+      const bool ok = WheelPrepareMin(~uint64_t{0}, &t);
+      assert(ok && "StepOne on an empty wheel");
+      (void)ok;
+      slot = WheelPopFront();
+      assert(wheel_nodes_[slot].time == t);
+      now_ = static_cast<Nanos>(t);
+    } else {
+      const HeapEntry top = heap_[kHeapRoot];
+      slot = top.slot();
+      // Pull the slot's line into cache while the sift-down below runs.
+      __builtin_prefetch(&slots_[slot]);
+      HeapPop();
+      now_ = top.time();
+    }
     EventSlot& s = slots_[slot];
     // The trampoline copies the captures out of the arena on entry (see
     // ScheduleAt), so scheduling from inside the handler is safe even when
@@ -370,6 +788,22 @@ class Simulation {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   uint64_t arena_allocations_ = 0;
+
+  // Hierarchical timer wheel (lazily allocated on first use; 16 KiB + the
+  // per-slot node array). wheel_time_ is the tick the wheel advanced to.
+  WheelLevel* wheel_ = nullptr;
+  std::vector<WheelNode> wheel_nodes_;  // indexed by arena slot
+  uint64_t wheel_time_ = 0;
+  size_t wheel_count_ = 0;
+
+  // Backend state + instrumentation.
+  EngineBackend requested_ = EngineBackend::kAuto;
+  bool use_wheel_ = true;
+  uint64_t cascades_ = 0;
+  uint64_t rollovers_ = 0;
+  uint64_t backend_switches_ = 0;
+  uint64_t window_span_sum_ = 0;
+  uint32_t window_scheduled_ = 0;
 };
 
 }  // namespace psp

@@ -12,7 +12,8 @@
 namespace psp {
 namespace {
 
-ClusterConfig Config(uint64_t seed) {
+ClusterConfig Config(uint64_t seed,
+                     EngineBackend backend = EngineBackend::kAuto) {
   ClusterConfig c;
   c.num_workers = 8;
   c.rate_rps = 0.75 * HighBimodal().PeakLoadRps(8);
@@ -21,6 +22,7 @@ ClusterConfig Config(uint64_t seed) {
   c.dispatch_cost = 100;
   c.completion_cost = 40;
   c.seed = seed;
+  c.engine_backend = backend;
   return c;
 }
 
@@ -82,6 +84,45 @@ TEST(Determinism, PerTypeTailSlowdownsBitIdenticalAcrossRuns) {
       ASSERT_GT(sa, 0.0);
       ASSERT_EQ(a.metrics().TypeLatency(type, 99.9),
                 b.metrics().TypeLatency(type, 99.9))
+          << "seed " << seed << " type " << type;
+    }
+  }
+}
+
+TEST(Determinism, TailMetricsBitIdenticalAcrossEventQueueBackends) {
+  // The timer wheel and the 4-ary heap implement the same (time, schedule
+  // seq) total order, so a full experiment pinned to each backend — and one
+  // left on auto selection — must agree on every derived metric bit for bit.
+  // This is the per-type p99.9 replay golden run against both backends.
+  PersephoneOptions options;
+  options.scheduler.mode = PolicyMode::kDarc;
+  for (const uint64_t seed : {7u, 123u}) {
+    ClusterEngine heap(HighBimodal(), Config(seed, EngineBackend::kHeap),
+                       std::make_unique<PersephonePolicy>(options));
+    heap.Run();
+    ClusterEngine wheel(HighBimodal(), Config(seed, EngineBackend::kWheel),
+                        std::make_unique<PersephonePolicy>(options));
+    wheel.Run();
+    ClusterEngine autosel(HighBimodal(), Config(seed, EngineBackend::kAuto),
+                          std::make_unique<PersephonePolicy>(options));
+    autosel.Run();
+    EXPECT_FALSE(heap.sim().wheel_active());
+    EXPECT_TRUE(wheel.sim().wheel_active());
+    ASSERT_EQ(heap.sim().executed_events(), wheel.sim().executed_events())
+        << "seed " << seed;
+    ASSERT_EQ(heap.sim().executed_events(), autosel.sim().executed_events())
+        << "seed " << seed;
+    for (const TypeId type : {TypeId{1}, TypeId{2}}) {
+      ASSERT_EQ(heap.metrics().TypeCount(type), wheel.metrics().TypeCount(type))
+          << "seed " << seed << " type " << type;
+      ASSERT_EQ(heap.metrics().TypeLatency(type, 99.9),
+                wheel.metrics().TypeLatency(type, 99.9))
+          << "seed " << seed << " type " << type;
+      ASSERT_EQ(heap.metrics().TypeLatency(type, 99.9),
+                autosel.metrics().TypeLatency(type, 99.9))
+          << "seed " << seed << " type " << type;
+      ASSERT_EQ(heap.metrics().TypeSlowdown(type, 99.9),
+                wheel.metrics().TypeSlowdown(type, 99.9))
           << "seed " << seed << " type " << type;
     }
   }

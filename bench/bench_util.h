@@ -10,6 +10,7 @@
 #ifndef PSP_BENCH_BENCH_UTIL_H_
 #define PSP_BENCH_BENCH_UTIL_H_
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -148,6 +149,56 @@ RunResult RunPoint(const WorkloadSpec& workload, const ClusterConfig& config,
   inspect(engine);
   r.engine = nullptr;
   return r;
+}
+
+// --- Worker time provenance ---------------------------------------------------
+
+// Aggregate worker-time shares: percent of summed worker wall time per
+// ledger state. Worker slots only — the dispatcher pseudo-slot tracks a
+// different resource and is reported separately by the exporters. In the
+// simulator the decomposition is exact, so Sum() is 100.0 whenever any wall
+// time was observed.
+struct WorkerTimeShares {
+  std::array<double, kNumWorkerTimeStates> pct{};
+
+  double Pct(WorkerTimeState state) const {
+    return pct[static_cast<size_t>(state)];
+  }
+  double Sum() const {
+    double sum = 0;
+    for (const double v : pct) {
+      sum += v;
+    }
+    return sum;
+  }
+};
+
+inline WorkerTimeShares WorkerTimeSharesFromRecords(
+    const std::vector<WorkerTimeRecord>& records) {
+  WorkerTimeShares shares;
+  std::array<uint64_t, kNumWorkerTimeStates> sums{};
+  uint64_t wall = 0;
+  for (const WorkerTimeRecord& rec : records) {
+    if (rec.role != "worker") {
+      continue;
+    }
+    for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+      sums[s] += rec.state_ns[s];
+      wall += rec.state_ns[s];
+    }
+  }
+  if (wall == 0) {
+    return shares;
+  }
+  for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+    shares.pct[s] =
+        100.0 * static_cast<double>(sums[s]) / static_cast<double>(wall);
+  }
+  return shares;
+}
+
+inline WorkerTimeShares ComputeWorkerTimeShares(const TelemetrySnapshot& snap) {
+  return WorkerTimeSharesFromRecords(snap.worker_time);
 }
 
 // --- Output -------------------------------------------------------------------

@@ -65,10 +65,25 @@ void SweepWorkload(const char* workload_name, const WorkloadSpec& workload,
         const double p999 = fleet.metrics().OverallSlowdown(99.9);
         const double achieved =
             fleet.metrics().ThroughputRps(fleet.MeasuredWindow());
+        // Fleet-wide time provenance: every server's worker ledger records
+        // pooled, so reserved_idle_pct is the rack's deliberate-idling share
+        // under this inter-server policy (sum_pct is 100 by construction).
+        std::vector<WorkerTimeRecord> ledgers;
+        for (uint32_t i = 0; i < fleet.num_servers(); ++i) {
+          const TelemetrySnapshot snap = fleet.server(i).telemetry_snapshot();
+          ledgers.insert(ledgers.end(), snap.worker_time.begin(),
+                         snap.worker_time.end());
+        }
+        const WorkerTimeShares shares = WorkerTimeSharesFromRecords(ledgers);
         table->AddRow({workload_name, std::to_string(servers), Fmt(load, 2),
                        FleetPolicyName(kind), Fmt(p999, 1),
                        Fmt(achieved / 1e3, 0),
-                       std::to_string(fleet.metrics().TotalDrops())});
+                       std::to_string(fleet.metrics().TotalDrops()),
+                       Fmt(shares.Pct(WorkerTimeState::kBusy), 1),
+                       Fmt(shares.Pct(WorkerTimeState::kSteal), 1),
+                       Fmt(shares.Pct(WorkerTimeState::kReservedIdle), 1),
+                       Fmt(shares.Pct(WorkerTimeState::kFreeIdle), 1),
+                       Fmt(shares.Sum(), 1)});
         if (servers == 4 && load == 0.7) {
           if (kind == FleetPolicyKind::kRandom) random_p999 = p999;
           if (kind == FleetPolicyKind::kPowerOfTwo) po2c_p999 = p999;
@@ -91,7 +106,8 @@ void Main() {
               "dispatcher (5us client hop, 1us rack hop)\n\n",
               kWorkersPerServer);
   Table table({"workload", "servers", "load", "policy", "p999_slowdown",
-               "achieved_kRPS", "drops"});
+               "achieved_kRPS", "drops", "busy_pct", "steal_pct",
+               "reserved_idle_pct", "free_idle_pct", "sum_pct"});
   SweepWorkload("HighBimodal", HighBimodal(), &table);
   SweepWorkload("ExtremeBimodal", ExtremeBimodal(), &table);
   table.Print();

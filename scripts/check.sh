@@ -31,6 +31,12 @@
 #                       loopback — examples/udp_server on an ephemeral port
 #                       driven by the external tools/psp_loadgen; responses
 #                       must come back and the server's books must balance.
+#   profile           - sampling-profiler smoke: udp_server with the admin
+#                       plane on and psp_loadgen driving it, one-shot
+#                       `pspctl profile` capture (start -> wait -> stop ->
+#                       folded), then validate the folded stacks: grammar
+#                       (`role;state:...;frames count` lines), ledger-state
+#                       tags on >= 99% of samples, and a 409 on double-start.
 #   trace             - distributed-tracing smoke: udp_server with the admin
 #                       plane on, psp_loadgen sampling 1-in-64 on the wire,
 #                       psp_tracejoin fetching /lifecycle.json live and
@@ -39,7 +45,7 @@
 #                       --prom page, and a two-server pspctl federate merge
 #                       validated by --check.
 #   all               - all of the above.
-# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|all] [build-dir]
+# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|profile|all] [build-dir]
 set -eu
 MODE=${1:-address}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -249,6 +255,101 @@ PY
   echo "ingress smoke OK (port $port, server completed $completed requests)"
 }
 
+# Sampling-profiler smoke: the operator workflow end to end in real
+# processes — a loaded udp_server, `pspctl profile` driving the admin
+# routes, folded stacks back out. Validates the folded grammar, requires
+# ledger-state tags to partition >= 99% of samples (the time-provenance
+# attribution the profiler exists for), and checks that a second start
+# while a capture runs is refused with an HTTP error (409).
+run_profile() {
+  local build=${1:-build}
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" --target udp_server psp_loadgen pspctl
+  local work="$build/profile_smoke"
+  rm -rf "$work"
+  mkdir -p "$work"
+  local log="$work/server.log"
+  PSP_ADMIN=1 "$build/examples/udp_server" --port 0 --serve-ms 12000 \
+    >"$log" 2>&1 &
+  local pid=$!
+  local udp_port="" admin_port=""
+  for _ in $(seq 1 100); do
+    udp_port=$(sed -n 's/^udp: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    admin_port=$(sed -n 's/^admin: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    [ -n "$udp_port" ] && [ -n "$admin_port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$udp_port" ] || [ -z "$admin_port" ]; then
+    echo "profile smoke: udp_server never announced its ports" >&2
+    cat "$log" >&2
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  local rc=0
+  # Load in the background so the capture sees busy workers, not just polls.
+  "$build/tools/psp_loadgen" --port "$udp_port" --rate 4000 --requests 16000 \
+    >"$work/loadgen.out" 2>&1 &
+  local load_pid=$!
+  # One-shot capture: start at 199 Hz, 2 s window, stop, fetch folded.
+  "$build/tools/pspctl" --port "$admin_port" --out "$work/profile.folded" \
+    profile 199 2 || rc=$?
+  # 409 leg: arm a fresh capture, then a second start must be refused
+  # (pspctl maps HTTP >= 400 to exit 3); stop cleans up.
+  if [ "$rc" = 0 ]; then
+    "$build/tools/pspctl" --port "$admin_port" profile start 99 \
+      >/dev/null || rc=$?
+  fi
+  if [ "$rc" = 0 ]; then
+    local rc2=0
+    "$build/tools/pspctl" --port "$admin_port" profile start 99 \
+      >/dev/null 2>&1 || rc2=$?
+    if [ "$rc2" != 3 ]; then
+      echo "profile smoke: double-start was not refused (rc=$rc2)" >&2
+      rc=1
+    fi
+    "$build/tools/pspctl" --port "$admin_port" profile stop >/dev/null || rc=$?
+  fi
+  if [ "$rc" = 0 ]; then
+    python3 - "$work/profile.folded" <<'PY' || rc=$?
+import sys
+total = tagged = 0
+lines = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        lines += 1
+        key, _, count = line.rpartition(" ")
+        if not key or not count.isdigit():
+            sys.exit(f"malformed folded line: {line!r}")
+        role = key.split(";", 1)[0]
+        if role not in ("worker", "dispatcher", "net", "sampler"):
+            sys.exit(f"unknown role {role!r} in: {line!r}")
+        total += int(count)
+        if ";state:" in key:
+            tagged += int(count)
+if lines == 0 or total == 0:
+    sys.exit("folded profile is empty (no samples captured)")
+if tagged * 100 < total * 99:
+    sys.exit(f"ledger-state tags cover only {tagged}/{total} samples "
+             "(need >= 99%)")
+print(f"  profile: {total} samples across {lines} stacks, "
+      f"{tagged * 100.0 / total:.1f}% state-tagged")
+PY
+  fi
+  wait "$load_pid" || true
+  wait "$pid" || rc=$?
+  if [ "$rc" != 0 ]; then
+    echo "profile smoke FAILED (rc=$rc); server log:" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  echo "profile smoke OK (udp $udp_port, admin $admin_port)"
+}
+
 # Distributed-tracing smoke: the full cross-process story in real processes.
 # One udp_server with the admin plane on; psp_loadgen stamps 1-in-64 requests
 # with the wire sampling bit; psp_tracejoin fetches the server's sampled
@@ -365,9 +466,11 @@ case "$MODE" in
   introspect) run_introspect "${2:-build}" ;;
   fleet)   run_fleet "${2:-build}" ;;
   ingress) run_ingress "${2:-build}" ;;
+  profile) run_profile "${2:-build}" ;;
   trace)   run_trace "${2:-build}" ;;
   all)     run_address build-asan; run_thread build-tsan; run_fleet build;
-           run_ingress build; run_trace build; run_bench build-bench ;;
-  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|all] [build-dir]" >&2
+           run_ingress build; run_profile build; run_trace build;
+           run_bench build-bench ;;
+  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|profile|all] [build-dir]" >&2
      exit 2 ;;
 esac

@@ -128,8 +128,12 @@ void DarcScheduler::ResizeWorkers(uint32_t new_count, Nanos now) {
     free_.ClearRange(new_count, old_count);
   }
   free_count_.store(free_.Count(), std::memory_order_relaxed);
+  if (time_ledger_ != nullptr) {
+    time_ledger_->SetNumWorkers(new_count, now);
+  }
 
   if (!darc_active_.load(std::memory_order_relaxed)) {
+    ReclassifyIdleWorkers(now);
     return;
   }
   // Re-derive the reservation for the new pool from the freshest profile.
@@ -206,6 +210,11 @@ DarcScheduler::Assignment DarcScheduler::MakeAssignment(TypeIndex type,
   a.worker = worker;
   a.stolen = stolen;
   MarkWorkerBusy(worker);
+  if (time_ledger_ != nullptr) {
+    time_ledger_->Transition(
+        worker, stolen ? WorkerTimeState::kSteal : WorkerTimeState::kBusy,
+        type, now);
+  }
   counters_.dispatched.fetch_add(1, std::memory_order_relaxed);
   if (stolen) {
     counters_.stolen_dispatches.fetch_add(1, std::memory_order_relaxed);
@@ -331,6 +340,10 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
   assert(worker < kMaxWorkers);
   if (worker < config_.num_workers && !free_.Test(worker)) {
     MarkWorkerFree(worker);
+    if (time_ledger_ != nullptr) {
+      time_ledger_->Transition(worker, IdleStateOf(worker),
+                               WorkerTimeLedger::kUntyped, now);
+    }
   }
   // Workers at or beyond num_workers were retired by ResizeWorkers while
   // running; their completion still feeds the profiler but they never
@@ -511,7 +524,25 @@ void DarcScheduler::ApplyReservation(Reservation reservation, Nanos now) {
     std::lock_guard<std::mutex> lock(published_mutex_);
     published_reserved_ = std::move(reserved_now);
   }
+  ReclassifyIdleWorkers(now);
   RebuildPriorityOrder();
+}
+
+void DarcScheduler::ReclassifyIdleWorkers(Nanos now) {
+  reserved_union_.ClearAll();
+  for (const ReservedGroup& group : reservation_.groups) {
+    reserved_union_ = reserved_union_.Union(group.reserved);
+  }
+  reserved_union_ = reserved_union_.Intersect(all_workers_);
+  if (time_ledger_ == nullptr) {
+    return;
+  }
+  for (WorkerId w = 0; w < config_.num_workers; ++w) {
+    if (free_.Test(w)) {
+      time_ledger_->Transition(w, IdleStateOf(w), WorkerTimeLedger::kUntyped,
+                               now);
+    }
+  }
 }
 
 void DarcScheduler::RebuildPriorityOrder() {

@@ -24,6 +24,7 @@
 #include "src/core/typed_queue.h"
 #include "src/core/worker_set.h"
 #include "src/telemetry/telemetry.h"
+#include "src/telemetry/timeledger.h"
 
 namespace psp {
 
@@ -118,6 +119,13 @@ class DarcScheduler {
   // ExportTelemetry.
   void AttachTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
+  // Hooks the scheduler up to the engine's worker time-provenance ledger
+  // (not owned; must outlive the scheduler's data path). The scheduler
+  // stamps the worker-slot state machine — busy/steal on dispatch,
+  // reserved_idle/free_idle on completion and at every reservation change —
+  // which is what makes the ledger identical across both substrates.
+  void AttachTimeLedger(WorkerTimeLedger* ledger) { time_ledger_ = ledger; }
+
   // Publishes the scheduler's counters ("scheduler.*") and per-type queue
   // gauges into `out`. Safe to call from any thread while the data path runs.
   void ExportTelemetry(TelemetrySnapshot* out) const;
@@ -156,6 +164,17 @@ class DarcScheduler {
 
   void ApplyReservation(Reservation reservation, Nanos now);
   void NoteWindowRollover(Nanos now);
+  // Idle provenance: a free worker inside some group's reserved set while
+  // DARC is active is idling "on purpose" (the paper's ideal idling).
+  WorkerTimeState IdleStateOf(WorkerId worker) const {
+    return darc_active_.load(std::memory_order_relaxed) &&
+                   reserved_union_.Test(worker)
+               ? WorkerTimeState::kReservedIdle
+               : WorkerTimeState::kFreeIdle;
+  }
+  // Recomputes reserved_union_ from the applied reservation and re-stamps
+  // every currently-free worker's idle class in the ledger.
+  void ReclassifyIdleWorkers(Nanos now);
   void RebuildPriorityOrder();
   std::optional<Assignment> DispatchDarc(Nanos now);
   std::optional<Assignment> DispatchFcfs(Nanos now);
@@ -190,6 +209,7 @@ class DarcScheduler {
   SchedulerConfig config_;
   Profiler profiler_;
   Telemetry* telemetry_ = nullptr;  // optional, not owned
+  WorkerTimeLedger* time_ledger_ = nullptr;  // optional, not owned
 
   std::vector<TypeId> wire_ids_;       // TypeIndex -> wire id
   std::vector<std::string> names_;
@@ -207,6 +227,9 @@ class DarcScheduler {
   WorkerSet free_;
   WorkerSet all_workers_;
   WorkerSet spillway_;
+  // Union of every reserved group's worker set under the applied
+  // reservation; drives the reserved_idle vs free_idle ledger split.
+  WorkerSet reserved_union_;
   // Mirror of free_.Count(), maintained at every Set/Clear site so
   // idle_workers() is one relaxed load instead of a racy bitset scan.
   std::atomic<uint32_t> free_count_{0};

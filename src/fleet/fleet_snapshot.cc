@@ -140,6 +140,30 @@ std::string FleetSnapshot::ToPrometheus() const {
              std::to_string(it->second) + "\n";
     }
   }
+  // Per-server time-provenance ledgers: one family, a sample per
+  // (server, slot, state) — each server slot's samples sum to its wall.
+  bool any_worker_time = false;
+  for (const auto& server : servers) {
+    if (!server.worker_time.empty()) {
+      any_worker_time = true;
+      break;
+    }
+  }
+  if (any_worker_time) {
+    out += "# TYPE psp_worker_time_ns gauge\n";
+    for (size_t i = 0; i < servers.size(); ++i) {
+      for (const WorkerTimeRecord& rec : servers[i].worker_time) {
+        for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+          out += "psp_worker_time_ns{server=\"" + std::to_string(i) +
+                 "\",worker=\"" + std::to_string(rec.slot) + "\",role=\"" +
+                 rec.role + "\",state=\"" +
+                 WorkerTimeStateName(static_cast<WorkerTimeState>(s)) +
+                 "\"} " + std::to_string(rec.state_ns[s]) + "\n";
+        }
+      }
+    }
+  }
+
   for (const auto& name : histogram_names) {
     const std::string metric = "psp_" + PrometheusMetricName(name);
     out += "# TYPE " + metric + " summary\n";

@@ -320,9 +320,11 @@ void AdminServer::HandleConnection(int fd) {
   } else {
     const std::string method = request_line.substr(0, sp1);
     std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-    const size_t query = path.find('?');
-    if (query != std::string::npos) {
-      path.resize(query);
+    std::string query;
+    const size_t query_pos = path.find('?');
+    if (query_pos != std::string::npos) {
+      query = path.substr(query_pos + 1);
+      path.resize(query_pos);
     }
 
     // Content-Length, case-insensitive scan of the header block.
@@ -371,7 +373,8 @@ void AdminServer::HandleConnection(int fd) {
         response = "truncated body\n";
       } else {
         body.resize(content_length);
-        HandleRequest(method, path, body, &status, &content_type, &response);
+        HandleRequest(method, path, query, body, &status, &content_type,
+                      &response);
       }
     }
   }
@@ -393,6 +396,7 @@ void AdminServer::HandleConnection(int fd) {
 
 void AdminServer::HandleRequest(const std::string& method,
                                 const std::string& path,
+                                const std::string& query,
                                 const std::string& body, int* status,
                                 std::string* content_type,
                                 std::string* response) {
@@ -463,6 +467,15 @@ void AdminServer::HandleRequest(const std::string& method,
       *response = hooks_.outliers_json();
       return;
     }
+    if (path == "/profile.folded") {
+      if (!hooks_.profile_folded) {
+        *status = 404;
+        *response = "profiler not wired on this endpoint\n";
+        return;
+      }
+      *response = hooks_.profile_folded();
+      return;
+    }
     if (path == "/healthz") {
       *response = "ok\n";
       return;
@@ -485,6 +498,22 @@ void AdminServer::HandleRequest(const std::string& method,
     if (path == "/flightrecorder/dump") {
       run_post(hooks_.flight_dump, "flight recorder",
                "text/plain; charset=utf-8");
+      return;
+    }
+    if (path == "/profile/start") {
+      if (!hooks_.profile_start) {
+        not_wired("profiler");
+        return;
+      }
+      run_post(
+          [this, &query](std::string* error) {
+            return hooks_.profile_start(query, error);
+          },
+          "profiler", "application/json");
+      return;
+    }
+    if (path == "/profile/stop") {
+      run_post(hooks_.profile_stop, "profiler", "application/json");
       return;
     }
     if (path == "/config") {

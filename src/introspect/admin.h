@@ -19,8 +19,11 @@
 //   GET  /lifecycle.json       sampled per-request lifecycle records
 //   GET  /fleet.json           fleet-wide aggregation (fleet endpoints only)
 //   GET  /healthz              liveness probe ("ok")
+//   GET  /profile.folded       collected CPU samples as folded stacks
 //   POST /trace/start          arm an on-demand bounded Perfetto capture
 //   POST /trace/stop           finish the capture, returns the trace JSON
+//   POST /profile/start        arm the sampling profiler (?hz=99&dur=10)
+//   POST /profile/stop         disarm it (samples stay readable)
 //   POST /flightrecorder/dump  build + return a flight record now
 //   POST /config               runtime knobs: body "key=value" per line
 //                              (sampling=N, slo.<TYPE>.slowdown=X)
@@ -76,6 +79,14 @@ struct AdminHooks {
   std::function<std::string(std::string* error)> trace_start;
   std::function<std::string(std::string* error)> trace_stop;
   std::function<std::string(std::string* error)> flight_dump;
+  // POST /profile/start: receives the raw query string ("hz=99&dur=10");
+  // same body/error contract as the other POST hooks (409 on conflict, e.g.
+  // a capture already running).
+  std::function<std::string(const std::string& query, std::string* error)>
+      profile_start;
+  std::function<std::string(std::string* error)> profile_stop;
+  // GET /profile.folded: folded-stack text of the last/live capture.
+  std::function<std::string()> profile_folded;
   // Applies one key=value pair; returns "" on success, else the error.
   std::function<std::string(const std::string& key, const std::string& value)>
       set_config;
@@ -116,10 +127,12 @@ class AdminServer {
  private:
   void ServeLoop();
   void HandleConnection(int fd);
-  // Dispatches one parsed request; fills status/content_type/body.
+  // Dispatches one parsed request; fills status/content_type/body. `query`
+  // is the raw query string (text after '?'), "" when absent.
   void HandleRequest(const std::string& method, const std::string& path,
-                     const std::string& body, int* status,
-                     std::string* content_type, std::string* response);
+                     const std::string& query, const std::string& body,
+                     int* status, std::string* content_type,
+                     std::string* response);
 
   AdminConfig config_;
   AdminHooks hooks_;

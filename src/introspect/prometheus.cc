@@ -1,8 +1,10 @@
 #include "src/introspect/prometheus.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <initializer_list>
 #include <map>
 #include <utility>
 #include <vector>
@@ -45,6 +47,28 @@ void AppendTypeHeader(std::string* out, const std::string& metric,
   *out += "# HELP " + metric + ' ' + help + '\n';
   *out += "# TYPE " + metric + ' ';
   *out += type;
+  *out += '\n';
+}
+
+// One sample line with an arbitrary label set:
+//   name{l1="v1",l2="v2"} v
+void AppendMultiLabelSample(
+    std::string* out, const std::string& metric,
+    std::initializer_list<std::pair<const char*, std::string>> labels,
+    const std::string& value) {
+  *out += metric;
+  *out += '{';
+  bool first = true;
+  for (const auto& [label, label_value] : labels) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    *out += label;
+    *out += "=\"" + PrometheusLabelEscape(label_value) + "\"";
+  }
+  *out += "} ";
+  *out += value;
   *out += '\n';
 }
 
@@ -246,6 +270,70 @@ void RenderLatestInterval(std::string* out, const TelemetrySnapshot& snap) {
                    std::to_string(rec.worker_busy_permille[w]));
     }
   }
+  if (!rec.worker_state_permille.empty()) {
+    AppendTypeHeader(out, "psp_interval_worker_state_permille", "gauge",
+                     "aggregate worker-time share by ledger state over the "
+                     "latest interval, permille (sums to ~1000)");
+    for (size_t s = 0;
+         s < rec.worker_state_permille.size() && s < kNumWorkerTimeStates;
+         ++s) {
+      AppendSample(out, "psp_interval_worker_state_permille", "state",
+                   WorkerTimeStateName(static_cast<WorkerTimeState>(s)),
+                   std::to_string(rec.worker_state_permille[s]));
+    }
+  }
+}
+
+// The worker time-provenance ledger: cumulative wall time per slot,
+// decomposed into exhaustive states (the samples of one slot sum to its
+// wall time), plus the typed split of busy+steal time.
+void RenderWorkerTime(std::string* out, const TelemetrySnapshot& snap) {
+  if (snap.worker_time.empty()) {
+    return;
+  }
+  AppendTypeHeader(out, "psp_worker_time_ns", "gauge",
+                   "cumulative wall time per slot by time-ledger state "
+                   "(one slot's samples sum to its wall time)");
+  for (const WorkerTimeRecord& rec : snap.worker_time) {
+    for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+      AppendMultiLabelSample(
+          out, "psp_worker_time_ns",
+          {{"worker", std::to_string(rec.slot)},
+           {"role", rec.role},
+           {"state", WorkerTimeStateName(static_cast<WorkerTimeState>(s))}},
+          std::to_string(rec.state_ns[s]));
+    }
+  }
+  bool any_busy = false;
+  for (const WorkerTimeRecord& rec : snap.worker_time) {
+    if (rec.BusyNs() > 0 || !rec.busy_type_ns.empty()) {
+      any_busy = true;
+      break;
+    }
+  }
+  if (!any_busy) {
+    return;
+  }
+  AppendTypeHeader(out, "psp_worker_busy_type_ns", "gauge",
+                   "busy+steal time per slot split by request type "
+                   "(type=\"untyped\" is the unattributed remainder)");
+  for (const WorkerTimeRecord& rec : snap.worker_time) {
+    uint64_t typed = 0;
+    for (const auto& [type_name, ns] : rec.busy_type_ns) {
+      AppendMultiLabelSample(out, "psp_worker_busy_type_ns",
+                             {{"worker", std::to_string(rec.slot)},
+                              {"type", type_name}},
+                             std::to_string(ns));
+      typed += ns;
+    }
+    const uint64_t busy = rec.BusyNs();
+    if (busy > typed) {
+      AppendMultiLabelSample(out, "psp_worker_busy_type_ns",
+                             {{"worker", std::to_string(rec.slot)},
+                              {"type", "untyped"}},
+                             std::to_string(busy - typed));
+    }
+  }
 }
 
 }  // namespace
@@ -292,6 +380,7 @@ std::string RenderPrometheusText(const TelemetrySnapshot& snapshot) {
   RenderScalars(&out, snapshot.gauges, "gauge", "", "gauge");
   RenderSummaries(&out, snapshot);
   RenderLatestInterval(&out, snapshot);
+  RenderWorkerTime(&out, snapshot);
   // Always-present marker so a scrape of an idle server is still non-empty
   // and scrapers can assert liveness.
   AppendTypeHeader(&out, "psp_up", "gauge", "introspection plane liveness");

@@ -36,6 +36,26 @@ void PinCurrentThread(uint32_t cpu) {
 #endif
 }
 
+// Registers the calling engine thread with the sampling profiler for its
+// lifetime (loops have multiple exit paths; unregistering must not be
+// skipped, or the sampler would keep a stale tid).
+class ScopedProfileThread {
+ public:
+  ScopedProfileThread(CpuSampler* sampler, const char* role,
+                      const std::atomic<uint32_t>* state_word,
+                      uint32_t fallback_packed)
+      : sampler_(sampler) {
+    sampler_->RegisterCurrentThread(role, state_word, fallback_packed);
+  }
+  ~ScopedProfileThread() { sampler_->UnregisterCurrentThread(); }
+
+  ScopedProfileThread(const ScopedProfileThread&) = delete;
+  ScopedProfileThread& operator=(const ScopedProfileThread&) = delete;
+
+ private:
+  CpuSampler* sampler_;
+};
+
 }  // namespace
 
 std::string RuntimeConfig::Validate() const {
@@ -92,6 +112,12 @@ Persephone::Persephone(RuntimeConfig config) : config_(std::move(config)) {
   sched.num_workers = config_.num_workers;
   scheduler_ = std::make_unique<DarcScheduler>(sched);
   scheduler_->AttachTelemetry(telemetry_.get());
+  // Wall-time provenance starts at construction (the ledger's notion of
+  // "wall" is process lifetime, so state shares always sum to 100%); the
+  // scheduler stamps worker transitions, the dispatcher loop its own.
+  time_ledger_.Open(config_.num_workers, TscClock::Global().Now());
+  scheduler_->AttachTimeLedger(&time_ledger_);
+  cpu_sampler_ = std::make_unique<CpuSampler>();
   classifier_ = std::make_unique<HeaderFieldClassifier>();
   channels_.reserve(config_.num_workers);
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
@@ -130,7 +156,7 @@ Persephone::Persephone(RuntimeConfig config) : config_(std::move(config)) {
   if (telemetry_->timeseries() != nullptr) {
     series_slots_.push_back(
         telemetry_->RegisterSeries(scheduler_->unknown_type(), "UNKNOWN"));
-    ts_prev_busy_.resize(config_.num_workers);
+    ts_prev_state_.resize(config_.num_workers);
     telemetry_->timeseries()->set_gauge_sampler(
         [this](IntervalRecord* rec) { SampleTimeSeriesGauges(rec); });
     telemetry_->set_flight_snapshot_provider(
@@ -196,6 +222,12 @@ void Persephone::Start() {
         if (config_.pin_threads) {
           PinCurrentThread(i);  // shard 0 shares core 0 with the dispatcher
         }
+        // No ledger slot: net workers poll sockets, so all their CPU
+        // samples are tagged poll_spin.
+        ScopedProfileThread profiled(
+            cpu_sampler_.get(), "net", nullptr,
+            WorkerTimeLedger::Pack(WorkerTimeState::kPollSpin,
+                                   WorkerTimeLedger::kUntyped));
         udp_->RunNetWorker(i, stop_);
       });
     }
@@ -309,13 +341,31 @@ TelemetrySnapshot Persephone::telemetry_snapshot() const {
           s.rx_per_shard[i];
     }
   }
+  // The full time-provenance ledger: every worker's wall time decomposed
+  // into exhaustive states, plus the dispatcher pseudo-slot (last record).
+  snap.worker_time = time_ledger_.SnapshotTotals(
+      TscClock::Global().Now(), [this](uint32_t type) {
+        return type < scheduler_->num_types()
+                   ? scheduler_->type_name(static_cast<TypeIndex>(type))
+                   : std::string();
+      });
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
     const WorkerUtilization u = worker_utilization(w);
     const std::string prefix = "worker." + std::to_string(w);
     snap.counters[prefix + ".requests"] += u.requests;
     snap.gauges[prefix + ".busy_nanos"] = u.busy;
-    snap.gauges[prefix + ".busy_permille"] =
-        static_cast<int64_t>(u.BusyFraction() * 1000.0);
+    // busy_permille derives from the time ledger (dispatch-to-completion
+    // occupancy as the scheduler sees it) rather than handler wall time;
+    // same name and scale, provenance noted in docs/OBSERVABILITY.md.
+    int64_t permille = 0;
+    if (w < snap.worker_time.size()) {
+      const WorkerTimeRecord& record = snap.worker_time[w];
+      const uint64_t wall = record.WallNs();
+      if (wall > 0) {
+        permille = static_cast<int64_t>(record.BusyNs() * 1000 / wall);
+      }
+    }
+    snap.gauges[prefix + ".busy_permille"] = permille;
   }
   return snap;
 }
@@ -381,6 +431,73 @@ AdminHooks Persephone::MakeAdminHooks() {
   hooks.set_config = [this](const std::string& key, const std::string& value) {
     return ApplyConfigKey(key, value);
   };
+  hooks.profile_start = [this](const std::string& query,
+                               std::string* error) -> std::string {
+    int hz = 99;
+    double duration_sec = 0.0;
+    size_t pos = 0;
+    while (pos <= query.size()) {
+      size_t end = query.find('&', pos);
+      if (end == std::string::npos) {
+        end = query.size();
+      }
+      const std::string pair = query.substr(pos, end - pos);
+      pos = end + 1;
+      const size_t eq = pair.find('=');
+      if (pair.empty() || eq == std::string::npos || eq == 0) {
+        continue;
+      }
+      const std::string key = pair.substr(0, eq);
+      const std::string value = pair.substr(eq + 1);
+      char* parse_end = nullptr;
+      if (key == "hz") {
+        const long parsed = std::strtol(value.c_str(), &parse_end, 10);
+        if (parse_end == value.c_str() || *parse_end != '\0' || parsed < 1 ||
+            parsed > 10000) {
+          *error = "profiler: hz must be an integer in [1, 10000]";
+          return "";
+        }
+        hz = static_cast<int>(parsed);
+      } else if (key == "dur") {
+        const double parsed = std::strtod(value.c_str(), &parse_end);
+        if (parse_end == value.c_str() || *parse_end != '\0' || parsed < 0 ||
+            parsed > 3600) {
+          *error = "profiler: dur must be seconds in [0, 3600]";
+          return "";
+        }
+        duration_sec = parsed;
+      }
+    }
+    if (!cpu_sampler_->Start(hz, duration_sec)) {
+      *error = "profile capture already running";
+      return "";
+    }
+    telemetry_->RecordEvent(TscClock::Global().Now(),
+                            "profile capture started");
+    std::string out = "{\"ok\":true,\"hz\":" + std::to_string(hz);
+    if (duration_sec > 0) {
+      out += ",\"duration_sec\":" + std::to_string(duration_sec);
+    }
+    out += "}\n";
+    return out;
+  };
+  hooks.profile_stop = [this](std::string* error) -> std::string {
+    if (!cpu_sampler_->Stop()) {
+      *error = "no profile capture running";
+      return "";
+    }
+    return "{\"ok\":true,\"samples\":" +
+           std::to_string(cpu_sampler_->total_samples()) +
+           ",\"dropped\":" + std::to_string(cpu_sampler_->dropped_samples()) +
+           "}\n";
+  };
+  hooks.profile_folded = [this] {
+    return cpu_sampler_->Folded([this](uint32_t type) {
+      return type < scheduler_->num_types()
+                 ? scheduler_->type_name(static_cast<TypeIndex>(type))
+                 : std::string();
+    });
+  };
   return hooks;
 }
 
@@ -420,6 +537,10 @@ void Persephone::NetWorkerLoop() {
   if (config_.pin_threads) {
     PinCurrentThread(0);
   }
+  ScopedProfileThread profiled(
+      cpu_sampler_.get(), "net", nullptr,
+      WorkerTimeLedger::Pack(WorkerTimeState::kPollSpin,
+                             WorkerTimeLedger::kUntyped));
   // The paper's net worker: "a layer 2 forwarder [that] performs simple
   // checks on Ethernet and IP headers" (§6) before handing frames to the
   // dispatcher. Full request parsing/classification stays on the dispatcher.
@@ -482,9 +603,21 @@ void Persephone::DispatcherLoop() {
   TimeSeriesRecorder* const ts = telemetry_->timeseries();
   CompletionSignal signals[WorkerChannel::kCompletionBurst];
   PacketRef ingress[kIngressBurst];
+  const uint32_t dispatcher_slot = time_ledger_.dispatcher_slot();
+  ScopedProfileThread profiled(
+      cpu_sampler_.get(), "dispatcher",
+      time_ledger_.packed_state(dispatcher_slot),
+      WorkerTimeLedger::Pack(WorkerTimeState::kPollSpin,
+                             WorkerTimeLedger::kUntyped));
+  // Each iteration is classified after the fact — it was dispatch/completion
+  // bookkeeping if anything progressed, an empty poll otherwise — and the
+  // span up to this iteration's single clock read is charged accordingly
+  // (zero extra clock reads on the hot path).
+  WorkerTimeState iteration_state = WorkerTimeState::kPollSpin;
   while (!stop_.load(std::memory_order_acquire)) {
     bool progressed = false;
     const Nanos now = clock.Now();
+    time_ledger_.AccountSpan(dispatcher_slot, iteration_state, now);
     // Pick up live sampling changes (POST /config sampling=N): one relaxed
     // load per loop iteration, a no-op store-free branch when unchanged.
     sampler.set_every(telemetry_->sample_every());
@@ -538,12 +671,16 @@ void Persephone::DispatcherLoop() {
       progressed = true;
     }
 
+    iteration_state = progressed ? WorkerTimeState::kDispatchOverhead
+                                 : WorkerTimeState::kPollSpin;
     if (!progressed) {
       // Let the source pace the idle round (yield, or nothing when the
       // runtime is configured to busy-poll).
       ingress_source_->IdleHint();
     }
   }
+  time_ledger_.AccountSpan(dispatcher_slot, iteration_state,
+                           clock.Now());  // close the final span
 }
 
 void Persephone::IngestPacket(const PacketRef& packet, Nanos now,
@@ -607,6 +744,10 @@ void Persephone::SamplerLoop() {
   if (tick < kMillisecond) {
     tick = kMillisecond;
   }
+  ScopedProfileThread profiled(
+      cpu_sampler_.get(), "sampler", nullptr,
+      WorkerTimeLedger::Pack(WorkerTimeState::kDispatchOverhead,
+                             WorkerTimeLedger::kUntyped));
   const TscClock& clock = TscClock::Global();
   while (!stop_.load(std::memory_order_acquire)) {
     telemetry_->AdvanceTimeSeries(clock.Now());
@@ -615,7 +756,7 @@ void Persephone::SamplerLoop() {
 }
 
 void Persephone::SampleTimeSeriesGauges(IntervalRecord* rec) {
-  // Runs under the recorder's roll lock (so ts_prev_busy_ needs no further
+  // Runs under the recorder's roll lock (so ts_prev_state_ needs no further
   // guarding); everything read here is a relaxed atomic or mutex-published.
   for (TypeIntervalStats& stats : rec->types) {
     const auto type = static_cast<TypeIndex>(stats.type);
@@ -625,22 +766,40 @@ void Persephone::SampleTimeSeriesGauges(IntervalRecord* rec) {
     stats.queue_depth = static_cast<int64_t>(scheduler_->queue_depth(type));
     stats.reserved_workers = scheduler_->reserved_workers_of(type);
   }
+  // Interval worker occupancy, derived from the time ledger: per-worker
+  // busy+steal share, plus the aggregate per-state decomposition across all
+  // workers (permille of summed worker wall time in this interval).
   rec->worker_busy_permille.resize(config_.num_workers, 0);
+  rec->worker_state_permille.assign(kNumWorkerTimeStates, 0);
   const Nanos now = TscClock::Global().Now();
-  for (uint32_t w = 0; w < config_.num_workers; ++w) {
-    BusyMark& prev = ts_prev_busy_[w];
-    const Nanos busy = static_cast<Nanos>(
-        worker_counters_[w]->busy.load(std::memory_order_relaxed));
-    const Nanos busy_delta = busy - prev.busy;
-    const Nanos wall_delta = now - prev.at;
-    int64_t permille = 0;
-    if (prev.at > 0 && wall_delta > 0) {
-      permille = busy_delta * 1000 / wall_delta;
-      permille = permille < 0 ? 0 : (permille > 1000 ? 1000 : permille);
+  const std::vector<WorkerTimeRecord> totals =
+      time_ledger_.SnapshotTotals(now, nullptr);
+  std::array<uint64_t, kNumWorkerTimeStates> interval_sum{};
+  uint64_t wall_sum = 0;
+  for (uint32_t w = 0; w < config_.num_workers && w < totals.size(); ++w) {
+    std::array<uint64_t, kNumWorkerTimeStates>& prev = ts_prev_state_[w];
+    uint64_t wall = 0;
+    uint64_t busy = 0;
+    for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+      const uint64_t current = totals[w].state_ns[s];
+      const uint64_t delta = current >= prev[s] ? current - prev[s] : 0;
+      prev[s] = current;
+      wall += delta;
+      interval_sum[s] += delta;
+      if (s == static_cast<size_t>(WorkerTimeState::kBusy) ||
+          s == static_cast<size_t>(WorkerTimeState::kSteal)) {
+        busy += delta;
+      }
     }
-    rec->worker_busy_permille[w] = permille;
-    prev.busy = busy;
-    prev.at = now;
+    wall_sum += wall;
+    rec->worker_busy_permille[w] =
+        wall > 0 ? static_cast<int64_t>(busy * 1000 / wall) : 0;
+  }
+  if (wall_sum > 0) {
+    for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+      rec->worker_state_permille[s] =
+          static_cast<int64_t>(interval_sum[s] * 1000 / wall_sum);
+    }
   }
 }
 
@@ -655,6 +814,12 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
   WorkerChannel& channel = *channels_[worker_id];
   WorkerCounters& counters = *worker_counters_[worker_id];
   counters.started_at.store(clock.Now(), std::memory_order_relaxed);
+  // The scheduler (dispatcher thread) owns this worker's ledger slot; the
+  // packed state word is what tags this thread's profile samples.
+  ScopedProfileThread profiled(
+      cpu_sampler_.get(), "worker", time_ledger_.packed_state(worker_id),
+      WorkerTimeLedger::Pack(WorkerTimeState::kFreeIdle,
+                             WorkerTimeLedger::kUntyped));
 
   while (!stop_.load(std::memory_order_acquire)) {
     WorkOrder order;

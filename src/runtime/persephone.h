@@ -15,6 +15,7 @@
 #ifndef PSP_SRC_RUNTIME_PERSEPHONE_H_
 #define PSP_SRC_RUNTIME_PERSEPHONE_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -30,8 +31,10 @@
 #include "src/net/ingress.h"
 #include "src/net/nic.h"
 #include "src/net/udp_ingress.h"
+#include "src/profile/sampler.h"
 #include "src/runtime/channel.h"
 #include "src/telemetry/telemetry.h"
+#include "src/telemetry/timeledger.h"
 
 namespace psp {
 
@@ -163,6 +166,16 @@ class Persephone {
   WorkerUtilization worker_utilization(uint32_t id) const;
   uint32_t num_workers() const { return config_.num_workers; }
 
+  // The worker time-provenance ledger: per-worker wall time decomposed into
+  // busy/steal/reserved_idle/free_idle (worker slots, stamped by the
+  // scheduler on the dispatcher thread) plus poll_spin/dispatch_overhead
+  // (the dispatcher pseudo-slot, classified per loop iteration).
+  const WorkerTimeLedger& time_ledger() const { return time_ledger_; }
+
+  // The in-process sampling profiler (always constructed; does nothing until
+  // armed via Start or the admin plane's POST /profile/start).
+  CpuSampler& cpu_sampler() { return *cpu_sampler_; }
+
  private:
   void NetWorkerLoop();
   void DispatcherLoop();
@@ -240,13 +253,17 @@ class Persephone {
 
   // Time-series recorder slot per TypeIndex (empty when the recorder is off).
   std::vector<size_t> series_slots_;
-  // Previous busy/wall marks per worker for interval busy-fraction deltas;
-  // only touched by the gauge hook (serialised by the recorder's roll lock).
-  struct BusyMark {
-    Nanos busy = 0;
-    Nanos at = 0;
-  };
-  std::vector<BusyMark> ts_prev_busy_;
+  // Previous per-state ledger totals per worker for interval deltas; only
+  // touched by the gauge hook (serialised by the recorder's roll lock).
+  std::vector<std::array<uint64_t, kNumWorkerTimeStates>> ts_prev_state_;
+
+  // Wall-time provenance: every worker's time decomposed into exhaustive
+  // states, stamped by the scheduler (worker slots) and the dispatcher loop
+  // (the pseudo-slot). Opened at construction, so sums track process wall.
+  WorkerTimeLedger time_ledger_;
+  // In-process SIGPROF sampling profiler; engine threads register themselves
+  // (with their ledger state word) on entry to their loops.
+  std::unique_ptr<CpuSampler> cpu_sampler_;
 
   // Live introspection plane (null unless enabled in the config).
   std::unique_ptr<OutlierRecorder> outliers_;

@@ -48,8 +48,10 @@ ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
                                    telemetry_->RegisterSeries(t.wire_id,
                                                               t.name));
     }
-    telemetry_->timeseries()->set_gauge_sampler(
-        [this](IntervalRecord* rec) { policy_->SampleTimeSeriesGauges(rec); });
+    telemetry_->timeseries()->set_gauge_sampler([this](IntervalRecord* rec) {
+      policy_->SampleTimeSeriesGauges(rec);
+      SampleWorkerTimeGauges(rec);
+    });
     telemetry_->set_flight_snapshot_provider(
         [this] { return telemetry_snapshot(); });
   }
@@ -57,6 +59,13 @@ ClusterEngine::ClusterEngine(WorkloadSpec workload, ClusterConfig config,
     assert(config_.outliers.Validate().empty());
     outliers_ = std::make_unique<OutlierRecorder>(config_.outliers);
   }
+  // The ledger opens before the policy attaches so DARC-family policies can
+  // hand it to their scheduler. The dispatcher pseudo-slot accumulates fixed
+  // dispatch/completion costs; whatever wall time those leave unaccounted is
+  // the serial resource sitting idle — poll_spin by construction.
+  time_ledger_.Open(config_.num_workers, sim_->Now());
+  time_ledger_.SetRemainderState(time_ledger_.dispatcher_slot(),
+                                 WorkerTimeState::kPollSpin);
   policy_->Attach(this);
 }
 
@@ -148,6 +157,8 @@ void ClusterEngine::InjectRequest(Nanos send_time, TypeId wire_type,
   const Nanos ready =
       std::max(rx_time, dispatcher_busy_until_) + config_.dispatch_cost;
   dispatcher_busy_until_ = ready;
+  time_ledger_.Add(time_ledger_.dispatcher_slot(),
+                   WorkerTimeState::kDispatchOverhead, config_.dispatch_cost);
   req->ready_time = ready;
   sim_->ScheduleAt(ready, [this, req] {
     if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
@@ -242,6 +253,8 @@ void ClusterEngine::InjectExternal(Nanos send_time, TypeId wire_type,
   const Nanos ready =
       std::max(rx_time, dispatcher_busy_until_) + config_.dispatch_cost;
   dispatcher_busy_until_ = ready;
+  time_ledger_.Add(time_ledger_.dispatcher_slot(),
+                   WorkerTimeState::kDispatchOverhead, config_.dispatch_cost);
   req->ready_time = ready;
   sim_->ScheduleAt(ready, [this, req] {
     if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
@@ -259,6 +272,9 @@ void ClusterEngine::CompleteRequest(SimRequest* request) {
   // itself is transmitted by the worker directly (§4.3.4).
   dispatcher_busy_until_ =
       std::max(dispatcher_busy_until_, Now()) + config_.completion_cost;
+  time_ledger_.Add(time_ledger_.dispatcher_slot(),
+                   WorkerTimeState::kDispatchOverhead,
+                   config_.completion_cost);
   const Nanos receive_time = Now() + config_.net_one_way;
   metrics_.RecordCompletion(request->wire_type, request->send_time,
                             receive_time, request->service);
@@ -326,7 +342,58 @@ TelemetrySnapshot ClusterEngine::telemetry_snapshot() const {
   snap.counters["policy.preemptions"] += policy_->preemptions();
   snap.counters["policy.steals"] += policy_->steals();
   policy_->ExportTelemetry(&snap);
+  // Worker time provenance, resolved against the names the policy just
+  // exported (dense scheduler type indices).
+  snap.worker_time = time_ledger_.SnapshotTotals(
+      Now(), [&snap](uint32_t t) {
+        const auto it = snap.type_names.find(t);
+        return it != snap.type_names.end() ? it->second : std::string();
+      });
   return snap;
+}
+
+void ClusterEngine::SampleWorkerTimeGauges(IntervalRecord* rec) {
+  const std::vector<WorkerTimeRecord> records =
+      time_ledger_.SnapshotTotals(Now(), nullptr);
+  if (records.empty()) {
+    return;
+  }
+  // Workers only: the dispatcher pseudo-slot (last record) is not a worker
+  // core and would skew the fleet-of-workers shares.
+  const size_t workers = records.size() - 1;
+  if (ts_prev_state_.size() < workers) {
+    ts_prev_state_.resize(workers);
+  }
+  rec->worker_busy_permille.assign(workers, 0);
+  std::array<uint64_t, kNumWorkerTimeStates> delta_sum{};
+  uint64_t wall_sum = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    uint64_t wall = 0;
+    std::array<uint64_t, kNumWorkerTimeStates> delta{};
+    for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+      const uint64_t cur = records[w].state_ns[s];
+      const uint64_t prev = ts_prev_state_[w][s];
+      delta[s] = cur > prev ? cur - prev : 0;
+      ts_prev_state_[w][s] = cur;
+      wall += delta[s];
+      delta_sum[s] += delta[s];
+    }
+    wall_sum += wall;
+    if (wall > 0) {
+      const uint64_t busy =
+          delta[static_cast<size_t>(WorkerTimeState::kBusy)] +
+          delta[static_cast<size_t>(WorkerTimeState::kSteal)];
+      rec->worker_busy_permille[w] =
+          static_cast<int64_t>(busy * 1000 / wall);
+    }
+  }
+  rec->worker_state_permille.assign(kNumWorkerTimeStates, 0);
+  if (wall_sum > 0) {
+    for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+      rec->worker_state_permille[s] =
+          static_cast<int64_t>(delta_sum[s] * 1000 / wall_sum);
+    }
+  }
 }
 
 void ClusterEngine::DropRequest(SimRequest* request) {
@@ -383,8 +450,16 @@ void WorkerBank::Run(uint32_t worker, SimRequest* request, Nanos extra_cost) {
   engine_->NoteServiceStart(request, worker);
   const Nanos busy = extra_cost + request->service;
   busy_nanos_[worker] += static_cast<uint64_t>(busy);
+  // Bank-managed policies have no dense type registry: busy time lands in
+  // the ledger untyped (DARC-family policies stamp types via the scheduler).
+  engine_->time_ledger()->Transition(worker, WorkerTimeState::kBusy,
+                                     WorkerTimeLedger::kUntyped,
+                                     engine_->Now());
   engine_->sim().ScheduleAfter(busy, [this, worker, request] {
     engine_->CompleteRequest(request);
+    engine_->time_ledger()->Transition(worker, WorkerTimeState::kFreeIdle,
+                                       WorkerTimeLedger::kUntyped,
+                                       engine_->Now());
     idle_.push_back(worker);
     on_idle_(worker);
   });

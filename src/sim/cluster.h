@@ -6,6 +6,7 @@
 #ifndef PSP_SRC_SIM_CLUSTER_H_
 #define PSP_SRC_SIM_CLUSTER_H_
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <map>
@@ -19,6 +20,7 @@
 #include "src/sim/metrics.h"
 #include "src/sim/workload.h"
 #include "src/telemetry/telemetry.h"
+#include "src/telemetry/timeledger.h"
 
 namespace psp {
 
@@ -184,6 +186,14 @@ class ClusterEngine {
   // The tail-outlier recorder, when config.outliers.enabled.
   const OutlierRecorder* outliers() const { return outliers_.get(); }
 
+  // The worker time-provenance ledger (src/telemetry/timeledger.h). The
+  // engine charges the dispatcher serial resource's costs; DARC-family
+  // policies attach it to their scheduler for worker-slot provenance, and
+  // WorkerBank stamps plain busy/idle for the rest. Everything is driven by
+  // virtual time, so totals are bit-deterministic per seed.
+  WorkerTimeLedger* time_ledger() { return &time_ledger_; }
+  const WorkerTimeLedger& time_ledger() const { return time_ledger_; }
+
   // Duration of the measured (post-warmup) sending window.
   Nanos MeasuredWindow() const {
     return config_.duration -
@@ -194,6 +204,7 @@ class ClusterEngine {
  private:
   void ScheduleNextArrival();
   void ScheduleTraceArrival(size_t index);
+  void SampleWorkerTimeGauges(IntervalRecord* rec);
   void StartPhase(size_t phase_index, Nanos start_time);
   void InjectRequest(Nanos send_time, TypeId wire_type, uint32_t phase_slot,
                      Nanos service);
@@ -221,6 +232,11 @@ class ClusterEngine {
   std::unique_ptr<OutlierRecorder> outliers_;
   TraceSampler trace_sampler_;
   std::map<TypeId, size_t> series_slot_by_wire_;
+  WorkerTimeLedger time_ledger_;
+  // Previous-interval ledger totals per worker slot, for the time-series
+  // gauge sampler's delta computation (single-threaded: sampler runs inline
+  // in virtual time).
+  std::vector<std::array<uint64_t, kNumWorkerTimeStates>> ts_prev_state_;
 
   // Arrival generation state.
   size_t phase_index_ = 0;

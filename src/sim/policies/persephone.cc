@@ -8,6 +8,7 @@ void PersephonePolicy::Attach(ClusterEngine* engine) {
   config.num_workers = engine->num_workers();
   scheduler_ = std::make_unique<DarcScheduler>(config);
   scheduler_->AttachTelemetry(&engine->telemetry());
+  scheduler_->AttachTimeLedger(engine->time_ledger());
   for (const auto& t : engine->workload().AllTypes()) {
     scheduler_->RegisterType(t.wire_id, t.name, FromMicros(t.mean_us),
                              t.ratio);

@@ -98,6 +98,8 @@ void TelemetrySnapshot::Merge(const TelemetrySnapshot& other) {
   for (const auto& [type, name] : other.type_names) {
     type_names.emplace(type, name);
   }
+  worker_time.insert(worker_time.end(), other.worker_time.begin(),
+                     other.worker_time.end());
 }
 
 std::map<uint32_t, TypeStageBreakdown> TelemetrySnapshot::StageBreakdown()
@@ -268,6 +270,15 @@ std::string TelemetrySnapshot::ToJson() const {
       first_worker = false;
       out += std::to_string(b);
     }
+    out += "],\"worker_state_permille\":[";
+    bool first_state = true;
+    for (const int64_t p : r.worker_state_permille) {
+      if (!first_state) {
+        out += ',';
+      }
+      first_state = false;
+      out += std::to_string(p);
+    }
     out += "]}";
   }
   out += "],\"reservation_updates\":[";
@@ -315,7 +326,35 @@ std::string TelemetrySnapshot::ToJson() const {
     }
     out += '}';
   }
-  out += "},\"num_traces\":" + std::to_string(traces.size());
+  out += "},\"worker_time\":[";
+  first = true;
+  for (const WorkerTimeRecord& w : worker_time) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"slot\":" + std::to_string(w.slot) + ",\"role\":\"" +
+           JsonEscape(w.role) + "\",\"state_ns\":{";
+    for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+      if (s != 0) {
+        out += ',';
+      }
+      out += '"';
+      out += WorkerTimeStateName(static_cast<WorkerTimeState>(s));
+      out += "\":" + std::to_string(w.state_ns[s]);
+    }
+    out += "},\"busy_type_ns\":{";
+    bool first_type = true;
+    for (const auto& [name, ns] : w.busy_type_ns) {
+      if (!first_type) {
+        out += ',';
+      }
+      first_type = false;
+      out += '"' + JsonEscape(name) + "\":" + std::to_string(ns);
+    }
+    out += "}}";
+  }
+  out += "],\"num_traces\":" + std::to_string(traces.size());
   out += '}';
   return out;
 }

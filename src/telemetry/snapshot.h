@@ -18,6 +18,7 @@
 #include "src/common/histogram.h"
 #include "src/common/time.h"
 #include "src/telemetry/lifecycle.h"
+#include "src/telemetry/timeledger.h"
 
 namespace psp {
 
@@ -75,8 +76,14 @@ struct IntervalRecord {
   double completion_rate_rps = 0;
   std::vector<TypeIntervalStats> types;  // recorder slot order
   // Per-worker busy fraction over the interval, in permille; empty when the
-  // engine provided no sampler (e.g. a bare recorder in unit tests).
+  // engine provided no sampler (e.g. a bare recorder in unit tests). Derived
+  // from the time-provenance ledger (busy + steal over wall) when the engine
+  // carries one.
   std::vector<int64_t> worker_busy_permille;
+  // Fleet-of-workers time decomposition over the interval, indexed by
+  // WorkerTimeState and summed across all worker slots, in permille of
+  // aggregate wall time; empty when the engine has no ledger.
+  std::vector<int64_t> worker_state_permille;
 };
 
 // Per-type latency decomposition derived from the sampled lifecycle traces.
@@ -116,6 +123,10 @@ struct TelemetrySnapshot {
   std::vector<ReservationUpdate> reservation_updates;
   // Maps RequestTrace::type keys to human-readable names.
   std::map<uint32_t, std::string> type_names;
+  // Cumulative worker time-provenance totals (one record per worker slot
+  // plus the dispatcher pseudo-slot); empty when the engine has no ledger.
+  // See src/telemetry/timeledger.h for the state taxonomy.
+  std::vector<WorkerTimeRecord> worker_time;
 
   uint64_t counter(const std::string& name, uint64_t fallback = 0) const;
   int64_t gauge(const std::string& name, int64_t fallback = 0) const;

@@ -1,0 +1,214 @@
+#include "src/telemetry/timeledger.h"
+
+namespace psp {
+namespace {
+
+// Matches kMaxWorkers in src/core/worker_set.h (telemetry cannot include it
+// without inverting the layer dependency); +1 for the dispatcher pseudo-slot.
+constexpr uint32_t kLedgerCapacity = 256 + 1;
+
+}  // namespace
+
+const char* WorkerTimeStateName(WorkerTimeState state) {
+  switch (state) {
+    case WorkerTimeState::kBusy:
+      return "busy";
+    case WorkerTimeState::kSteal:
+      return "steal";
+    case WorkerTimeState::kReservedIdle:
+      return "reserved_idle";
+    case WorkerTimeState::kFreeIdle:
+      return "free_idle";
+    case WorkerTimeState::kPollSpin:
+      return "poll_spin";
+    case WorkerTimeState::kDispatchOverhead:
+      return "dispatch_overhead";
+  }
+  return "unknown";
+}
+
+WorkerTimeLedger::WorkerTimeLedger()
+    : capacity_(kLedgerCapacity), slots_(new Slot[kLedgerCapacity]) {}
+
+WorkerTimeLedger::~WorkerTimeLedger() = default;
+
+void WorkerTimeLedger::OpenSlot(Slot* slot, Nanos now) {
+  if (slot->opened_at.load(std::memory_order_relaxed) >= 0) {
+    return;  // re-activated after a shrink: keep its history
+  }
+  slot->opened_at.store(now, std::memory_order_relaxed);
+  slot->since.store(now, std::memory_order_relaxed);
+  slot->packed.store(Pack(WorkerTimeState::kFreeIdle, kUntyped),
+                     std::memory_order_relaxed);
+}
+
+void WorkerTimeLedger::Open(uint32_t num_workers, Nanos now) {
+  if (opened_.exchange(true, std::memory_order_relaxed)) {
+    return;
+  }
+  if (num_workers > capacity_ - 1) {
+    num_workers = capacity_ - 1;
+  }
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    OpenSlot(&slots_[w], now);
+  }
+  OpenSlot(&slots_[dispatcher_slot()], now);
+  active_workers_.store(num_workers, std::memory_order_relaxed);
+}
+
+void WorkerTimeLedger::SetNumWorkers(uint32_t num_workers, Nanos now) {
+  if (num_workers > capacity_ - 1) {
+    num_workers = capacity_ - 1;
+  }
+  const uint32_t old = active_workers_.load(std::memory_order_relaxed);
+  for (uint32_t w = old; w < num_workers; ++w) {
+    OpenSlot(&slots_[w], now);
+  }
+  active_workers_.store(num_workers, std::memory_order_relaxed);
+}
+
+void WorkerTimeLedger::Transition(uint32_t slot_id, WorkerTimeState state,
+                                  uint32_t type, Nanos now) {
+  if (slot_id >= capacity_) {
+    return;
+  }
+  Slot& slot = slots_[slot_id];
+  const uint32_t prev = slot.packed.load(std::memory_order_relaxed);
+  const Nanos since = slot.since.load(std::memory_order_relaxed);
+  const Nanos span = now > since ? now - since : 0;
+  if (span > 0) {
+    const WorkerTimeState prev_state = UnpackState(prev);
+    slot.accum[static_cast<size_t>(prev_state)].fetch_add(
+        static_cast<uint64_t>(span), std::memory_order_relaxed);
+    if (prev_state == WorkerTimeState::kBusy ||
+        prev_state == WorkerTimeState::kSteal) {
+      const uint32_t prev_type = UnpackType(prev);
+      if (prev_type < kMaxLedgerTypes) {
+        slot.type_ns[prev_type].fetch_add(static_cast<uint64_t>(span),
+                                          std::memory_order_relaxed);
+      }
+    }
+  }
+  slot.since.store(now, std::memory_order_relaxed);
+  slot.packed.store(Pack(state, type), std::memory_order_relaxed);
+}
+
+void WorkerTimeLedger::Add(uint32_t slot_id, WorkerTimeState state,
+                           Nanos span) {
+  if (slot_id >= capacity_ || span <= 0) {
+    return;
+  }
+  slots_[slot_id].accum[static_cast<size_t>(state)].fetch_add(
+      static_cast<uint64_t>(span), std::memory_order_relaxed);
+}
+
+void WorkerTimeLedger::AccountSpan(uint32_t slot_id, WorkerTimeState state,
+                                   Nanos now) {
+  if (slot_id >= capacity_) {
+    return;
+  }
+  Slot& slot = slots_[slot_id];
+  const Nanos since = slot.since.load(std::memory_order_relaxed);
+  const Nanos span = now > since ? now - since : 0;
+  if (span > 0) {
+    slot.accum[static_cast<size_t>(state)].fetch_add(
+        static_cast<uint64_t>(span), std::memory_order_relaxed);
+  }
+  slot.since.store(now, std::memory_order_relaxed);
+  slot.packed.store(Pack(state, kUntyped), std::memory_order_relaxed);
+}
+
+void WorkerTimeLedger::SetRemainderState(uint32_t slot_id,
+                                         WorkerTimeState state) {
+  if (slot_id >= capacity_) {
+    return;
+  }
+  slots_[slot_id].remainder_state.store(static_cast<uint8_t>(state),
+                                        std::memory_order_relaxed);
+}
+
+const std::atomic<uint32_t>* WorkerTimeLedger::packed_state(
+    uint32_t slot_id) const {
+  return slot_id < capacity_ ? &slots_[slot_id].packed : nullptr;
+}
+
+void WorkerTimeLedger::FillRecord(const Slot& slot, uint32_t index,
+                                  const char* role, Nanos now,
+                                  const TypeNamer& namer,
+                                  WorkerTimeRecord* out) const {
+  out->slot = index;
+  out->role = role;
+  std::array<uint64_t, kMaxLedgerTypes> type_totals{};
+  for (size_t s = 0; s < kNumWorkerTimeStates; ++s) {
+    out->state_ns[s] = slot.accum[s].load(std::memory_order_relaxed);
+  }
+  for (size_t t = 0; t < kMaxLedgerTypes; ++t) {
+    type_totals[t] = slot.type_ns[t].load(std::memory_order_relaxed);
+  }
+  const uint8_t remainder = slot.remainder_state.load(std::memory_order_relaxed);
+  const Nanos opened = slot.opened_at.load(std::memory_order_relaxed);
+  if (remainder != kNoRemainder) {
+    // The slot's writer charges spans without moving a cursor (sim
+    // dispatcher); whatever wall time is unaccounted belongs to the
+    // remainder state by construction.
+    const uint64_t wall =
+        now > opened ? static_cast<uint64_t>(now - opened) : 0;
+    uint64_t sum = 0;
+    for (const uint64_t v : out->state_ns) {
+      sum += v;
+    }
+    if (wall > sum) {
+      out->state_ns[remainder] += wall - sum;
+    }
+  } else {
+    // Charge the in-progress span so totals sum to wall time.
+    const uint32_t packed = slot.packed.load(std::memory_order_relaxed);
+    const Nanos since = slot.since.load(std::memory_order_relaxed);
+    const Nanos span = now > since ? now - since : 0;
+    if (span > 0) {
+      const WorkerTimeState state = UnpackState(packed);
+      out->state_ns[static_cast<size_t>(state)] +=
+          static_cast<uint64_t>(span);
+      if (state == WorkerTimeState::kBusy ||
+          state == WorkerTimeState::kSteal) {
+        const uint32_t type = UnpackType(packed);
+        if (type < kMaxLedgerTypes) {
+          type_totals[type] += static_cast<uint64_t>(span);
+        }
+      }
+    }
+  }
+  for (uint32_t t = 0; t < kMaxLedgerTypes; ++t) {
+    if (type_totals[t] == 0) {
+      continue;
+    }
+    std::string name =
+        namer ? namer(t) : std::string("type-") + std::to_string(t);
+    if (name.empty()) {
+      name = "type-" + std::to_string(t);
+    }
+    out->busy_type_ns.emplace_back(std::move(name), type_totals[t]);
+  }
+}
+
+std::vector<WorkerTimeRecord> WorkerTimeLedger::SnapshotTotals(
+    Nanos now, const TypeNamer& namer) const {
+  std::vector<WorkerTimeRecord> records;
+  if (!opened_.load(std::memory_order_relaxed)) {
+    return records;
+  }
+  const uint32_t workers = active_workers_.load(std::memory_order_relaxed);
+  records.reserve(workers + 1);
+  for (uint32_t w = 0; w < workers; ++w) {
+    WorkerTimeRecord rec;
+    FillRecord(slots_[w], w, "worker", now, namer, &rec);
+    records.push_back(std::move(rec));
+  }
+  WorkerTimeRecord dispatcher;
+  FillRecord(slots_[dispatcher_slot()], dispatcher_slot(), "dispatcher", now,
+             namer, &dispatcher);
+  records.push_back(std::move(dispatcher));
+  return records;
+}
+
+}  // namespace psp

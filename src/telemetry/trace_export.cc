@@ -199,6 +199,22 @@ std::string ExportCatapultTrace(const TelemetrySnapshot& snapshot,
           events.push_back(PendingEvent{r.end, 3, buf});
         }
       }
+      // Time-ledger decomposition: one counter track per worker-time state,
+      // the aggregate share (permille of worker wall time) each interval —
+      // reserved_idle rising as DARC applies reservations is the paper's
+      // "ideal idling" made visible on the timeline.
+      for (size_t s = 0; s < r.worker_state_permille.size() &&
+                         s < kNumWorkerTimeStates;
+           ++s) {
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\"ph\":\"C\",\"pid\":%u,\"tid\":0,"
+            "\"name\":\"worker_time_permille:%s\","
+            "\"args\":{\"permille\":%lld}}",
+            pid, WorkerTimeStateName(static_cast<WorkerTimeState>(s)),
+            static_cast<long long>(r.worker_state_permille[s]));
+        events.push_back(PendingEvent{r.end, 3, buf});
+      }
     }
   }
 

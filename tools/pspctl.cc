@@ -16,6 +16,13 @@
 //   health             GET /healthz
 //   trace start        POST /trace/start   (arms an on-demand capture)
 //   trace stop         POST /trace/stop    (returns the trace; use --out)
+//   profile [HZ [DUR]] one-shot CPU profile: POST /profile/start?hz=HZ,
+//                      wait DUR seconds locally (defaults 99 Hz, 2 s),
+//                      POST /profile/stop, GET /profile.folded and print
+//                      the folded stacks (use --out for flamegraph.pl).
+//   profile start [HZ [DUR]] | profile stop | profile folded
+//                      drive the endpoints individually (start with DUR
+//                      arms the server-side auto-stop).
 //   flight             POST /flightrecorder/dump
 //   set KEY=VALUE...   POST /config  (e.g. set sampling=64)
 //   federate H:P...    scrape /metrics from N independent server processes
@@ -37,6 +44,8 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
+#include <ctime>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,6 +73,9 @@ int UsageError(const char* detail) {
                "[--out FILE] [--check]\n"
                "              metrics|snapshot|fleet|timeseries|outliers|"
                "lifecycle|health|flight|trace start|stop|set K=V...\n"
+               "       pspctl [endpoint flags] profile [HZ [DUR_SEC]]\n"
+               "       pspctl [endpoint flags] profile start [HZ [DUR]]|"
+               "stop|folded\n"
                "       pspctl [--out FILE] [--check] federate HOST:PORT...\n"
                "       pspctl checkfile FILE\n",
                detail);
@@ -576,6 +588,89 @@ int main(int argc, char** argv) {
   if (opt.uds_path.empty() && opt.port <= 0) {
     return UsageError("no endpoint: pass --port/--host/--uds or set "
                       "PSP_ADMIN_PORT");
+  }
+
+  if (args[0] == "profile") {
+    // Sub-forms that map to a single endpoint fall through to the generic
+    // request path below; the argument-less / numeric form is the one-shot
+    // capture loop (start -> local wait -> stop -> fetch folded stacks).
+    auto one_request = [&](const std::string& method, const std::string& path,
+                           std::string* body) -> int {
+      std::string error;
+      const int status = Request(opt, method, path, "", body, &error);
+      if (status < 0) {
+        std::fprintf(stderr, "pspctl: %s\n", error.c_str());
+        return 2;
+      }
+      if (status >= 400) {
+        std::fprintf(stderr, "pspctl: %s: HTTP %d: %s", path.c_str(), status,
+                     body->c_str());
+        return 3;
+      }
+      return 0;
+    };
+    std::string body;
+    if (args.size() >= 2 && args[1] == "stop") {
+      if (const int rc = one_request("POST", "/profile/stop", &body)) {
+        return rc;
+      }
+      return Emit(opt, body);
+    }
+    if (args.size() >= 2 && args[1] == "folded") {
+      if (const int rc = one_request("GET", "/profile.folded", &body)) {
+        return rc;
+      }
+      return Emit(opt, body);
+    }
+    const bool explicit_start = args.size() >= 2 && args[1] == "start";
+    const size_t num_begin = explicit_start ? 2 : 1;
+    double hz = 99.0;
+    double dur_sec = 2.0;
+    bool dur_given = false;
+    if (args.size() > num_begin) {
+      hz = std::atof(args[num_begin].c_str());
+    }
+    if (args.size() > num_begin + 1) {
+      dur_sec = std::atof(args[num_begin + 1].c_str());
+      dur_given = true;
+    }
+    if (hz < 1 || hz > 10000 || dur_sec < 0 || dur_sec > 3600) {
+      return UsageError("profile expects HZ in [1,10000], DUR in [0,3600]");
+    }
+    std::string start_path =
+        "/profile/start?hz=" + std::to_string(static_cast<int>(hz));
+    if (explicit_start) {
+      // Explicit start hands the stop to the server-side auto-stop timer
+      // (when DUR is given) or to a later `pspctl profile stop`.
+      if (dur_given) {
+        start_path += "&dur=" + std::to_string(dur_sec);
+      }
+      if (const int rc = one_request("POST", start_path, &body)) {
+        return rc;
+      }
+      return Emit(opt, body);
+    }
+    // One-shot: no server-side dur — this process owns the stop, so the
+    // explicit /profile/stop below can never race an auto-stop into a 409.
+    if (const int rc = one_request("POST", start_path, &body)) {
+      return rc;
+    }
+    std::fprintf(stderr, "pspctl: profiling at %d Hz for %.1f s...\n",
+                 static_cast<int>(hz), dur_sec);
+    timespec wait{};
+    wait.tv_sec = static_cast<time_t>(dur_sec);
+    wait.tv_nsec =
+        static_cast<long>((dur_sec - std::floor(dur_sec)) * 1e9);
+    while (::nanosleep(&wait, &wait) != 0 && errno == EINTR) {
+    }
+    if (const int rc = one_request("POST", "/profile/stop", &body)) {
+      return rc;
+    }
+    std::fprintf(stderr, "pspctl: %s\n", body.c_str());
+    if (const int rc = one_request("GET", "/profile.folded", &body)) {
+      return rc;
+    }
+    return Emit(opt, body);
   }
 
   const std::string& cmd = args[0];

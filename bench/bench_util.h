@@ -92,9 +92,38 @@ inline std::unique_ptr<SchedulingPolicy> MakeDarcStatic(uint32_t reserved) {
   return std::make_unique<PersephonePolicy>(o);
 }
 
-inline std::unique_ptr<SchedulingPolicy> MakePspCFcfs() {
+inline std::unique_ptr<SchedulingPolicy> MakePspCFcfs(
+    DeadlineConfig deadline = {}) {
   PersephoneOptions o;
   o.scheduler.mode = PolicyMode::kCFcfs;
+  o.scheduler.deadline = std::move(deadline);
+  return std::make_unique<PersephonePolicy>(o);
+}
+
+// Deadline-tier policies (src/sched): bucketed EDF dispatch, and the
+// slack-aware DARC variant that inflates reservations for deadline-at-risk
+// types. Both need per-type budgets to do anything interesting; DARC/c-FCFS
+// accept the same config so miss accounting is apples-to-apples.
+inline std::unique_ptr<SchedulingPolicy> MakeEdf(DeadlineConfig deadline) {
+  PersephoneOptions o;
+  o.scheduler.mode = PolicyMode::kEdf;
+  o.scheduler.deadline = std::move(deadline);
+  return std::make_unique<PersephonePolicy>(o);
+}
+
+inline std::unique_ptr<SchedulingPolicy> MakeDarcSlack(
+    DeadlineConfig deadline) {
+  PersephoneOptions o;
+  o.scheduler.mode = PolicyMode::kDarcSlack;
+  o.scheduler.deadline = std::move(deadline);
+  return std::make_unique<PersephonePolicy>(o);
+}
+
+inline std::unique_ptr<SchedulingPolicy> MakeDarcWithDeadlines(
+    DeadlineConfig deadline) {
+  PersephoneOptions o;
+  o.scheduler.mode = PolicyMode::kDarc;
+  o.scheduler.deadline = std::move(deadline);
   return std::make_unique<PersephonePolicy>(o);
 }
 

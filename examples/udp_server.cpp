@@ -12,6 +12,10 @@
 //                    has flows to spread) (default 1)
 //   --poll P         net-worker pacing on empty polls: busy | yield |
 //                    adaptive (Metronome-style sleep backoff) (default yield)
+//   --policy P       dispatch policy: darc | c-fcfs | edf (default darc).
+//                    edf turns the deadline tier on: wire budgets stamped by
+//                    the loadgen become absolute deadlines at ingress and the
+//                    psp_deadline_* families appear on /metrics
 //   --serve-ms N     exit after N ms of serving (default: run until EOF on
 //                    stdin closes — Ctrl-D / kill)
 //
@@ -37,6 +41,7 @@ int main(int argc, char** argv) {
   int port = 0;
   int serve_ms = -1;
   psp::PollPolicy poll = psp::PollPolicy::kYield;
+  psp::PolicyMode mode = psp::PolicyMode::kDarc;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -62,13 +67,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       ++i;
+    } else if (arg == "--policy" && v != nullptr) {
+      if (std::strcmp(v, "darc") == 0) {
+        mode = psp::PolicyMode::kDarc;
+      } else if (std::strcmp(v, "c-fcfs") == 0) {
+        mode = psp::PolicyMode::kCFcfs;
+      } else if (std::strcmp(v, "edf") == 0) {
+        mode = psp::PolicyMode::kEdf;
+      } else {
+        std::fprintf(stderr, "bad --policy '%s' (darc|c-fcfs|edf)\n", v);
+        return 2;
+      }
+      ++i;
     } else if (arg == "--serve-ms" && v != nullptr) {
       serve_ms = std::atoi(v);
       ++i;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port P] [--workers N] [--net-workers N] "
-                   "[--poll busy|yield|adaptive] [--serve-ms N]\n",
+                   "[--poll busy|yield|adaptive] [--policy darc|c-fcfs|edf] "
+                   "[--serve-ms N]\n",
                    argv[0]);
       return 2;
     }
@@ -76,7 +94,7 @@ int main(int argc, char** argv) {
 
   psp::RuntimeConfig config;
   config.num_workers = workers;
-  config.scheduler.mode = psp::PolicyMode::kDarc;
+  config.scheduler.mode = mode;
   config.ingress.mode = psp::IngressMode::kUdp;
   config.ingress.listen_port = port;
   config.ingress.num_net_workers = net_workers;

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Benchmark trajectory harness: runs the engine/channel microbenchmarks, a
-# fig03 smoke sweep and the fleet inter-server policy sweep, merges
-# everything into one machine-readable report (default BENCH_PR9.json) and
-# validates it. The report header records the host (core count, CPU model,
+# fig03 smoke sweep, the fleet inter-server policy sweep and the deadline-tier
+# policy sweep, merges everything into one machine-readable report (default
+# BENCH_PR10.json) and validates it. The report header records the host (core count, CPU model,
 # frequency governor) so numbers from different machines are never compared
 # blind. Each stage prints its wall-clock seconds so sweep-level speedups
 # (e.g. the fleet stage on the timer-wheel event core) are visible directly
@@ -31,6 +31,11 @@
 #     fleet p99.9 slowdown at 70% load for any (workload, servers) point
 #     (bench/fig_fleet_policies.cc, paired on one arrival trace); fatal in
 #     full mode, advisory in smoke.
+#   * deadline policy ordering: EDF dispatch must not lose to c-FCFS on
+#     deadline-miss-rate at 70% load on the High Bimodal workload — the
+#     deadline tier's reason to exist is that deadline-aware dispatch beats
+#     deadline-blind dispatch (bench/fig_deadline.cc, same seed and testbed
+#     for every policy); fatal in full mode, advisory in smoke.
 #   * profiler-under-load: 99 Hz CPU-time stack sampling on every runtime
 #     thread must keep the client-observed p99.9 within 5% of baseline —
 #     noise-adjusted by the bench's own calibration (the spread across its
@@ -59,7 +64,7 @@ if [ "${1:-}" = "--smoke" ]; then
   shift
 fi
 BUILD=${1:-build-bench}
-OUT=${2:-BENCH_PR9.json}
+OUT=${2:-BENCH_PR10.json}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
@@ -95,7 +100,8 @@ stage() {
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" \
   --target micro_sim_engine micro_channel fig03_high_bimodal_policies \
-           micro_introspect fig_fleet_policies micro_ingress micro_profiler
+           micro_introspect fig_fleet_policies micro_ingress micro_profiler \
+           fig_deadline
 
 WORK="$BUILD/bench_report"
 mkdir -p "$WORK"
@@ -133,6 +139,15 @@ else
 fi
 PSP_BENCH_JSON=1 PSP_BENCH_DURATION_MS="$FLEET_MS" \
   "$BUILD/bench/fig_fleet_policies" >"$WORK/fleet.out"
+
+stage deadline "fig_deadline (deadline tier: c-FCFS / DARC / EDF / slack-DARC)"
+if [ "$SMOKE" = 1 ]; then
+  DEADLINE_MS=${PSP_BENCH_DURATION_MS:-20}
+else
+  DEADLINE_MS=${PSP_BENCH_DURATION_MS:-250}
+fi
+PSP_BENCH_JSON=1 PSP_BENCH_DURATION_MS="$DEADLINE_MS" \
+  "$BUILD/bench/fig_deadline" >"$WORK/deadline.out"
 
 stage introspect "micro_introspect (p99 with vs without 10 Hz /metrics scrape)"
 if [ "$SMOKE" = 1 ]; then
@@ -193,7 +208,7 @@ fi
 stage_done
 
 MODE=$([ "$SMOKE" = 1 ] && echo smoke || echo full) \
-FIG03_MS="$FIG03_MS" FLEET_MS="$FLEET_MS" \
+FIG03_MS="$FIG03_MS" FLEET_MS="$FLEET_MS" DEADLINE_MS="$DEADLINE_MS" \
 HOST_CORES="$HOST_CORES" HOST_CPU_MODEL="$HOST_CPU_MODEL" \
 HOST_GOVERNOR="$HOST_GOVERNOR" \
 python3 - "$WORK" "$OUT" <<'PY'
@@ -231,6 +246,18 @@ try:
 except ValueError:
     errors.append("fleet output contains no JSON table (PSP_BENCH_JSON mode)")
     fleet = []
+
+# fig_deadline prints headline prose plus the same JSON-array layout.
+with open(os.path.join(work, "deadline.out")) as f:
+    lines = f.read().splitlines()
+try:
+    start = lines.index("[")
+    end = lines.index("]", start)
+    deadline = json.loads("\n".join(lines[start : end + 1]))
+except ValueError:
+    errors.append(
+        "deadline output contains no JSON table (PSP_BENCH_JSON mode)")
+    deadline = []
 
 # micro_introspect prints prose plus one JSON object line (PSP_BENCH_JSON).
 introspect = {}
@@ -344,6 +371,8 @@ report = {
     "fig03_high_bimodal": fig03,
     "fleet_duration_ms": int(os.environ["FLEET_MS"]),
     "fleet_policies": fleet,
+    "deadline_duration_ms": int(os.environ["DEADLINE_MS"]),
+    "deadline_policies": deadline,
     "introspect": introspect,
     "ingress": ingress,
     "profiler": profiler,
@@ -393,6 +422,35 @@ for (workload, servers), pols in sorted(by_point.items()):
                 f"fleet po2c p99.9 {pols['po2c']:.1f}x exceeds random "
                 f"{pols['random']:.1f}x at 70% load "
                 f"({workload}, {servers} servers)")
+
+# Deadline sweep schema + the deadline-policy gate: at 70% load on the High
+# Bimodal workload, EDF dispatch must not lose to deadline-blind c-FCFS on
+# deadline-miss-rate — same seed and testbed for every policy, so the
+# comparison is paired. Fatal in full mode, advisory at smoke windows
+# (short runs see few deadline samples).
+if not deadline:
+    errors.append("deadline_policies sweep is empty")
+deadline_gates = []
+for row in deadline:
+    for key in ("workload", "load", "policy", "miss_rate_pct",
+                "goodput_krps", "p999_slowdown"):
+        if key not in row:
+            errors.append(f"deadline row missing key {key!r}: {row}")
+            break
+deadline_policies_seen = {row.get("policy") for row in deadline}
+for expected in ("c-FCFS", "DARC", "EDF", "slack-DARC"):
+    if expected not in deadline_policies_seen:
+        errors.append(f"deadline sweep lacks policy {expected}")
+deadline_by_point = {}
+for row in deadline:
+    if row.get("load") == 0.7:
+        deadline_by_point.setdefault(row.get("workload"), {})[
+            row.get("policy")] = row.get("miss_rate_pct", 0.0)
+hb = deadline_by_point.get("high-bimodal", {})
+if "EDF" in hb and "c-FCFS" in hb and hb["EDF"] > hb["c-FCFS"]:
+    deadline_gates.append(
+        f"deadline EDF miss rate {hb['EDF']:.3f}% exceeds c-FCFS "
+        f"{hb['c-FCFS']:.3f}% at 70% load (high-bimodal)")
 
 if eng["steady_allocs_per_event"] > 0.01:
     errors.append(
@@ -484,7 +542,7 @@ if ingress:
         gates.append(
             f"ingress adaptive idle CPU {idle_adaptive * 100:.1f}% does not "
             f"undercut busy polling {idle_busy * 100:.1f}%")
-for msg in gates + fleet_gates:
+for msg in gates + fleet_gates + deadline_gates:
     if mode == "full":
         errors.append(msg)
     else:
@@ -541,6 +599,13 @@ for (workload, servers), pols in sorted(by_point.items()):
         print(f"  fleet {workload} @70% {servers} servers: "
               f"po2c/random p99.9 ratio "
               f"{pols['random'] / pols['po2c']:.2f}x (gate: >= 1)")
+for workload, pols in sorted(deadline_by_point.items()):
+    if pols:
+        print(f"  deadline {workload} @70% miss rate: " + ", ".join(
+            f"{policy} {pols[policy]:.3f}%"
+            for policy in ("c-FCFS", "DARC", "EDF", "slack-DARC")
+            if policy in pols)
+            + " (gate: EDF <= c-FCFS on high-bimodal)")
 
 if errors:
     print("bench report validation FAILED:", file=sys.stderr)

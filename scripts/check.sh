@@ -44,8 +44,16 @@
 #                       with python3), pspctl checkfile on the loadgen's
 #                       --prom page, and a two-server pspctl federate merge
 #                       validated by --check.
+#   deadline          - deadline-tier smoke: wire-stamped budgets end to end
+#                       in two real processes — psp_loadgen stamps per-type
+#                       budgets (--deadline-us) into the PSP header, the
+#                       EDF-mode udp_server turns them into absolute
+#                       deadlines at ingress, the loadgen's own client-side
+#                       miss accounting must appear in its --json report and
+#                       the live /metrics page must expose well-formed
+#                       psp_deadline_* families with a nonzero stamped count.
 #   all               - all of the above.
-# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|profile|all] [build-dir]
+# Usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|profile|deadline|all] [build-dir]
 set -eu
 MODE=${1:-address}
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -451,6 +459,107 @@ PY
   echo "trace smoke OK (udp $udp_port, admin $admin_a + $admin_b federated)"
 }
 
+# Deadline-tier smoke: the wire-deadline story as an operator would run it —
+# the load generator stamps per-type latency budgets into the PSP header
+# (--deadline-us), the server (EDF dispatch) turns them into absolute
+# deadlines at ingress and judges them at completion. Three checks: the
+# loadgen's client-side miss accounting shows checked deadlines in --json,
+# pspctl --check gates the live exposition, and the scraped page must carry
+# the psp_deadline_* families with a nonzero stamped count.
+run_deadline() {
+  local build=${1:-build}
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" --target udp_server psp_loadgen pspctl
+  local work="$build/deadline_smoke"
+  rm -rf "$work"
+  mkdir -p "$work"
+  local log="$work/server.log"
+  PSP_ADMIN=1 "$build/examples/udp_server" --port 0 --policy edf \
+    --serve-ms 8000 >"$log" 2>&1 &
+  local pid=$!
+  local udp_port="" admin_port=""
+  for _ in $(seq 1 100); do
+    udp_port=$(sed -n 's/^udp: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    admin_port=$(sed -n 's/^admin: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$log" | head -1)
+    [ -n "$udp_port" ] && [ -n "$admin_port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$udp_port" ] || [ -z "$admin_port" ]; then
+    echo "deadline smoke: udp_server never announced its ports" >&2
+    cat "$log" >&2
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  local rc=0
+  # Budgets chosen so SHORT (5 µs spin) comfortably meets 150 µs while LONG
+  # (200 µs spin) can realistically miss 600 µs under queueing — both sides
+  # of the miss accounting get exercised without the smoke depending on it.
+  "$build/tools/psp_loadgen" --port "$udp_port" --rate 2000 --requests 500 \
+    --deadline-us SHORT:150 --deadline-us LONG:600 \
+    --json >"$work/loadgen.json" || rc=$?
+  if [ "$rc" = 0 ]; then
+    python3 - "$work/loadgen.json" <<'PY' || rc=$?
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+if report["received"] <= 0:
+    sys.exit(f"loadgen got no responses: {report}")
+checked = missed = 0
+for t in report["types"]:
+    if t.get("deadline_us", 0) > 0:
+        if t.get("deadline_checked", 0) <= 0:
+            sys.exit(f"type {t['name']} has a budget but checked no "
+                     f"deadlines: {t}")
+        checked += t["deadline_checked"]
+        missed += t.get("deadline_missed", 0)
+if checked <= 0:
+    sys.exit("loadgen report carries no client-side deadline accounting")
+print(f"  loadgen: {report['received']}/{report['sent']} responses, "
+      f"{checked} deadlines checked, {missed} missed client-side")
+PY
+  fi
+  # Live scrape while the server still serves: exposition must parse
+  # (--check) and carry the deadline families with real activity.
+  if [ "$rc" = 0 ]; then
+    "$build/tools/pspctl" --port "$admin_port" --check \
+      --out "$work/metrics.prom" metrics || rc=$?
+  fi
+  if [ "$rc" = 0 ]; then
+    python3 - "$work/metrics.prom" <<'PY' || rc=$?
+import sys
+stamped = 0.0
+families = set()
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("#") or not line.strip():
+            continue
+        name = line.split("{")[0].split(" ")[0]
+        if "deadline" in name:
+            families.add(name)
+        if line.startswith("psp_deadline_stamped_total "):
+            stamped = float(line.rsplit(" ", 1)[1])
+if stamped <= 0:
+    sys.exit(f"/metrics shows no stamped deadlines "
+             f"(deadline families seen: {sorted(families)})")
+for need in ("psp_deadline_type_missed_total",
+             "psp_deadline_type_slack_ns_count"):
+    if need not in families:
+        sys.exit(f"/metrics lacks {need}; saw {sorted(families)}")
+print(f"  metrics: {stamped:.0f} deadlines stamped server-side, "
+      f"{len(families)} deadline families")
+PY
+  fi
+  wait "$pid" || rc=$?
+  if [ "$rc" != 0 ]; then
+    echo "deadline smoke FAILED (rc=$rc); server log:" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  echo "deadline smoke OK (udp $udp_port, admin $admin_port)"
+}
+
 run_bench() {
   local build=${1:-build-bench}
   # Smoke windows: short enough for CI, still runs every gate. The report
@@ -468,9 +577,10 @@ case "$MODE" in
   ingress) run_ingress "${2:-build}" ;;
   profile) run_profile "${2:-build}" ;;
   trace)   run_trace "${2:-build}" ;;
+  deadline) run_deadline "${2:-build}" ;;
   all)     run_address build-asan; run_thread build-tsan; run_fleet build;
            run_ingress build; run_profile build; run_trace build;
-           run_bench build-bench ;;
-  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|profile|all] [build-dir]" >&2
+           run_deadline build; run_bench build-bench ;;
+  *) echo "usage: scripts/check.sh [address|thread|bench|introspect|fleet|ingress|trace|profile|deadline|all] [build-dir]" >&2
      exit 2 ;;
 esac

@@ -44,6 +44,12 @@ struct Request {
   // trace samples across the process boundary. 0 when not from a wire.
   uint64_t wire_id = 0;
   uint32_t client_id = 0;
+  // Absolute completion deadline (engine clock). 0 = no deadline. Stamped at
+  // ingress from the wire budget (PspHeader::deadline_us) when the client set
+  // one, else from the type's DeadlineConfig target; consumed by the EDF
+  // dispatch order, the admission-control shed predicate and the miss/slack
+  // accounting in OnCompletion.
+  Nanos deadline = 0;
   // Lifecycle trace stamps, carried in-band while the request flows through
   // the pipeline. Zero-initialised and inert unless trace.sampled is set.
   TraceContext trace;

@@ -4,7 +4,24 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/sched/admission.h"
+#include "src/sched/slack_reservation.h"
+
 namespace psp {
+namespace {
+
+// kDarcSlack feeds ComputeSlackReservation budgets parallel to `demands`.
+std::vector<Nanos> BudgetsFor(const std::vector<TypeDemand>& demands,
+                              const std::vector<Nanos>& targets) {
+  std::vector<Nanos> budgets;
+  budgets.reserve(demands.size());
+  for (const TypeDemand& d : demands) {
+    budgets.push_back(d.type < targets.size() ? targets[d.type] : 0);
+  }
+  return budgets;
+}
+
+}  // namespace
 
 std::string SchedulerConfig::Validate() const {
   if (num_workers == 0) {
@@ -27,11 +44,20 @@ std::string SchedulerConfig::Validate() const {
     return "scheduler: static_reserved must leave at least one worker for "
            "other types (static_reserved < num_workers)";
   }
+  if (const std::string error = deadline.Validate(); !error.empty()) {
+    return "scheduler: " + error;
+  }
+  if (deadline.shed && !deadline.enabled() && mode != PolicyMode::kEdf &&
+      mode != PolicyMode::kDarcSlack) {
+    return "scheduler: deadline.shed without any deadline targets";
+  }
   return "";
 }
 
 DarcScheduler::DarcScheduler(const SchedulerConfig& config)
-    : config_(config), profiler_(config.profiler) {
+    : config_(config),
+      profiler_(config.profiler),
+      edf_queue_(config.typed_queue_capacity) {
   if (const std::string error = config_.Validate(); !error.empty()) {
     throw std::invalid_argument(error);
   }
@@ -48,6 +74,8 @@ DarcScheduler::DarcScheduler(const SchedulerConfig& config)
   queues_.emplace_back(config_.typed_queue_capacity);
   seed_means_.push_back(0);
   seed_ratios_.push_back(0);
+  deadline_targets_.push_back(0);  // UNKNOWN carries no deadline budget
+  deadline_types_.emplace_back();
   profiler_.ResizeTypes(1);
   RebuildPriorityOrder();
 }
@@ -62,6 +90,11 @@ TypeIndex DarcScheduler::RegisterType(TypeId wire_id, std::string name,
   queues_.emplace_back(config_.typed_queue_capacity);
   seed_means_.push_back(expected_mean);
   seed_ratios_.push_back(expected_ratio);
+  // The budget is resolved once against the *seeded* mean: a deterministic
+  // per-type constant (ingress stamping must not drift with the profile).
+  deadline_targets_.push_back(
+      config_.deadline.BudgetFor(names_.back(), expected_mean));
+  deadline_types_.emplace_back();
   profiler_.ResizeTypes(wire_ids_.size());
   if (expected_mean > 0) {
     profiler_.SeedProfile(index, expected_mean, expected_ratio);
@@ -94,11 +127,20 @@ void DarcScheduler::ActivateSeededReservation(Nanos now) {
                                               config_.static_reserved),
                      now);
   } else {
-    ApplyReservation(ComputeReservation(
-                         demands,
-                         ReservationConfig{config_.num_workers, config_.delta,
-                                           config_.num_spillway}),
+    ApplyAdaptiveReservation(demands, now);
+  }
+}
+
+void DarcScheduler::ApplyAdaptiveReservation(
+    const std::vector<TypeDemand>& demands, Nanos now) {
+  const ReservationConfig rc{config_.num_workers, config_.delta,
+                             config_.num_spillway};
+  if (config_.mode == PolicyMode::kDarcSlack) {
+    ApplyReservation(ComputeSlackReservation(
+                         demands, BudgetsFor(demands, deadline_targets_), rc),
                      now);
+  } else {
+    ApplyReservation(ComputeReservation(demands, rc), now);
   }
 }
 
@@ -169,32 +211,85 @@ void DarcScheduler::ResizeWorkers(uint32_t new_count, Nanos now) {
                                               config_.static_reserved),
                      now);
   } else {
-    ApplyReservation(ComputeReservation(
-                         demands, ReservationConfig{new_count, config_.delta,
-                                                    config_.num_spillway}),
-                     now);
+    ApplyAdaptiveReservation(demands, now);
   }
 }
 
-bool DarcScheduler::Enqueue(const Request& request, Nanos now) {
+Nanos DarcScheduler::ExpectedMeanOf(TypeIndex t) const {
+  const Nanos profiled = profiler_.MeanServiceTime(t);
+  if (profiled > 0) {
+    return profiled;
+  }
+  return t < seed_means_.size() ? seed_means_[t] : 0;
+}
+
+DarcScheduler::EnqueueResult DarcScheduler::TryEnqueue(const Request& request,
+                                                       Nanos now) {
   assert(request.type < queues_.size());
-  if (!queues_[request.type].Push(request)) {
+  const TypeIndex type = request.type;
+
+  // Admission control (src/sched/admission.h): shed a request whose
+  // predicted completion already misses its deadline, before it consumes
+  // queue space. The per-type shed counters feed psp_deadline_* telemetry;
+  // the engines route kShed into their existing drop paths.
+  if (config_.deadline.shed && request.deadline > 0) {
+    const uint32_t servers =
+        darc_active_.load(std::memory_order_relaxed)
+            ? std::max(reserved_workers_of(type), 1u)
+            : config_.num_workers;
+    const AdmissionDecision decision = PredictAdmission(
+        now, request.deadline, queue_depth(type), ExpectedMeanOf(type),
+        servers,
+        static_cast<int64_t>(config_.deadline.shed_safety * 1000.0));
+    if (!decision.admit) {
+      counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+      deadline_counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t sheds =
+          deadline_types_[type].shed.fetch_add(1, std::memory_order_relaxed) +
+          1;
+      if (telemetry_ != nullptr && (sheds & (sheds - 1)) == 0) {
+        telemetry_->RecordEvent(
+            now, "scheduler: deadline shed #" + std::to_string(sheds) +
+                     " type " + names_[type] + " (predicted completion " +
+                     std::to_string(decision.predicted_completion) +
+                     " > deadline " + std::to_string(request.deadline) + ")");
+      }
+      return EnqueueResult::kShed;
+    }
+  }
+
+  bool pushed;
+  if (config_.mode == PolicyMode::kEdf) {
+    pushed = edf_queue_.Push(request);
+    if (pushed) {
+      deadline_types_[type].edf_depth.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      deadline_types_[type].queue_drops.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  } else {
+    pushed = queues_[type].Push(request);
+  }
+  if (!pushed) {
     counters_.dropped.fetch_add(1, std::memory_order_relaxed);
     if (telemetry_ != nullptr) {
       // Rate-limited (power-of-two drop counts) so a sustained overload
       // doesn't flood the bounded event buffer.
-      const uint64_t drops = queues_[request.type].drops();
+      const uint64_t drops = queue_drops(type);
       if ((drops & (drops - 1)) == 0) {
         telemetry_->RecordEvent(
             now, "scheduler: queue drop #" + std::to_string(drops) +
-                     " type " + names_[request.type] + " (depth " +
-                     std::to_string(queues_[request.type].Size()) + ")");
+                     " type " + names_[type] + " (depth " +
+                     std::to_string(queue_depth(type)) + ")");
       }
     }
-    return false;
+    return EnqueueResult::kQueueFull;
   }
   counters_.enqueued.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  if (request.deadline > 0) {
+    deadline_counters_.stamped.fetch_add(1, std::memory_order_relaxed);
+  }
+  return EnqueueResult::kOk;
 }
 
 DarcScheduler::Assignment DarcScheduler::MakeAssignment(TypeIndex type,
@@ -209,17 +304,48 @@ DarcScheduler::Assignment DarcScheduler::MakeAssignment(TypeIndex type,
   (void)popped;
   a.worker = worker;
   a.stolen = stolen;
-  MarkWorkerBusy(worker);
+  FinishAssignment(&a, type, now);
+  return a;
+}
+
+void DarcScheduler::FinishAssignment(Assignment* a, TypeIndex type,
+                                     Nanos now) {
+  MarkWorkerBusy(a->worker);
   if (time_ledger_ != nullptr) {
     time_ledger_->Transition(
-        worker, stolen ? WorkerTimeState::kSteal : WorkerTimeState::kBusy,
+        a->worker, a->stolen ? WorkerTimeState::kSteal : WorkerTimeState::kBusy,
         type, now);
   }
   counters_.dispatched.fetch_add(1, std::memory_order_relaxed);
-  if (stolen) {
+  if (a->stolen) {
     counters_.stolen_dispatches.fetch_add(1, std::memory_order_relaxed);
   }
-  profiler_.ObserveQueueingDelay(type, now - a.request.arrival);
+  profiler_.ObserveQueueingDelay(type, now - a->request.arrival);
+  if (a->request.deadline > 0) {
+    // Dispatch-time slack: positive = time to spare when service starts,
+    // negative = already late. Sum/count render as a Prometheus summary.
+    TypeDeadlineStats& stats = deadline_types_[type];
+    stats.slack_sum_nanos.fetch_add(
+        static_cast<int64_t>(a->request.deadline - now),
+        std::memory_order_relaxed);
+    stats.slack_samples.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<DarcScheduler::Assignment> DarcScheduler::DispatchEdf(
+    Nanos now) {
+  // Earliest deadline first, globally across types: one O(1) bucketed-queue
+  // pop plus the lowest free worker. Ties (same bucket) drain in FIFO push
+  // order — the deterministic tie-break the replay goldens rely on.
+  Assignment a;
+  if (!edf_queue_.PopEarliest(&a.request)) {
+    return std::nullopt;
+  }
+  a.worker = free_.First();
+  a.stolen = false;
+  deadline_types_[a.request.type].edf_depth.fetch_sub(
+      1, std::memory_order_relaxed);
+  FinishAssignment(&a, a.request.type, now);
   return a;
 }
 
@@ -233,8 +359,11 @@ std::optional<DarcScheduler::Assignment> DarcScheduler::NextAssignment(
       return DispatchFcfs(now);
     case PolicyMode::kFixedPriority:
       return DispatchFixedPriority(now);
+    case PolicyMode::kEdf:
+      return DispatchEdf(now);
     case PolicyMode::kDarc:
     case PolicyMode::kDarcStatic:
+    case PolicyMode::kDarcSlack:
       if (!darc_active_.load(std::memory_order_relaxed)) {
         // Bootstrap windows run c-FCFS until the first profile lands (§3).
         return DispatchFcfs(now);
@@ -336,7 +465,8 @@ std::optional<DarcScheduler::Assignment> DarcScheduler::DispatchFixedPriority(
 }
 
 void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
-                                 Nanos service_time, Nanos now) {
+                                 Nanos service_time, Nanos now,
+                                 Nanos deadline) {
   assert(worker < kMaxWorkers);
   if (worker < config_.num_workers && !free_.Test(worker)) {
     MarkWorkerFree(worker);
@@ -350,9 +480,18 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
   // re-enter the free list.
   counters_.completed.fetch_add(1, std::memory_order_relaxed);
   profiler_.RecordCompletion(type, service_time);
+  if (deadline > 0) {
+    if (now > deadline) {
+      deadline_counters_.missed.fetch_add(1, std::memory_order_relaxed);
+      deadline_types_[type].missed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      deadline_counters_.met.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   if (config_.mode != PolicyMode::kDarc &&
-      config_.mode != PolicyMode::kDarcStatic) {
+      config_.mode != PolicyMode::kDarcStatic &&
+      config_.mode != PolicyMode::kDarcSlack) {
     return;
   }
   if (!darc_active_.load(std::memory_order_relaxed)) {
@@ -371,12 +510,7 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
                                        config_.static_reserved),
               now);
         } else {
-          ApplyReservation(
-              ComputeReservation(*demands, ReservationConfig{
-                                               config_.num_workers,
-                                               config_.delta,
-                                               config_.num_spillway}),
-              now);
+          ApplyAdaptiveReservation(*demands, now);
         }
       }
     }
@@ -387,11 +521,7 @@ void DarcScheduler::OnCompletion(WorkerId worker, TypeIndex type,
   }
   if (auto demands = profiler_.CheckUpdate()) {
     NoteWindowRollover(now);
-    ApplyReservation(ComputeReservation(
-                         *demands,
-                         ReservationConfig{config_.num_workers, config_.delta,
-                                           config_.num_spillway}),
-                     now);
+    ApplyAdaptiveReservation(*demands, now);
   }
 }
 
@@ -424,10 +554,37 @@ void DarcScheduler::ExportTelemetry(TelemetrySnapshot* out) const {
   for (TypeIndex t = 0; t < names_.size(); ++t) {
     const std::string prefix = "scheduler.type." + names_[t];
     out->gauges[prefix + ".queue_depth"] =
-        static_cast<int64_t>(queues_[t].Size());
-    out->counters[prefix + ".queue_drops"] += queues_[t].drops();
+        static_cast<int64_t>(queue_depth(t));
+    out->counters[prefix + ".queue_drops"] += queue_drops(t);
     out->gauges[prefix + ".reserved_workers"] = reserved_workers_of(t);
     out->type_names.emplace(t, names_[t]);
+  }
+
+  // Deadline tier: exported only when the tier is in play, so engines
+  // without deadlines keep their exact pre-existing telemetry surface.
+  // The flat counters fold to psp_deadline_*_total in the Prometheus
+  // renderer; the structured per-type records carry the slack summary.
+  const bool deadline_active = config_.deadline.enabled() ||
+                               config_.mode == PolicyMode::kEdf ||
+                               config_.mode == PolicyMode::kDarcSlack;
+  if (deadline_active) {
+    out->counters["deadline.stamped"] += deadline_stamped();
+    out->counters["deadline.shed"] += deadline_shed();
+    out->counters["deadline.missed"] += deadline_missed();
+    out->counters["deadline.met"] += deadline_met();
+    for (TypeIndex t = 0; t < names_.size(); ++t) {
+      const TypeDeadlineStats& stats = deadline_types_[t];
+      DeadlineTypeStats rec;
+      rec.type = t;
+      rec.name = names_[t];
+      rec.missed = stats.missed.load(std::memory_order_relaxed);
+      rec.shed = stats.shed.load(std::memory_order_relaxed);
+      rec.slack_sum_nanos =
+          stats.slack_sum_nanos.load(std::memory_order_relaxed);
+      rec.slack_samples = stats.slack_samples.load(std::memory_order_relaxed);
+      rec.budget_nanos = deadline_targets_[t];
+      out->deadline_types.push_back(std::move(rec));
+    }
   }
 }
 
@@ -549,6 +706,25 @@ void DarcScheduler::RebuildPriorityOrder() {
   priority_order_.clear();
   for (TypeIndex t = 1; t < names_.size(); ++t) {
     priority_order_.push_back(t);
+  }
+  if (config_.mode == PolicyMode::kDarcSlack) {
+    // Tightest deadline budget first: the group whose requests have the
+    // least room gets the scan's first shot at a free worker. Budget-less
+    // types sort after budgeted ones, by mean as usual.
+    std::sort(priority_order_.begin(), priority_order_.end(),
+              [this](TypeIndex a, TypeIndex b) {
+                const Nanos ba = deadline_targets_[a];
+                const Nanos bb = deadline_targets_[b];
+                if ((ba > 0) != (bb > 0)) {
+                  return ba > 0;  // budgeted types first
+                }
+                if (ba != bb) {
+                  return ba < bb;
+                }
+                return a < b;
+              });
+    priority_order_.push_back(kUnknownSlot);
+    return;
   }
   std::sort(priority_order_.begin(), priority_order_.end(),
             [this](TypeIndex a, TypeIndex b) {

@@ -13,6 +13,7 @@
 #define PSP_SRC_CORE_SCHEDULER_H_
 
 #include <atomic>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -23,6 +24,8 @@
 #include "src/core/reservation.h"
 #include "src/core/typed_queue.h"
 #include "src/core/worker_set.h"
+#include "src/sched/deadline.h"
+#include "src/sched/edf_queue.h"
 #include "src/telemetry/telemetry.h"
 #include "src/telemetry/timeledger.h"
 
@@ -32,7 +35,9 @@ enum class PolicyMode {
   kDarc,         // full DARC: profiling windows + Algorithm 2 reservations
   kDarcStatic,   // manual reservation for the shortest type (§5.3)
   kCFcfs,        // centralized FCFS within the Perséphone pipeline
-  kFixedPriority // shortest-mean-first priority, no reservations
+  kFixedPriority,// shortest-mean-first priority, no reservations
+  kEdf,          // earliest-deadline-first over one bucketed EDF queue
+  kDarcSlack     // DARC with deadline-risk-weighted reservations
 };
 
 struct SchedulerConfig {
@@ -50,6 +55,11 @@ struct SchedulerConfig {
   // literal fixed type order. Groups are still visited shortest-first.
   bool group_fcfs = true;
   ProfilerConfig profiler;
+  // Deadline tier (src/sched/): per-type budgets resolved at RegisterType,
+  // exposed through DeadlineTargetOf for ingress stamping, consumed by the
+  // kEdf dispatch order, kDarcSlack reservations and (when deadline.shed)
+  // the admission-control predicate in TryEnqueue.
+  DeadlineConfig deadline;
 
   // Empty string = valid; otherwise a description of the misconfiguration.
   // DarcScheduler's constructor calls this and throws std::invalid_argument
@@ -89,10 +99,31 @@ class DarcScheduler {
   // `now` timestamps the resize + reservation-update events.
   void ResizeWorkers(uint32_t new_count, Nanos now = 0);
 
+  // The type's relative deadline budget (0 = none), resolved from
+  // SchedulerConfig::deadline at registration against the seeded mean.
+  // Engines stamp `Request::deadline = arrival + budget` at ingress when the
+  // wire carried no explicit budget.
+  Nanos DeadlineTargetOf(TypeIndex t) const {
+    return t < deadline_targets_.size() ? deadline_targets_[t] : 0;
+  }
+
   // --- Data path -----------------------------------------------------------
 
-  // Enqueues into the request's typed queue; false = dropped (flow control).
-  bool Enqueue(const Request& request, Nanos now);
+  enum class EnqueueResult {
+    kOk,         // admitted
+    kQueueFull,  // flow-control drop (queue at capacity)
+    kShed        // admission control predicted a deadline miss
+  };
+
+  // Enqueues into the request's typed queue (or the EDF queue under kEdf),
+  // running the admission-control shed predicate first when the deadline
+  // tier has shedding enabled.
+  EnqueueResult TryEnqueue(const Request& request, Nanos now);
+
+  // Legacy boolean surface; false = not admitted (either drop reason).
+  bool Enqueue(const Request& request, Nanos now) {
+    return TryEnqueue(request, now) == EnqueueResult::kOk;
+  }
 
   struct Assignment {
     Request request;
@@ -105,9 +136,11 @@ class DarcScheduler {
   std::optional<Assignment> NextAssignment(Nanos now);
 
   // Worker signalled completion of a request of type `type` that occupied the
-  // CPU for `service_time`.
+  // CPU for `service_time`. `deadline` is the completed request's absolute
+  // deadline (0 = none) and feeds the miss/met accounting — the engines
+  // carry it through their completion signals.
   void OnCompletion(WorkerId worker, TypeIndex type, Nanos service_time,
-                    Nanos now);
+                    Nanos now, Nanos deadline = 0);
 
   // --- Telemetry / introspection -------------------------------------------
 
@@ -148,8 +181,35 @@ class DarcScheduler {
   uint64_t stolen_dispatches() const {
     return counters_.stolen_dispatches.load(std::memory_order_relaxed);
   }
-  uint64_t queue_drops(TypeIndex t) const { return queues_[t].drops(); }
-  size_t queue_depth(TypeIndex t) const { return queues_[t].Size(); }
+  uint64_t queue_drops(TypeIndex t) const {
+    return queues_[t].drops() +
+           deadline_types_[t].queue_drops.load(std::memory_order_relaxed);
+  }
+  size_t queue_depth(TypeIndex t) const {
+    if (config_.mode == PolicyMode::kEdf) {
+      return deadline_types_[t].edf_depth.load(std::memory_order_relaxed);
+    }
+    return queues_[t].Size();
+  }
+  // --- Deadline tier introspection (all one relaxed load) ------------------
+  uint64_t deadline_stamped() const {
+    return deadline_counters_.stamped.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_shed() const {
+    return deadline_counters_.shed.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_missed() const {
+    return deadline_counters_.missed.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_met() const {
+    return deadline_counters_.met.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_missed_of(TypeIndex t) const {
+    return deadline_types_[t].missed.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_shed_of(TypeIndex t) const {
+    return deadline_types_[t].shed.load(std::memory_order_relaxed);
+  }
   // Reserved-core count of `t`'s group, from a copy published under a mutex
   // at every reservation change — safe to call from any thread while the
   // data path runs (the live Reservation vectors are dispatcher-private).
@@ -179,8 +239,18 @@ class DarcScheduler {
   std::optional<Assignment> DispatchDarc(Nanos now);
   std::optional<Assignment> DispatchFcfs(Nanos now);
   std::optional<Assignment> DispatchFixedPriority(Nanos now);
+  std::optional<Assignment> DispatchEdf(Nanos now);
   Assignment MakeAssignment(TypeIndex type, WorkerId worker, bool stolen,
                             Nanos now);
+  // Shared dispatch epilogue: worker/ledger/counter bookkeeping plus the
+  // dispatch-time slack sample for deadlined requests.
+  void FinishAssignment(Assignment* a, TypeIndex type, Nanos now);
+  // Expected mean for the admission model: freshest profile, seed fallback.
+  Nanos ExpectedMeanOf(TypeIndex t) const;
+  // Recomputes the full-DARC / slack-DARC reservation from `demands`
+  // (kDarcSlack routes through ComputeSlackReservation).
+  void ApplyAdaptiveReservation(const std::vector<TypeDemand>& demands,
+                                Nanos now);
 
   // The only two mutation paths for the free-worker bookkeeping: bitset and
   // mirror counter move together, and the counter uses a single relaxed RMW
@@ -206,6 +276,28 @@ class DarcScheduler {
     std::atomic<uint64_t> stolen_dispatches{0};
   };
 
+  // Deadline-tier counters, same single-writer relaxed-atomic discipline.
+  struct DeadlineCounters {
+    std::atomic<uint64_t> stamped{0};  // admitted requests carrying a deadline
+    std::atomic<uint64_t> shed{0};     // admission-control drops
+    std::atomic<uint64_t> missed{0};   // completed after their deadline
+    std::atomic<uint64_t> met{0};      // completed at or before their deadline
+  };
+
+  // Per-type deadline-tier state. Lives in a deque (types register
+  // dynamically and atomics are immovable). edf_depth/queue_drops stand in
+  // for the typed queues' own gauges under kEdf, where all requests share
+  // one EDF queue; slack is sampled at dispatch (deadline - now) and
+  // exported as a Prometheus summary's sum/count pair.
+  struct TypeDeadlineStats {
+    std::atomic<uint64_t> missed{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<int64_t> slack_sum_nanos{0};
+    std::atomic<uint64_t> slack_samples{0};
+    std::atomic<uint64_t> edf_depth{0};
+    std::atomic<uint64_t> queue_drops{0};  // EDF-queue-full drops, per type
+  };
+
   SchedulerConfig config_;
   Profiler profiler_;
   Telemetry* telemetry_ = nullptr;  // optional, not owned
@@ -216,6 +308,13 @@ class DarcScheduler {
   std::vector<TypedQueue> queues_;     // TypeIndex -> typed queue
   std::vector<Nanos> seed_means_;
   std::vector<double> seed_ratios_;
+  // TypeIndex -> relative deadline budget (0 = none), resolved from
+  // config_.deadline at registration.
+  std::vector<Nanos> deadline_targets_;
+  // Single cross-type EDF queue (kEdf); idle otherwise.
+  EdfQueue edf_queue_;
+  DeadlineCounters deadline_counters_;
+  std::deque<TypeDeadlineStats> deadline_types_;  // TypeIndex-parallel
 
   // Types sorted by ascending mean service time (UNKNOWN last).
   std::vector<TypeIndex> priority_order_;

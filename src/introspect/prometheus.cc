@@ -205,6 +205,10 @@ void RenderLatestInterval(std::string* out, const TelemetrySnapshot& snap) {
     const char* help;
     int64_t (*value)(const TypeIntervalStats&);
     bool skip_negative;
+    // Render the family only when some type has a non-zero value (used by
+    // the deadline families so deadline-free engines keep their exact
+    // pre-existing scrape output).
+    bool skip_if_all_zero = false;
   };
   const TypeMetric type_metrics[] = {
       {"psp_type_interval_arrivals", "arrivals in the latest interval",
@@ -228,6 +232,18 @@ void RenderLatestInterval(std::string* out, const TelemetrySnapshot& snap) {
          return static_cast<int64_t>(t.slo_violations);
        },
        false},
+      {"psp_deadline_type_interval_misses",
+       "deadline misses in the latest interval",
+       [](const TypeIntervalStats& t) {
+         return static_cast<int64_t>(t.deadline_misses);
+       },
+       false, /*skip_if_all_zero=*/true},
+      {"psp_deadline_type_interval_sheds",
+       "admission-control sheds in the latest interval",
+       [](const TypeIntervalStats& t) {
+         return static_cast<int64_t>(t.deadline_sheds);
+       },
+       false, /*skip_if_all_zero=*/true},
       {"psp_type_queue_depth",
        "typed-queue depth sampled at the latest interval close",
        [](const TypeIntervalStats& t) { return t.queue_depth; }, true},
@@ -246,6 +262,18 @@ void RenderLatestInterval(std::string* out, const TelemetrySnapshot& snap) {
        false},
   };
   for (const TypeMetric& m : type_metrics) {
+    if (m.skip_if_all_zero) {
+      bool any_nonzero = false;
+      for (const TypeIntervalStats& t : rec.types) {
+        if (m.value(t) != 0) {
+          any_nonzero = true;
+          break;
+        }
+      }
+      if (!any_nonzero) {
+        continue;
+      }
+    }
     bool any = false;
     for (const TypeIntervalStats& t : rec.types) {
       if (m.skip_negative && m.value(t) < 0) {
@@ -281,6 +309,57 @@ void RenderLatestInterval(std::string* out, const TelemetrySnapshot& snap) {
                    WorkerTimeStateName(static_cast<WorkerTimeState>(s)),
                    std::to_string(rec.worker_state_permille[s]));
     }
+  }
+}
+
+// Deadline-tier per-type families (the scheduler exports these only when the
+// deadline tier is in play, so deadline-free engines render nothing here).
+// The flat totals (psp_deadline_stamped_total etc.) come out of the generic
+// counter renderer; this adds the per-type split and the dispatch-time slack
+// distribution as a Prometheus summary (sum + count, no quantiles — slack is
+// tracked as a race-free atomic pair, not a histogram).
+void RenderDeadline(std::string* out, const TelemetrySnapshot& snap) {
+  if (snap.deadline_types.empty()) {
+    return;
+  }
+  const struct {
+    const char* metric;
+    const char* prom_type;
+    const char* help;
+    int64_t (*value)(const DeadlineTypeStats&);
+  } families[] = {
+      {"psp_deadline_type_missed_total", "counter",
+       "completions past their deadline, per type",
+       [](const DeadlineTypeStats& d) {
+         return static_cast<int64_t>(d.missed);
+       }},
+      {"psp_deadline_type_shed_total", "counter",
+       "admission-control sheds (predicted deadline misses), per type",
+       [](const DeadlineTypeStats& d) {
+         return static_cast<int64_t>(d.shed);
+       }},
+      {"psp_deadline_type_budget_ns", "gauge",
+       "resolved relative deadline budget, per type (0 = no deadline)",
+       [](const DeadlineTypeStats& d) { return d.budget_nanos; }},
+  };
+  for (const auto& f : families) {
+    AppendTypeHeader(out, f.metric, f.prom_type, f.help);
+    for (const DeadlineTypeStats& d : snap.deadline_types) {
+      AppendSample(out, f.metric, "type",
+                   d.name.empty() ? ResolveTypeName(snap, d.type) : d.name,
+                   std::to_string(f.value(d)));
+    }
+  }
+  AppendTypeHeader(out, "psp_deadline_type_slack_ns", "summary",
+                   "dispatch-time slack (deadline - dispatch), per type; "
+                   "negative sums mean dispatches past the deadline");
+  for (const DeadlineTypeStats& d : snap.deadline_types) {
+    const std::string type_name =
+        d.name.empty() ? ResolveTypeName(snap, d.type) : d.name;
+    AppendSample(out, "psp_deadline_type_slack_ns_sum", "type", type_name,
+                 std::to_string(d.slack_sum_nanos));
+    AppendSample(out, "psp_deadline_type_slack_ns_count", "type", type_name,
+                 std::to_string(d.slack_samples));
   }
 }
 
@@ -380,6 +459,7 @@ std::string RenderPrometheusText(const TelemetrySnapshot& snapshot) {
   RenderScalars(&out, snapshot.gauges, "gauge", "", "gauge");
   RenderSummaries(&out, snapshot);
   RenderLatestInterval(&out, snapshot);
+  RenderDeadline(&out, snapshot);
   RenderWorkerTime(&out, snapshot);
   // Always-present marker so a scrape of an idle server is still non-empty
   // and scrapers can assert liveness.

@@ -72,7 +72,7 @@ uint32_t BuildRequestPacket(const RequestFrame& frame, std::byte* buf,
   psp.payload_length = frame.payload_length;
   psp.client_timestamp = frame.client_timestamp;
   psp.trace_flags = frame.trace_flags;
-  psp.reserved = 0;
+  psp.deadline_us = frame.deadline_us;
   psp.server_rx_timestamp = 0;
   psp.server_tx_timestamp = 0;
   std::memcpy(buf + kRequestOffset, &psp, sizeof(psp));
@@ -157,6 +157,7 @@ std::optional<ParsedRequest> ParseRequestPacket(const std::byte* data,
   out.psp.payload_length = wire.payload_length;
   out.psp.client_timestamp = wire.client_timestamp;
   out.psp.trace_flags = wire.trace_flags;
+  out.psp.deadline_us = wire.deadline_us;
   out.psp.server_rx_timestamp = wire.server_rx_timestamp;
   out.psp.server_tx_timestamp = wire.server_tx_timestamp;
   if (out.psp.magic != PspHeader::kMagic) {

@@ -69,7 +69,9 @@ struct PspHeader {
   uint32_t payload_length;  // bytes following this header
   int64_t client_timestamp; // client send time (ns) for RTT accounting
   uint32_t trace_flags;     // kFlagTraceSampled etc.; echoed on the response
-  uint32_t reserved;        // keeps the 64-bit stamps 8-byte positioned
+  uint32_t deadline_us;     // absolute latency budget in µs from arrival at
+                            // the server (0 = no deadline); also keeps the
+                            // 64-bit stamps 8-byte positioned
   int64_t server_rx_timestamp;  // server clock; 0 until the server stamps it
   int64_t server_tx_timestamp;  // server clock; 0 until the server stamps it
 
@@ -127,6 +129,7 @@ struct RequestFrame {
   uint32_t client_id = 0;
   Nanos client_timestamp = 0;
   uint32_t trace_flags = 0;
+  uint32_t deadline_us = 0;  // latency budget in µs; 0 = no deadline
   const std::byte* payload = nullptr;
   uint32_t payload_length = 0;
 };
@@ -161,6 +164,7 @@ struct RequestHeaderView {
   uint32_t payload_length = 0;
   int64_t client_timestamp = 0;
   uint32_t trace_flags = 0;
+  uint32_t deadline_us = 0;
   int64_t server_rx_timestamp = 0;
   int64_t server_tx_timestamp = 0;
 };

@@ -42,6 +42,7 @@ struct UdpIngressStats {
   uint64_t rx_malformed = 0;    // too short / bad magic / oversized, dropped
   uint64_t ring_full_drops = 0; // dispatcher behind, forwarding ring full
   uint64_t tx_datagrams = 0;    // responses handed to the kernel
+  uint64_t tx_batches = 0;      // sendmmsg rounds (syscalls) on the TX path
   uint64_t tx_drops = 0;        // sendmsg failures (response lost)
   uint64_t sleeps = 0;          // adaptive-poll sleeps across net workers
   uint64_t slept_nanos = 0;     // total time adaptive pollers spent asleep
@@ -117,6 +118,7 @@ class UdpIngress final : public IngressSource, public EgressSink {
   std::atomic<uint64_t> rx_malformed_{0};
   std::atomic<uint64_t> ring_full_drops_{0};
   std::atomic<uint64_t> tx_datagrams_{0};
+  std::atomic<uint64_t> tx_batches_{0};
   std::atomic<uint64_t> tx_drops_{0};
   std::atomic<uint64_t> net_cpu_nanos_{0};
   std::atomic<uint64_t> net_wall_nanos_{0};

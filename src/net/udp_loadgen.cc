@@ -86,8 +86,14 @@ UdpLoadGenReport UdpLoadGenerator::Run(std::string* error) {
   const TscClock& clock = TscClock::Global();
   const double gap_mean = 1e9 / config_.rate_rps;
 
+  std::unordered_map<uint32_t, uint32_t> deadline_by_wire;
   for (const auto& m : mix_) {
     report.latency[m.wire_id];  // pre-create slots
+    if (m.deadline_us > 0) {
+      deadline_by_wire[m.wire_id] = m.deadline_us;
+      report.deadline_checked[m.wire_id] = 0;
+      report.deadline_missed[m.wire_id] = 0;
+    }
   }
 
   const Nanos start = clock.Now();
@@ -123,6 +129,13 @@ UdpLoadGenReport UdpLoadGenerator::Run(std::string* error) {
         const Nanos latency = now - psp.client_timestamp;
         report.latency[psp.request_type].Add(latency);
         report.overall.Add(latency);
+        if (const auto budget = deadline_by_wire.find(psp.request_type);
+            budget != deadline_by_wire.end()) {
+          ++report.deadline_checked[psp.request_type];
+          if (latency > static_cast<Nanos>(budget->second) * kMicrosecond) {
+            ++report.deadline_missed[psp.request_type];
+          }
+        }
         if ((psp.trace_flags & PspHeader::kFlagTraceSampled) != 0) {
           ClientSpanRecord rec;
           rec.request_id = psp.request_id;
@@ -176,7 +189,7 @@ UdpLoadGenReport UdpLoadGenerator::Run(std::string* error) {
       psp.client_id = static_cast<uint32_t>(sent % fds.size());
       psp.client_timestamp = clock.Now();
       psp.trace_flags = sampled ? PspHeader::kFlagTraceSampled : 0;
-      psp.reserved = 0;
+      psp.deadline_us = spec.deadline_us;
       psp.server_rx_timestamp = 0;
       psp.server_tx_timestamp = 0;
       if (sampled) {

@@ -29,6 +29,10 @@ struct UdpRequestSpec {
   uint32_t wire_id = 0;
   std::string name;
   double ratio = 0;
+  // Latency budget stamped into the wire header (PspHeader::deadline_us);
+  // 0 = no deadline. The server turns it into an absolute deadline at
+  // ingress; the client also judges its own RTT against it (miss accounting).
+  uint32_t deadline_us = 0;
   std::function<uint32_t(std::byte* payload, uint32_t capacity, Rng& rng)>
       build_payload;
 };
@@ -78,6 +82,11 @@ struct UdpLoadGenReport {
   Nanos elapsed = 0;
   std::map<uint32_t, Histogram> latency;  // client-observed RTT per wire_id
   Histogram overall;
+  // Client-side deadline accounting per wire_id (post-warmup, like the
+  // histograms; only populated for types with deadline_us > 0): responses
+  // received, and how many of them exceeded the type's budget end-to-end.
+  std::map<uint32_t, uint64_t> deadline_checked;
+  std::map<uint32_t, uint64_t> deadline_missed;
   // Sampled per-request records (empty unless config.sample_every > 0),
   // in receive order. Post-warmup requests only, like the histograms.
   std::vector<ClientSpanRecord> samples;

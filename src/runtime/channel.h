@@ -23,6 +23,9 @@ struct WorkOrder {
   // worker can commit it with the lifecycle record for cross-process joins.
   uint64_t wire_id = 0;
   uint32_t client_id = 0;
+  // Absolute deadline (deadline tier; 0 = none), echoed back on the
+  // completion signal so the dispatcher can count misses without a lookup.
+  Nanos deadline = 0;
   // Lifecycle trace stamps accumulated on the dispatcher side; the worker
   // adds its stages and commits the record (inert unless trace.sampled).
   TraceContext trace;
@@ -37,6 +40,7 @@ struct CompletionSignal {
   TypeIndex type = kInvalidTypeIndex;
   Nanos arrival = 0;
   Nanos service_time = 0;
+  Nanos deadline = 0;  // absolute deadline carried from the work order
 };
 
 class WorkerChannel {

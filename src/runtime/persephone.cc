@@ -286,11 +286,14 @@ void Persephone::Stop() {
                 signals, WorkerChannel::kCompletionBurst)) > 0) {
       for (size_t i = 0; i < n; ++i) {
         scheduler_->OnCompletion(w, signals[i].type, signals[i].service_time,
-                                 now);
+                                 now, signals[i].deadline);
         if (ts != nullptr) {
           ts->RecordCompletion(series_slots_[signals[i].type],
                                now - signals[i].arrival,
                                signals[i].service_time, now);
+          if (signals[i].deadline > 0 && now > signals[i].deadline) {
+            ts->RecordDeadlineMiss(series_slots_[signals[i].type], now);
+          }
         }
       }
     }
@@ -333,6 +336,7 @@ TelemetrySnapshot Persephone::telemetry_snapshot() const {
     snap.counters["ingress.malformed"] += s.rx_malformed;
     snap.counters["ingress.ring_full_drops"] += s.ring_full_drops;
     snap.counters["ingress.tx_datagrams"] += s.tx_datagrams;
+    snap.counters["ingress.tx_batches"] += s.tx_batches;
     snap.counters["ingress.tx_drops"] += s.tx_drops;
     snap.counters["ingress.poll_sleeps"] += s.sleeps;
     snap.counters["ingress.poll_slept_nanos"] += s.slept_nanos;
@@ -630,11 +634,15 @@ void Persephone::DispatcherLoop() {
                   signals, WorkerChannel::kCompletionBurst)) > 0) {
         for (size_t i = 0; i < drained; ++i) {
           const CompletionSignal& signal = signals[i];
-          scheduler_->OnCompletion(w, signal.type, signal.service_time, now);
+          scheduler_->OnCompletion(w, signal.type, signal.service_time, now,
+                                   signal.deadline);
           if (ts != nullptr) {
             ts->RecordCompletion(series_slots_[signal.type],
                                  now - signal.arrival, signal.service_time,
                                  now);
+            if (signal.deadline > 0 && now > signal.deadline) {
+              ts->RecordDeadlineMiss(series_slots_[signal.type], now);
+            }
           }
         }
         progressed = true;
@@ -661,6 +669,7 @@ void Persephone::DispatcherLoop() {
       order.payload_length = assignment->request.payload_length;
       order.wire_id = assignment->request.wire_id;
       order.client_id = assignment->request.client_id;
+      order.deadline = assignment->request.deadline;
       order.trace = assignment->request.trace;
       if (order.trace.sampled != 0) {
         order.trace.Mark(TraceStage::kDispatched, clock.Now());
@@ -704,6 +713,16 @@ void Persephone::IngestPacket(const PacketRef& packet, Nanos now,
   request.payload_length = packet.length;
   request.wire_id = parsed->psp.request_id;
   request.client_id = parsed->psp.client_id;
+  // Deadline stamping (deadline tier): an explicit wire budget from the
+  // client wins; otherwise the per-type target configured on the scheduler
+  // applies. Both are budgets relative to arrival; 0 means no deadline.
+  if (parsed->psp.deadline_us != 0) {
+    request.deadline =
+        now + static_cast<Nanos>(parsed->psp.deadline_us) * kMicrosecond;
+  } else if (const Nanos budget = scheduler_->DeadlineTargetOf(request.type);
+             budget > 0) {
+    request.deadline = now + budget;
+  }
   // The client's in-band sampling election forces a lifecycle record (the
   // distributed-tracing join needs exactly these requests); local 1-in-N
   // sampling still ticks independently so server-only visibility survives
@@ -725,10 +744,15 @@ void Persephone::IngestPacket(const PacketRef& packet, Nanos now,
   if (ts != nullptr) {
     ts->RecordArrival(series_slots_[request.type], now);
   }
-  if (!scheduler_->Enqueue(request, now)) {
-    // Flow-control shed (§4.3.3); the scheduler counts the drop.
+  const DarcScheduler::EnqueueResult enq = scheduler_->TryEnqueue(request, now);
+  if (enq != DarcScheduler::EnqueueResult::kOk) {
+    // Flow-control shed (§4.3.3) or deadline admission shed; the scheduler
+    // counts the drop either way.
     if (ts != nullptr) {
       ts->RecordDrop(series_slots_[request.type], now);
+      if (enq == DarcScheduler::EnqueueResult::kShed) {
+        ts->RecordDeadlineShed(series_slots_[request.type], now);
+      }
     }
     pool_->FreeGlobal(packet.data);
   }
@@ -888,7 +912,7 @@ void Persephone::WorkerLoop(uint32_t worker_id) {
     }
 
     CompletionSignal signal{order.request_id, order.type, order.arrival,
-                            service};
+                            service, order.deadline};
     const bool pushed = channel.PushCompletion(signal);
     assert(pushed);
     (void)pushed;

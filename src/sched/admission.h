@@ -1,0 +1,64 @@
+// Admission control for the deadline tier: a pure, deterministic shed
+// predicate evaluated at enqueue time. A request already destined to miss its
+// deadline is worthless work — admitting it wastes a core that could serve a
+// request which can still make it (the RackSched/RAIN argument, applied
+// inside one server). Shedding feeds the engines' existing drop telemetry
+// plus dedicated `scheduler.deadline.shed` counters.
+//
+// The prediction is intentionally a first-order queueing model, not an
+// oracle: the work ahead of the request (queue depth × the type's expected
+// mean) drains across the workers serving the type, then the request itself
+// runs for one mean. Everything is integer arithmetic on engine-clock Nanos —
+// no wall clock, no RNG — so same-seed simulator replays stay bit-identical
+// with shedding enabled.
+#ifndef PSP_SRC_SCHED_ADMISSION_H_
+#define PSP_SRC_SCHED_ADMISSION_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace psp {
+
+struct AdmissionDecision {
+  bool admit = true;
+  Nanos predicted_completion = 0;  // 0 when no prediction applies
+};
+
+// Inputs to the shed predicate for one request:
+//   now            engine clock at enqueue
+//   deadline       the request's absolute deadline (0 = no deadline: admit)
+//   queue_depth    requests already waiting ahead of it in its queue
+//   expected_mean  the type's expected mean service time (profiled or seed);
+//                  0 = no model: admit (never shed blind)
+//   workers        cores currently serving the type (its reserved group when
+//                  DARC is active, else the whole pool); clamped to >= 1
+//   safety_milli   shed_safety in milli units (1000 = 1.0); the predicted
+//                  sojourn is scaled by this before the comparison, keeping
+//                  the arithmetic integral and replay-deterministic
+inline AdmissionDecision PredictAdmission(Nanos now, Nanos deadline,
+                                          uint64_t queue_depth,
+                                          Nanos expected_mean,
+                                          uint32_t workers,
+                                          int64_t safety_milli = 1000) {
+  AdmissionDecision out;
+  if (deadline <= 0 || expected_mean <= 0) {
+    return out;  // nothing to predict against
+  }
+  const uint64_t servers = workers == 0 ? 1 : workers;
+  // Work ahead drains across `servers` cores; the request then occupies one
+  // core for its own mean. Integer division floors the wait — optimistic by
+  // less than one mean, which shed_safety can compensate for.
+  const Nanos wait = static_cast<Nanos>(
+      queue_depth * static_cast<uint64_t>(expected_mean) / servers);
+  const Nanos sojourn = wait + expected_mean;
+  const Nanos scaled =
+      static_cast<Nanos>(static_cast<int64_t>(sojourn) * safety_milli / 1000);
+  out.predicted_completion = now + scaled;
+  out.admit = out.predicted_completion <= deadline;
+  return out;
+}
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SCHED_ADMISSION_H_

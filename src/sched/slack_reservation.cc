@@ -1,0 +1,29 @@
+#include "src/sched/slack_reservation.h"
+
+namespace psp {
+
+double SlackRiskWeight(double mean_service_nanos, Nanos budget) {
+  if (budget <= 0 || mean_service_nanos <= 0) {
+    return 1.0;
+  }
+  const double slack = static_cast<double>(budget) - mean_service_nanos;
+  if (slack <= 0) {
+    return 1.0 + kMaxUrgency;  // budget at or below the mean: fully at risk
+  }
+  const double urgency = mean_service_nanos / slack;
+  return 1.0 + (urgency > kMaxUrgency ? kMaxUrgency : urgency);
+}
+
+Reservation ComputeSlackReservation(const std::vector<TypeDemand>& demands,
+                                    const std::vector<Nanos>& budgets,
+                                    const ReservationConfig& config) {
+  std::vector<TypeDemand> inflated = demands;
+  for (size_t i = 0; i < inflated.size(); ++i) {
+    const Nanos budget = i < budgets.size() ? budgets[i] : 0;
+    inflated[i].ratio *=
+        SlackRiskWeight(inflated[i].mean_service_nanos, budget);
+  }
+  return ComputeReservation(inflated, config);
+}
+
+}  // namespace psp

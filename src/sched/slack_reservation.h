@@ -1,0 +1,50 @@
+// Slack-aware DARC reservation (PolicyMode::kDarcSlack): Algorithm 2 with
+// the demand inputs re-weighted by *deadline risk* instead of occurrence
+// alone. Plain DARC sizes a type's reserved group by its CPU demand
+// R_i × S_i; the slack variant asks how close the type runs to its deadline
+// budget D_i and inflates the demand of types whose budget leaves little
+// slack — "deadline at risk" types get cores first, types with generous
+// budgets cede them.
+//
+// Urgency of type i:  u_i = S_i / max(D_i − S_i, ε)
+// (service time over remaining slack). A type whose budget is 2× its mean
+// has u = 1; a 10× budget has u ≈ 0.11; a budget at or below the mean is
+// clamped to the fully-at-risk ceiling. The inflated ratio R_i × (1 + u_i)
+// feeds the *unchanged* ComputeReservation — grouping, rounding, spillway
+// and stealing all reuse src/core/reservation.cc verbatim, so the variant
+// inherits Algorithm 2's invariants (every type served, shorter groups steal
+// from longer, never the reverse).
+//
+// Types without a deadline budget (D_i = 0) keep their plain ratio: with no
+// budgets at all the computation degenerates to exactly plain DARC.
+#ifndef PSP_SRC_SCHED_SLACK_RESERVATION_H_
+#define PSP_SRC_SCHED_SLACK_RESERVATION_H_
+
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/reservation.h"
+
+namespace psp {
+
+// Caps u_i so a pathological budget (at or below the mean) cannot starve
+// every other type of the pool: a fully-at-risk type weighs at most
+// 1 + kMaxUrgency = 9× its plain demand.
+inline constexpr double kMaxUrgency = 8.0;
+
+// Risk weight for one type: 1 + u_i, in [1, 1 + kMaxUrgency]. `budget` is
+// the type's relative deadline budget (DeadlineConfig resolution); 0 = no
+// deadline = weight 1.
+double SlackRiskWeight(double mean_service_nanos, Nanos budget);
+
+// Algorithm 2 over risk-inflated demands. `budgets` is parallel to `demands`
+// (budgets[i] belongs to demands[i]); missing/zero entries mean no deadline.
+// Ratios need not be normalised (ComputeReservation normalises internally,
+// which is what makes a pure multiplicative re-weighting sufficient).
+Reservation ComputeSlackReservation(const std::vector<TypeDemand>& demands,
+                                    const std::vector<Nanos>& budgets,
+                                    const ReservationConfig& config);
+
+}  // namespace psp
+
+#endif  // PSP_SRC_SCHED_SLACK_RESERVATION_H_

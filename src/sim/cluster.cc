@@ -145,6 +145,7 @@ void ClusterEngine::InjectRequest(Nanos send_time, TypeId wire_type,
   req->service = service;
   req->remaining = service;
   req->send_time = send_time;
+  req->deadline = 0;
   req->flow_hash = static_cast<uint32_t>(rng_.Next());
   req->ready_time = 0;
   req->service_start = 0;
@@ -239,6 +240,7 @@ void ClusterEngine::InjectExternal(Nanos send_time, TypeId wire_type,
   req->service = service;
   req->remaining = service;
   req->send_time = send_time;
+  req->deadline = 0;
   req->flow_hash = static_cast<uint32_t>(rng_.Next());
   req->ready_time = 0;
   req->service_start = 0;
@@ -276,13 +278,19 @@ void ClusterEngine::CompleteRequest(SimRequest* request) {
                    WorkerTimeState::kDispatchOverhead,
                    config_.completion_cost);
   const Nanos receive_time = Now() + config_.net_one_way;
+  // Deadlines are judged at server-side completion (matching the runtime's
+  // dispatcher-absorb accounting), not at client receive.
   metrics_.RecordCompletion(request->wire_type, request->send_time,
-                            receive_time, request->service);
+                            receive_time, request->service, request->deadline,
+                            Now());
   if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
     const size_t slot = SeriesSlotFor(request->wire_type);
     if (slot != SIZE_MAX) {
       ts->RecordCompletion(slot, receive_time - request->send_time,
                            request->service, Now());
+      if (request->deadline > 0 && Now() > request->deadline) {
+        ts->RecordDeadlineMiss(slot, Now());
+      }
     }
   }
   if (trace_sampler_.Tick()) {
@@ -398,10 +406,16 @@ void ClusterEngine::SampleWorkerTimeGauges(IntervalRecord* rec) {
 
 void ClusterEngine::DropRequest(SimRequest* request) {
   metrics_.RecordDrop(request->wire_type);
+  if (request->deadline > 0) {
+    metrics_.RecordDeadlineShed(request->wire_type, request->send_time);
+  }
   if (TimeSeriesRecorder* const ts = telemetry_->timeseries()) {
     const size_t slot = SeriesSlotFor(request->wire_type);
     if (slot != SIZE_MAX) {
       ts->RecordDrop(slot, Now());
+      if (request->deadline > 0) {
+        ts->RecordDeadlineShed(slot, Now());
+      }
     }
   }
   if (drop_hook_) {

@@ -31,6 +31,7 @@ struct SimRequest {
   Nanos service = 0;       // total CPU demand
   Nanos remaining = 0;     // remaining demand (preemptive policies)
   Nanos send_time = 0;     // client send instant
+  Nanos deadline = 0;      // absolute deadline (deadline tier; 0 = none)
   uint32_t flow_hash = 0;  // RSS steering input
   // Lifecycle stamps for telemetry (0 = not recorded). ready_time is set by
   // the engine when the dispatcher pipeline hands the request to the policy;

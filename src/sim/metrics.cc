@@ -36,12 +36,21 @@ const Metrics::PerType* Metrics::FindSlot(TypeId wire_id) const {
 }
 
 void Metrics::RecordCompletion(TypeId wire_id, Nanos send_time,
-                               Nanos receive_time, Nanos service_time) {
+                               Nanos receive_time, Nanos service_time,
+                               Nanos deadline, Nanos completion_time) {
   if (send_time < warmup_end_) {
     return;
   }
   const Nanos latency = receive_time - send_time;
   PerType& slot = SlotFor(wire_id);
+  if (deadline > 0) {
+    ++slot.deadline_total;
+    ++deadline_total_;
+    if (completion_time > deadline) {
+      ++slot.deadline_missed;
+      ++deadline_missed_;
+    }
+  }
   slot.latency.Add(latency);
   const int64_t slowdown_milli =
       service_time > 0
@@ -62,6 +71,14 @@ void Metrics::RecordCompletion(TypeId wire_id, Nanos send_time,
 void Metrics::RecordDrop(TypeId wire_id) {
   ++SlotFor(wire_id).drops;
   ++total_drops_;
+}
+
+void Metrics::RecordDeadlineShed(TypeId wire_id, Nanos send_time) {
+  if (send_time < warmup_end_) {
+    return;
+  }
+  ++SlotFor(wire_id).deadline_shed;
+  ++deadline_shed_;
 }
 
 double Metrics::OverallSlowdown(double pct) const {
@@ -100,6 +117,16 @@ uint64_t Metrics::TypeDrops(TypeId wire_id) const {
   return slot == nullptr ? 0 : slot->drops;
 }
 
+uint64_t Metrics::TypeDeadlineMisses(TypeId wire_id) const {
+  const PerType* slot = FindSlot(wire_id);
+  return slot == nullptr ? 0 : slot->deadline_missed;
+}
+
+uint64_t Metrics::TypeDeadlineSheds(TypeId wire_id) const {
+  const PerType* slot = FindSlot(wire_id);
+  return slot == nullptr ? 0 : slot->deadline_shed;
+}
+
 const std::string& Metrics::TypeName(TypeId wire_id) const {
   const PerType* slot = FindSlot(wire_id);
   return slot == nullptr ? kUnnamed : slot->name;
@@ -108,6 +135,13 @@ const std::string& Metrics::TypeName(TypeId wire_id) const {
 void Metrics::ExportTelemetry(TelemetrySnapshot* out) const {
   out->counters["engine.completed"] += total_completions_;
   out->counters["engine.dropped"] += total_drops_;
+  // Deadline counters only appear once a deadlined request has been seen, so
+  // deadline-free runs export byte-identical snapshots to earlier versions.
+  if (deadline_total_ + deadline_shed_ > 0) {
+    out->counters["engine.deadline_completions"] += deadline_total_;
+    out->counters["engine.deadline_missed"] += deadline_missed_;
+    out->counters["engine.deadline_shed"] += deadline_shed_;
+  }
   out->histograms["engine.latency"].Merge(overall_latency_);
   out->histograms["engine.slowdown_milli"].Merge(overall_slowdown_);
   for (const TypeId wire_id : type_ids_) {

@@ -31,9 +31,16 @@ class Metrics {
   // Enables per-bucket time series (exact percentiles within each bucket).
   void EnableTimeSeries(Nanos bucket_width) { bucket_width_ = bucket_width; }
 
+  // `deadline` is the request's absolute deadline (0 = none) and
+  // `completion_time` the server-side completion instant it is judged
+  // against — matching the runtime, which counts misses when the dispatcher
+  // absorbs the completion, not when the client sees the response.
   void RecordCompletion(TypeId wire_id, Nanos send_time, Nanos receive_time,
-                        Nanos service_time);
+                        Nanos service_time, Nanos deadline = 0,
+                        Nanos completion_time = 0);
   void RecordDrop(TypeId wire_id);
+  // A deadlined request shed before service (admission control / queue full).
+  void RecordDeadlineShed(TypeId wire_id, Nanos send_time);
 
   // --- Aggregate views ------------------------------------------------------
   // All percentile arguments in [0,100], e.g. 99.9.
@@ -47,6 +54,29 @@ class Metrics {
   uint64_t TotalCount() const { return total_completions_; }
   uint64_t TotalDrops() const { return total_drops_; }
   uint64_t TypeDrops(TypeId wire_id) const;
+
+  // --- Deadline views (deadline tier; all zero when no request carried a
+  // deadline) -----------------------------------------------------------------
+  uint64_t TotalDeadlined() const { return deadline_total_; }
+  uint64_t TotalDeadlineMisses() const { return deadline_missed_; }
+  uint64_t TotalDeadlineSheds() const { return deadline_shed_; }
+  uint64_t TypeDeadlineMisses(TypeId wire_id) const;
+  uint64_t TypeDeadlineSheds(TypeId wire_id) const;
+  // Fraction of deadlined requests that failed their budget — sheds count as
+  // misses (the request never completed in time by construction).
+  double DeadlineMissRate() const {
+    const uint64_t offered = deadline_total_ + deadline_shed_;
+    return offered > 0 ? static_cast<double>(deadline_missed_ + deadline_shed_) /
+                             static_cast<double>(offered)
+                       : 0.0;
+  }
+  // Deadline-meeting completions per second: the throughput that "counts".
+  double GoodputRps(Nanos measured_duration) const {
+    const uint64_t good = total_completions_ - deadline_missed_;
+    return measured_duration > 0 ? static_cast<double>(good) * 1e9 /
+                                       static_cast<double>(measured_duration)
+                                 : 0;
+  }
 
   // Completed-requests throughput over the measured window.
   double ThroughputRps(Nanos measured_duration) const {
@@ -83,6 +113,9 @@ class Metrics {
     Histogram latency;
     Histogram slowdown;
     uint64_t drops = 0;
+    uint64_t deadline_total = 0;   // completions that carried a deadline
+    uint64_t deadline_missed = 0;  // ... of which finished past it
+    uint64_t deadline_shed = 0;    // deadlined requests shed before service
     // bucket index -> raw latency samples (time-series mode only).
     std::map<int64_t, std::vector<Nanos>> buckets;
   };
@@ -99,6 +132,9 @@ class Metrics {
   Histogram overall_latency_;
   uint64_t total_completions_ = 0;
   uint64_t total_drops_ = 0;
+  uint64_t deadline_total_ = 0;
+  uint64_t deadline_missed_ = 0;
+  uint64_t deadline_shed_ = 0;
 };
 
 }  // namespace psp

@@ -34,6 +34,12 @@ std::string PersephonePolicy::Name() const {
     case PolicyMode::kFixedPriority:
       base = "fixed-priority";
       break;
+    case PolicyMode::kEdf:
+      base = "edf";
+      break;
+    case PolicyMode::kDarcSlack:
+      base = "darc-slack";
+      break;
   }
   if (options_.random_classifier) {
     base += "-random";
@@ -56,8 +62,16 @@ void PersephonePolicy::OnArrival(SimRequest* request) {
   r.arrival = now;
   r.service_demand = request->service;
   r.payload = request;
-  if (!scheduler_->Enqueue(r, now)) {
-    engine_->DropRequest(request);  // typed-queue flow control (§4.3.3)
+  // Deadline stamping at (simulated) ingress: per-type budgets resolved at
+  // RegisterType apply relative to policy arrival, mirroring the runtime's
+  // IngestPacket. The stamp rides on the SimRequest so the engine can judge
+  // misses and sheds at completion/drop time.
+  if (const Nanos budget = scheduler_->DeadlineTargetOf(r.type); budget > 0) {
+    r.deadline = now + budget;
+  }
+  request->deadline = r.deadline;
+  if (scheduler_->TryEnqueue(r, now) != DarcScheduler::EnqueueResult::kOk) {
+    engine_->DropRequest(request);  // flow control (§4.3.3) or admission shed
     return;
   }
   Pump();
@@ -98,8 +112,9 @@ void PersephonePolicy::SampleTimeSeriesGauges(IntervalRecord* rec) {
 void PersephonePolicy::OnWorkerDone(WorkerId worker, TypeIndex type,
                                     SimRequest* request) {
   const Nanos service = request->service;
+  const Nanos deadline = request->deadline;
   engine_->CompleteRequest(request);
-  scheduler_->OnCompletion(worker, type, service, engine_->Now());
+  scheduler_->OnCompletion(worker, type, service, engine_->Now(), deadline);
   Pump();
 }
 

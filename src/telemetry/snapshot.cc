@@ -100,6 +100,8 @@ void TelemetrySnapshot::Merge(const TelemetrySnapshot& other) {
   }
   worker_time.insert(worker_time.end(), other.worker_time.begin(),
                      other.worker_time.end());
+  deadline_types.insert(deadline_types.end(), other.deadline_types.begin(),
+                        other.deadline_types.end());
 }
 
 std::map<uint32_t, TypeStageBreakdown> TelemetrySnapshot::StageBreakdown()
@@ -251,6 +253,8 @@ std::string TelemetrySnapshot::ToJson() const {
              ",\"completions\":" + std::to_string(t.completions) +
              ",\"drops\":" + std::to_string(t.drops) +
              ",\"slo_violations\":" + std::to_string(t.slo_violations) +
+             ",\"deadline_misses\":" + std::to_string(t.deadline_misses) +
+             ",\"deadline_sheds\":" + std::to_string(t.deadline_sheds) +
              ",\"queue_depth\":" + std::to_string(t.queue_depth) +
              ",\"reserved_workers\":" + std::to_string(t.reserved_workers) +
              ",\"slowdown_samples\":" + std::to_string(t.slowdown_samples) +
@@ -302,6 +306,20 @@ std::string TelemetrySnapshot::ToJson() const {
              std::to_string(s.reserved_workers) + '}';
     }
     out += "]}";
+  }
+  out += "],\"deadline_types\":[";
+  first = true;
+  for (const DeadlineTypeStats& d : deadline_types) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"type\":" + std::to_string(d.type) + ",\"name\":\"" +
+           JsonEscape(d.name) + "\",\"missed\":" + std::to_string(d.missed) +
+           ",\"shed\":" + std::to_string(d.shed) +
+           ",\"slack_sum_nanos\":" + std::to_string(d.slack_sum_nanos) +
+           ",\"slack_samples\":" + std::to_string(d.slack_samples) +
+           ",\"budget_nanos\":" + std::to_string(d.budget_nanos) + '}';
   }
   out += "],\"stage_breakdown\":{";
   first = true;

@@ -58,6 +58,8 @@ struct TypeIntervalStats {
   uint64_t completions = 0;
   uint64_t drops = 0;
   uint64_t slo_violations = 0;
+  uint64_t deadline_misses = 0;  // completions past their deadline
+  uint64_t deadline_sheds = 0;   // admission-control drops
   int64_t queue_depth = -1;
   int64_t reserved_workers = -1;
   uint64_t slowdown_samples = 0;
@@ -84,6 +86,22 @@ struct IntervalRecord {
   // WorkerTimeState and summed across all worker slots, in permille of
   // aggregate wall time; empty when the engine has no ledger.
   std::vector<int64_t> worker_state_permille;
+};
+
+// Per-type deadline-tier totals exported by the scheduler (src/sched/):
+// cumulative misses and admission-control sheds, plus the dispatch-time
+// slack distribution as a sum/count pair (renders as a Prometheus summary).
+// slack_sum_nanos can be negative — dispatches past the deadline contribute
+// negative slack. budget_nanos is the type's resolved relative budget
+// (0 = no deadline configured for the type).
+struct DeadlineTypeStats {
+  uint32_t type = 0;  // engine type key, resolvable via type_names
+  std::string name;
+  uint64_t missed = 0;
+  uint64_t shed = 0;
+  int64_t slack_sum_nanos = 0;
+  uint64_t slack_samples = 0;
+  int64_t budget_nanos = 0;
 };
 
 // Per-type latency decomposition derived from the sampled lifecycle traces.
@@ -121,6 +139,8 @@ struct TelemetrySnapshot {
   std::vector<IntervalRecord> timeseries;
   // Structured DARC reservation updates in application order.
   std::vector<ReservationUpdate> reservation_updates;
+  // Deadline-tier per-type totals; empty when the deadline tier is off.
+  std::vector<DeadlineTypeStats> deadline_types;
   // Maps RequestTrace::type keys to human-readable names.
   std::map<uint32_t, std::string> type_names;
   // Cumulative worker time-provenance totals (one record per worker slot

@@ -194,6 +194,12 @@ void TimeSeriesRecorder::CloseIntervalLocked(Nanos end) {
     cur = s.slowdown_samples.load(std::memory_order_relaxed);
     t.slowdown_samples = cur - s.prev_samples;
     s.prev_samples = cur;
+    cur = s.deadline_misses.load(std::memory_order_relaxed);
+    t.deadline_misses = cur - s.prev_deadline_misses;
+    s.prev_deadline_misses = cur;
+    cur = s.deadline_sheds.load(std::memory_order_relaxed);
+    t.deadline_sheds = cur - s.prev_deadline_sheds;
+    s.prev_deadline_sheds = cur;
     total_arrivals += t.arrivals;
     total_completions += t.completions;
 

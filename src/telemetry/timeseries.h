@@ -158,6 +158,18 @@ class TimeSeriesRecorder {
     }
   }
 
+  // Deadline tier: a completion that landed past its deadline.
+  void RecordDeadlineMiss(size_t slot, Nanos now) {
+    MaybeRoll(now);
+    Bump(&series_[slot]->deadline_misses);
+  }
+
+  // Deadline tier: an admission-control shed (predicted miss at enqueue).
+  void RecordDeadlineShed(size_t slot, Nanos now) {
+    MaybeRoll(now);
+    Bump(&series_[slot]->deadline_sheds);
+  }
+
   // Counts a reservation update into the current interval.
   void NoteReservationUpdate(Nanos now) {
     MaybeRoll(now);
@@ -197,6 +209,8 @@ class TimeSeriesRecorder {
     std::atomic<uint64_t> drops{0};
     std::atomic<uint64_t> violations{0};
     std::atomic<uint64_t> slowdown_samples{0};
+    std::atomic<uint64_t> deadline_misses{0};
+    std::atomic<uint64_t> deadline_sheds{0};
     // Violation threshold in milli units; 0 = disabled. Checked as
     // latency * 1000 > target_milli * service (one multiply, no division).
     std::atomic<int64_t> target_milli{0};
@@ -208,6 +222,8 @@ class TimeSeriesRecorder {
     uint64_t prev_drops = 0;
     uint64_t prev_violations = 0;
     uint64_t prev_samples = 0;
+    uint64_t prev_deadline_misses = 0;
+    uint64_t prev_deadline_sheds = 0;
     std::unique_ptr<uint64_t[]> prev_slots;  // [SlotHistogram::kSlots]
   };
 

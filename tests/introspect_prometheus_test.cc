@@ -170,6 +170,116 @@ TEST(Prometheus, SimEngineBackendGoldenFormat) {
   EXPECT_TRUE(Contains(text, "\npsp_sim_engine_pending_events 77\n"));
 }
 
+// Golden-format contract for the deadline-tier families: flat totals render
+// through the generic counter path, the per-type split folds into a type
+// label, and dispatch-time slack comes out as a summary (sum/count pair,
+// negative sums allowed). Deadline-free snapshots render none of it.
+TEST(Prometheus, DeadlineFamiliesGoldenFormat) {
+  TelemetrySnapshot snap;
+  snap.counters["deadline.stamped"] = 900;
+  snap.counters["deadline.missed"] = 12;
+  snap.counters["deadline.met"] = 888;
+  snap.counters["deadline.shed"] = 5;
+  DeadlineTypeStats short_type;
+  short_type.type = 1;
+  short_type.name = "SHORT";
+  short_type.missed = 2;
+  short_type.shed = 0;
+  short_type.slack_sum_nanos = 123456;
+  short_type.slack_samples = 450;
+  short_type.budget_nanos = 20000;
+  DeadlineTypeStats long_type;
+  long_type.type = 2;
+  long_type.name = "LONG";
+  long_type.missed = 10;
+  long_type.shed = 5;
+  long_type.slack_sum_nanos = -789;  // dispatches past the deadline
+  long_type.slack_samples = 440;
+  long_type.budget_nanos = 150000;
+  snap.deadline_types = {short_type, long_type};
+
+  const std::string text = RenderPrometheusText(snap);
+
+  // Flat totals via the generic counter renderer.
+  EXPECT_TRUE(Contains(text,
+                       "# TYPE psp_deadline_stamped_total counter\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_deadline_stamped_total 900\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_deadline_missed_total 12\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_deadline_met_total 888\n"));
+  EXPECT_TRUE(Contains(text, "\npsp_deadline_shed_total 5\n"));
+
+  // Per-type folds with a type label, one TYPE header per family.
+  EXPECT_TRUE(Contains(text,
+                       "# TYPE psp_deadline_type_missed_total counter\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_deadline_type_missed_total{type=\"SHORT\"} 2\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_deadline_type_missed_total{type=\"LONG\"} 10\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_deadline_type_shed_total{type=\"LONG\"} 5\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE psp_deadline_type_budget_ns gauge\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_deadline_type_budget_ns{type=\"SHORT\"} 20000\n"));
+
+  // Slack summary: per-type sum/count, negative sums render as-is.
+  EXPECT_TRUE(Contains(text, "# TYPE psp_deadline_type_slack_ns summary\n"));
+  EXPECT_TRUE(Contains(
+      text, "psp_deadline_type_slack_ns_sum{type=\"SHORT\"} 123456\n"));
+  EXPECT_TRUE(Contains(
+      text, "psp_deadline_type_slack_ns_count{type=\"SHORT\"} 450\n"));
+  EXPECT_TRUE(
+      Contains(text, "psp_deadline_type_slack_ns_sum{type=\"LONG\"} -789\n"));
+  size_t headers = 0;
+  for (const std::string& line : Lines(text)) {
+    if (line == "# TYPE psp_deadline_type_missed_total counter") {
+      ++headers;
+    }
+  }
+  EXPECT_EQ(headers, 1u);
+
+  // A deadline-free snapshot renders no deadline family at all — the tier is
+  // pay-for-what-you-use and existing scrapes stay byte-identical.
+  const std::string bare = RenderPrometheusText(TelemetrySnapshot{});
+  EXPECT_FALSE(Contains(bare, "psp_deadline"));
+}
+
+// Interval deadline gauges ride the latest time-series record and are
+// omitted entirely for deadline-free intervals (skip-if-all-zero).
+TEST(Prometheus, DeadlineIntervalGauges) {
+  TelemetrySnapshot snap;
+  snap.type_names[1] = "SHORT";
+  snap.type_names[2] = "LONG";
+  IntervalRecord rec;
+  rec.seq = 3;
+  TypeIntervalStats s1;
+  s1.type = 1;
+  s1.deadline_misses = 4;
+  s1.deadline_sheds = 1;
+  TypeIntervalStats s2;
+  s2.type = 2;
+  rec.types = {s1, s2};
+  snap.timeseries.push_back(rec);
+
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_TRUE(Contains(
+      text, "psp_deadline_type_interval_misses{type=\"SHORT\"} 4\n"));
+  EXPECT_TRUE(Contains(
+      text, "psp_deadline_type_interval_sheds{type=\"SHORT\"} 1\n"));
+
+  // All-zero interval: the families disappear from the scrape.
+  TelemetrySnapshot quiet;
+  quiet.type_names[1] = "SHORT";
+  IntervalRecord calm;
+  calm.seq = 4;
+  TypeIntervalStats c1;
+  c1.type = 1;
+  c1.arrivals = 10;
+  calm.types = {c1};
+  quiet.timeseries.push_back(calm);
+  const std::string quiet_text = RenderPrometheusText(quiet);
+  EXPECT_FALSE(Contains(quiet_text, "psp_deadline_type_interval"));
+}
+
 TEST(Prometheus, LatestIntervalPerTypeGauges) {
   TelemetrySnapshot snap;
   snap.type_names[0] = "SHORT";

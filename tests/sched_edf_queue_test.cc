@@ -1,0 +1,172 @@
+// Invariants of the bucketed EDF queue (src/sched/edf_queue.h): pops come
+// out in ascending deadline order, same-bucket ties break FIFO (the replay
+// goldens rely on that determinism), edge deadlines (late / far-future /
+// none) clamp deterministically, capacity drops are counted, and the cursor
+// re-anchors across idle gaps.
+#include "src/sched/edf_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace psp {
+namespace {
+
+// Engines stamp deadline = arrival + budget, so arrival <= deadline always
+// holds in real use; the empty-ring cursor re-anchor keys off the arrival.
+Request Req(uint64_t id, Nanos deadline, Nanos arrival = 1) {
+  Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(EdfQueue, PopsInAscendingDeadlineOrder) {
+  EdfQueue q;
+  // Deliberately shuffled pushes, deadlines one bucket (~1 µs) apart so each
+  // lands in its own bucket.
+  const std::vector<Nanos> deadlines = {50'000, 10'000, 90'000, 30'000,
+                                        70'000, 20'000, 80'000, 40'000};
+  for (size_t i = 0; i < deadlines.size(); ++i) {
+    ASSERT_TRUE(q.Push(Req(i, deadlines[i])));
+  }
+  EXPECT_EQ(q.Size(), deadlines.size());
+
+  std::vector<Nanos> sorted = deadlines;
+  std::sort(sorted.begin(), sorted.end());
+  for (const Nanos expected : sorted) {
+    Request out;
+    ASSERT_TRUE(q.PopEarliest(&out));
+    EXPECT_EQ(out.deadline, expected);
+  }
+  EXPECT_TRUE(q.Empty());
+  Request out;
+  EXPECT_FALSE(q.PopEarliest(&out));
+}
+
+TEST(EdfQueue, SameBucketTiesBreakFifo) {
+  EdfQueue q;
+  // Identical deadlines land in one bucket; pop order must be push order.
+  const Nanos deadline = 64'000;
+  for (uint64_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(q.Push(Req(id, deadline)));
+  }
+  for (uint64_t id = 0; id < 5; ++id) {
+    Request out;
+    ASSERT_TRUE(q.PopEarliest(&out));
+    EXPECT_EQ(out.id, id);
+  }
+}
+
+TEST(EdfQueue, PeekMatchesPopWithoutConsuming) {
+  EdfQueue q;
+  ASSERT_TRUE(q.Push(Req(1, 40'000)));
+  ASSERT_TRUE(q.Push(Req(2, 20'000)));
+  Request peeked;
+  ASSERT_TRUE(q.PeekEarliest(&peeked));
+  EXPECT_EQ(peeked.id, 2u);
+  EXPECT_EQ(q.Size(), 2u);
+  Request popped;
+  ASSERT_TRUE(q.PopEarliest(&popped));
+  EXPECT_EQ(popped.id, peeked.id);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EdfQueue, LateDeadlinesClampToCursorAndDrainFirst) {
+  EdfQueue q;
+  // Anchor the window well past 5 µs: the empty-ring push re-anchors the
+  // cursor at its arrival (120 µs).
+  ASSERT_TRUE(q.Push(Req(2, 150'000, /*arrival=*/120'000)));
+  // This deadline sits behind the cursor (already late) — it clamps to the
+  // cursor bucket and therefore pops before the 150 µs entry.
+  ASSERT_TRUE(q.Push(Req(3, 5'000, /*arrival=*/125'000)));
+  Request out;
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 3u);
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 2u);
+}
+
+TEST(EdfQueue, ZeroDeadlineParksAtHorizonBehindAllDeadlinedWork) {
+  EdfQueue q;
+  ASSERT_TRUE(q.Push(Req(1, 0)));  // no deadline
+  ASSERT_TRUE(q.Push(Req(2, 500'000)));
+  ASSERT_TRUE(q.Push(Req(3, 30'000)));
+  Request out;
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 3u);
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 2u);
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 1u);
+}
+
+TEST(EdfQueue, FarFutureDeadlinesClampToHorizonBucket) {
+  EdfQueue q;
+  const Nanos horizon = q.bucket_width() * EdfQueue::kBuckets;
+  ASSERT_TRUE(q.Push(Req(1, 10 * horizon)));  // far beyond the ring window
+  ASSERT_TRUE(q.Push(Req(2, 20 * horizon)));  // even further: same bucket
+  ASSERT_TRUE(q.Push(Req(3, 10'000)));        // precise, near
+  Request out;
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 3u);
+  // Beyond the horizon the order is approximate by design: FIFO within the
+  // shared horizon bucket.
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 1u);
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 2u);
+}
+
+TEST(EdfQueue, CapacityDropsAreCountedAndRefused) {
+  EdfQueue q(/*capacity=*/2);
+  ASSERT_TRUE(q.Push(Req(1, 10'000)));
+  ASSERT_TRUE(q.Push(Req(2, 20'000)));
+  EXPECT_FALSE(q.Push(Req(3, 30'000)));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.Size(), 2u);
+  // Draining frees capacity again.
+  Request out;
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_TRUE(q.Push(Req(4, 40'000)));
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(EdfQueue, CursorReanchorsAcrossIdleGaps) {
+  EdfQueue q;
+  const Nanos horizon = q.bucket_width() * EdfQueue::kBuckets;
+  // Drain an early era completely, then push deadlines far past the old ring
+  // window. Without re-anchoring they'd all clamp to the horizon bucket and
+  // lose their relative order.
+  ASSERT_TRUE(q.Push(Req(1, 10'000)));
+  Request out;
+  ASSERT_TRUE(q.PopEarliest(&out));
+  ASSERT_TRUE(q.Empty());
+  const Nanos era = 5 * horizon;
+  ASSERT_TRUE(q.Push(Req(2, era + 200'000, /*arrival=*/era)));
+  ASSERT_TRUE(q.Push(Req(3, era + 100'000, /*arrival=*/era + 1'000)));
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 3u);
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 2u);
+}
+
+TEST(EdfQueue, InterleavedPushPopKeepsGlobalOrder) {
+  EdfQueue q;
+  ASSERT_TRUE(q.Push(Req(1, 40'000)));
+  ASSERT_TRUE(q.Push(Req(2, 80'000)));
+  Request out;
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 1u);
+  // A new earlier-than-head deadline (but still >= cursor) goes first.
+  ASSERT_TRUE(q.Push(Req(3, 60'000)));
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 3u);
+  ASSERT_TRUE(q.PopEarliest(&out));
+  EXPECT_EQ(out.id, 2u);
+}
+
+}  // namespace
+}  // namespace psp

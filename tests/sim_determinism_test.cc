@@ -128,6 +128,46 @@ TEST(Determinism, TailMetricsBitIdenticalAcrossEventQueueBackends) {
   }
 }
 
+TEST(Determinism, EdfDeadlineRunsBitIdenticalAcrossRuns) {
+  // The deadline tier must not perturb replay determinism: EDF dispatch
+  // (bucketed FFS queue with FIFO tie-breaks), deadline stamping (integer
+  // budget arithmetic) and admission shedding (pure predicate) are all
+  // virtual-time-only, so two seeded runs agree on every metric — including
+  // the new miss/shed counts — down to the last bit.
+  PersephoneOptions options;
+  options.scheduler.mode = PolicyMode::kEdf;
+  options.scheduler.deadline.targets.push_back({"SHORT", 0, 20.0});
+  options.scheduler.deadline.targets.push_back({"LONG", 0, 1.5});
+  options.scheduler.deadline.shed = true;
+  for (const uint64_t seed : {7u, 123u}) {
+    ClusterEngine a(HighBimodal(), Config(seed),
+                    std::make_unique<PersephonePolicy>(options));
+    a.Run();
+    ClusterEngine b(HighBimodal(), Config(seed),
+                    std::make_unique<PersephonePolicy>(options));
+    b.Run();
+    ASSERT_EQ(a.sim().executed_events(), b.sim().executed_events())
+        << "seed " << seed;
+    ASSERT_GT(a.metrics().TotalDeadlined(), 0u);
+    ASSERT_EQ(a.metrics().TotalDeadlined(), b.metrics().TotalDeadlined());
+    ASSERT_EQ(a.metrics().TotalDeadlineMisses(),
+              b.metrics().TotalDeadlineMisses());
+    ASSERT_EQ(a.metrics().TotalDeadlineSheds(),
+              b.metrics().TotalDeadlineSheds());
+    ASSERT_EQ(a.metrics().DeadlineMissRate(), b.metrics().DeadlineMissRate());
+    for (const TypeId type : {TypeId{1}, TypeId{2}}) {
+      ASSERT_EQ(a.metrics().TypeCount(type), b.metrics().TypeCount(type))
+          << "seed " << seed << " type " << type;
+      ASSERT_EQ(a.metrics().TypeLatency(type, 99.9),
+                b.metrics().TypeLatency(type, 99.9))
+          << "seed " << seed << " type " << type;
+      ASSERT_EQ(a.metrics().TypeDeadlineMisses(type),
+                b.metrics().TypeDeadlineMisses(type))
+          << "seed " << seed << " type " << type;
+    }
+  }
+}
+
 TEST(Determinism, DifferentSeedDifferentArrivals) {
   const Summary a = RunExperiment(1, std::make_unique<CentralFcfsPolicy>());
   const Summary b = RunExperiment(2, std::make_unique<CentralFcfsPolicy>());

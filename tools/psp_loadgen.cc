@@ -27,7 +27,29 @@ struct TypeArg {
   std::string name;
   double ratio;
   double spin_us;
+  uint32_t deadline_us = 0;  // 0 = no deadline
 };
+
+// --deadline-us NAME:N — looked up against the --type names after parsing.
+struct DeadlineArg {
+  std::string type_name;
+  uint32_t budget_us;
+};
+
+bool ParseDeadlineArg(const std::string& arg, DeadlineArg* out) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= arg.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long budget = std::strtol(arg.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || budget <= 0 || budget > INT32_MAX) {
+    return false;
+  }
+  out->type_name = arg.substr(0, colon);
+  out->budget_us = static_cast<uint32_t>(budget);
+  return true;
+}
 
 bool ParseTypeArg(const std::string& arg, TypeArg* out) {
   // id:NAME:ratio:spin_us
@@ -49,6 +71,7 @@ psp::UdpRequestSpec SpinSpec(const TypeArg& t) {
   spec.wire_id = t.wire_id;
   spec.name = t.name;
   spec.ratio = t.ratio;
+  spec.deadline_us = t.deadline_us;
   const psp::Nanos spin = psp::FromMicros(t.spin_us);
   spec.build_payload = [spin](std::byte* payload, uint32_t capacity,
                               psp::Rng&) -> uint32_t {
@@ -66,7 +89,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --port P [--host H] [--rate RPS] [--requests N] [--seed S]\n"
       "          [--flows F] [--type id:NAME:ratio:spin_us]... [--json]\n"
-      "          [--sample N] [--prom FILE]\n"
+      "          [--sample N] [--prom FILE] [--deadline-us NAME:N]...\n"
       "Sends an open-loop Poisson stream of typed spin requests to a\n"
       "Persephone UDP server and reports client-observed RTTs.\n"
       "--flows F uses F client sockets (distinct source ports) so a\n"
@@ -74,7 +97,11 @@ int Usage(const char* argv0) {
       "--sample N marks every Nth request for distributed tracing (the\n"
       "server echoes its rx/tx stamps); sampled per-request records land in\n"
       "the --json report, and --prom FILE writes the psp_net_* network-time\n"
-      "decomposition as Prometheus text exposition.\n",
+      "decomposition as Prometheus text exposition.\n"
+      "--deadline-us NAME:N stamps an N-microsecond latency budget into the\n"
+      "wire header of every NAME request (the server's deadline tier turns\n"
+      "it into an absolute deadline at ingress) and reports client-observed\n"
+      "deadline misses per type.\n",
       argv0);
   return 2;
 }
@@ -136,6 +163,7 @@ bool WriteNetProm(const char* path, const std::vector<TypeArg>& types,
 int main(int argc, char** argv) {
   psp::UdpLoadGenConfig config;
   std::vector<TypeArg> types;
+  std::vector<DeadlineArg> deadlines;
   bool json = false;
   bool have_port = false;
   const char* prom_path = nullptr;
@@ -179,6 +207,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       types.push_back(t);
+    } else if (arg == "--deadline-us") {
+      const char* v = next();
+      DeadlineArg d;
+      if (v == nullptr || !ParseDeadlineArg(v, &d)) {
+        std::fprintf(stderr, "bad --deadline-us '%s' (want NAME:budget_us)\n",
+                     v == nullptr ? "" : v);
+        return 2;
+      }
+      deadlines.push_back(d);
     } else if (arg == "--sample") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -199,6 +236,20 @@ int main(int argc, char** argv) {
   if (types.empty()) {
     types.push_back(TypeArg{1, "SHORT", 0.9, 5});
     types.push_back(TypeArg{2, "LONG", 0.1, 200});
+  }
+  for (const DeadlineArg& d : deadlines) {
+    bool matched = false;
+    for (TypeArg& t : types) {
+      if (t.name == d.type_name) {
+        t.deadline_us = d.budget_us;
+        matched = true;
+      }
+    }
+    if (!matched) {
+      std::fprintf(stderr, "--deadline-us %s:%u names no --type\n",
+                   d.type_name.c_str(), d.budget_us);
+      return 2;
+    }
   }
 
   std::vector<psp::UdpRequestSpec> mix;
@@ -236,12 +287,28 @@ int main(int argc, char** argv) {
       }
       std::printf(
           "%s{\"name\":\"%s\",\"wire_id\":%u,\"count\":%llu,\"p50_us\":%.1f,"
-          "\"p99_us\":%.1f,\"p999_us\":%.1f}",
+          "\"p99_us\":%.1f,\"p999_us\":%.1f",
           first ? "" : ",", t.name.c_str(), t.wire_id,
           static_cast<unsigned long long>(it->second.Count()),
           psp::ToMicros(it->second.Percentile(50)),
           psp::ToMicros(it->second.Percentile(99)),
           psp::ToMicros(it->second.Percentile(99.9)));
+      if (t.deadline_us > 0) {
+        const auto checked = report.deadline_checked.find(t.wire_id);
+        const auto missed = report.deadline_missed.find(t.wire_id);
+        const unsigned long long n_checked =
+            checked != report.deadline_checked.end() ? checked->second : 0;
+        const unsigned long long n_missed =
+            missed != report.deadline_missed.end() ? missed->second : 0;
+        std::printf(",\"deadline_us\":%u,\"deadline_checked\":%llu,"
+                    "\"deadline_missed\":%llu,\"miss_rate_pct\":%.3f",
+                    t.deadline_us, n_checked, n_missed,
+                    n_checked > 0
+                        ? 100.0 * static_cast<double>(n_missed) /
+                              static_cast<double>(n_checked)
+                        : 0.0);
+      }
+      std::printf("}");
       first = false;
     }
     std::printf("]");
@@ -301,12 +368,23 @@ int main(int argc, char** argv) {
       if (it == report.latency.end() || it->second.Count() == 0) {
         continue;
       }
-      std::printf("  %-8s n=%-7llu p50 %8.1f us  p99 %8.1f us  p99.9 %8.1f us\n",
+      std::printf("  %-8s n=%-7llu p50 %8.1f us  p99 %8.1f us  p99.9 %8.1f us",
                   t.name.c_str(),
                   static_cast<unsigned long long>(it->second.Count()),
                   psp::ToMicros(it->second.Percentile(50)),
                   psp::ToMicros(it->second.Percentile(99)),
                   psp::ToMicros(it->second.Percentile(99.9)));
+      if (t.deadline_us > 0) {
+        const auto checked = report.deadline_checked.find(t.wire_id);
+        const auto missed = report.deadline_missed.find(t.wire_id);
+        const unsigned long long n_checked =
+            checked != report.deadline_checked.end() ? checked->second : 0;
+        const unsigned long long n_missed =
+            missed != report.deadline_missed.end() ? missed->second : 0;
+        std::printf("  deadline %uus miss %llu/%llu", t.deadline_us, n_missed,
+                    n_checked);
+      }
+      std::printf("\n");
     }
     std::printf("  %-8s n=%-7llu p50 %8.1f us  p99 %8.1f us  p99.9 %8.1f us\n",
                 "ALL",
